@@ -1,0 +1,179 @@
+// Command cubrick-coordinator fronts a set of cubrick-worker processes: it
+// owns the table catalog, routes loads by the partial-sharding layout, and
+// serves CQL queries by scatter-gathering binary partials over HTTP.
+//
+//	cubrick-worker -addr :9001 & cubrick-worker -addr :9002 &
+//	cubrick-coordinator -addr :8080 -workers http://localhost:9001,http://localhost:9002
+//
+// API:
+//
+//	POST /tables {"name":..., "partitions":8, "schema":{...}}
+//	POST /load   {"table":..., "rows":[...]}
+//	POST /query  {"cql": "SELECT ..."}
+//	GET  /tables
+//	GET  /health
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"cubrick/internal/cql"
+	"cubrick/internal/netexec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.String("workers", "", "comma-separated worker base URLs")
+	maxShards := flag.Int64("max-shards", 100000, "shard key space size")
+	flag.Parse()
+	urls := strings.Split(*workers, ",")
+	var clean []string
+	for _, u := range urls {
+		if u = strings.TrimSpace(u); u != "" {
+			clean = append(clean, u)
+		}
+	}
+	cluster, err := netexec.NewCluster(clean, *maxShards, &http.Client{Timeout: 30 * time.Second})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(1)
+	}
+	s := &coordServer{cluster: cluster}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/tables", s.tables)
+	mux.HandleFunc("/load", s.load)
+	mux.HandleFunc("/query", s.query)
+	mux.HandleFunc("/health", s.health)
+	log.Printf("cubrick-coordinator on %s over %d workers", *addr, len(clean))
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type coordServer struct {
+	cluster *netexec.Cluster
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *coordServer) tables(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.cluster.Tables())
+	case http.MethodPost:
+		var req struct {
+			Name       string             `json:"name"`
+			Partitions int                `json:"partitions"`
+			Schema     netexec.SchemaJSON `json:"schema"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Partitions == 0 {
+			req.Partitions = 8 // the paper's default (§IV-B)
+		}
+		if err := s.cluster.CreateTable(req.Name, req.Schema.ToSchema(), req.Partitions); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "created"})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *coordServer) load(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Table string `json:"table"`
+		Rows  []struct {
+			Dims    []uint32  `json:"dims"`
+			Metrics []float64 `json:"metrics"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dims := make([][]uint32, len(req.Rows))
+	mets := make([][]float64, len(req.Rows))
+	for i, row := range req.Rows {
+		dims[i], mets[i] = row.Dims, row.Metrics
+	}
+	if err := s.cluster.Load(req.Table, dims, mets); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"loaded": len(req.Rows)})
+}
+
+func (s *coordServer) query(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		CQL string `json:"cql"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := cql.Parse(req.CQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sel, ok := st.(*cql.SelectStmt)
+	if !ok || sel.JoinTable != "" {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("coordinator supports single-table SELECT only"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	res, err := s.cluster.Query(ctx, sel.Table, sel.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	fanout, _ := s.cluster.Fanout(sel.Table)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"columns":     res.Columns,
+		"rows":        res.Rows,
+		"rowsScanned": res.RowsScanned,
+		"fanout":      fanout,
+	})
+}
+
+func (s *coordServer) health(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	bad := s.cluster.Health(ctx)
+	status := http.StatusOK
+	if len(bad) > 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]interface{}{
+		"workers":   len(s.cluster.Workers()),
+		"unhealthy": bad,
+	})
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, script string) string {
+	t.Helper()
+	db, err := openDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	repl(db, strings.NewReader(script), &out, false)
+	return out.String()
+}
+
+func TestShellSelect(t *testing.T) {
+	out := run(t, "SELECT COUNT(*) AS n FROM demo\n\\quit\n")
+	if !strings.Contains(out, "5000") {
+		t.Fatalf("expected row count in output, got:\n%s", out)
+	}
+	if !strings.Contains(out, "fan-out") {
+		t.Fatalf("missing metadata footer:\n%s", out)
+	}
+}
+
+func TestShellShowAndDescribe(t *testing.T) {
+	out := run(t, "SHOW TABLES\nDESCRIBE demo\n\\quit\n")
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "partitions") {
+		t.Fatalf("SHOW TABLES output:\n%s", out)
+	}
+	if !strings.Contains(out, "dimension") || !strings.Contains(out, "metric") {
+		t.Fatalf("DESCRIBE output:\n%s", out)
+	}
+}
+
+func TestShellErrorsAndCommands(t *testing.T) {
+	out := run(t, strings.Join([]string{
+		"garbage statement",
+		"SELECT COUNT(*) FROM ghost",
+		"\\stats",
+		"\\advance 1m",
+		"\\advance nope",
+		"\\advance",
+		"\\bogus",
+		"",
+		"\\quit",
+	}, "\n")+"\n")
+	for _, want := range []string{
+		"error:",             // parse + unknown table errors
+		"queries=",           // \stats
+		"advanced simulated", // \advance 1m
+		"bad duration",       // \advance nope
+		"usage: \\advance",   // \advance
+		"unknown command",    // \bogus
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellEOFExits(t *testing.T) {
+	out := run(t, "SELECT COUNT(*) FROM demo\n") // no \quit: EOF ends repl
+	if !strings.Contains(out, "count(*)") {
+		t.Fatalf("query did not run before EOF:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(5) != "5" || trimFloat(2.5) != "2.500" {
+		t.Fatal("trimFloat formatting broken")
+	}
+}

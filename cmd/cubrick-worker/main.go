@@ -1,0 +1,24 @@
+// Command cubrick-worker runs one networked execution worker: it hosts
+// table partitions and executes partial queries over HTTP for a remote
+// coordinator (see internal/netexec and examples/distributed).
+//
+//	cubrick-worker -addr :9001
+//
+// API: POST /partition, POST /load, POST /partial, GET /health.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"cubrick/internal/netexec"
+)
+
+func main() {
+	addr := flag.String("addr", ":9001", "listen address")
+	flag.Parse()
+	w := netexec.NewWorker()
+	log.Printf("cubrick-worker listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, w.Handler()))
+}

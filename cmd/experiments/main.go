@@ -1,0 +1,284 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Each subcommand prints the series the paper plots; `all`
+// runs everything.
+//
+// Usage:
+//
+//	experiments fig1|fig2|tables|fig4a|fig4b|fig4c|fig4d|fig4e|fig4f|fig5|all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"cubrick/internal/core"
+	"cubrick/internal/randutil"
+	"cubrick/internal/sim"
+	"cubrick/internal/wall"
+)
+
+var quick = flag.Bool("quick", false, "run smaller configurations")
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] fig1|fig2|tables|fig4a|fig4b|fig4c|fig4d|fig4e|fig4f|fig5|all")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := strings.ToLower(flag.Arg(0))
+	cmds := map[string]func(){
+		"fig1": fig1, "fig2": fig2, "tables": tables,
+		"fig4a": fig4a, "fig4b": fig4b, "fig4c": fig4c,
+		"fig4d": fig4d, "fig4e": fig4e, "fig4f": fig4f,
+		"fig5": fig5, "strategies": strategies,
+	}
+	if cmd == "all" {
+		for _, name := range []string{"fig1", "fig2", "tables", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5", "strategies"} {
+			fmt.Printf("==== %s ====\n", name)
+			cmds[name]()
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := cmds[cmd]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fn()
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// fig1: query success ratio vs nodes visited; p=0.01%, 99% SLA.
+func fig1() {
+	curve, wallAt := wall.PaperFig1()
+	fmt.Printf("Fig 1: success ratio vs fan-out (p=0.01%%); 99%% SLA wall at %d servers\n", wallAt)
+	w := newTab()
+	fmt.Fprintln(w, "nodes\tsuccess_ratio")
+	for _, pt := range curve {
+		if pt.Nodes == 1 || pt.Nodes%100 == 0 {
+			fmt.Fprintf(w, "%d\t%.4f\n", pt.Nodes, pt.Success)
+		}
+	}
+	w.Flush()
+}
+
+// fig2: success curves for several failure probabilities.
+func fig2() {
+	fmt.Println("Fig 2: success ratio vs fan-out for several per-server failure probabilities")
+	w := newTab()
+	fmt.Fprint(w, "nodes")
+	for _, p := range wall.PaperFig2Probabilities {
+		fmt.Fprintf(w, "\tp=%g", p)
+	}
+	fmt.Fprintln(w)
+	for n := 1; n <= 10000; n *= 10 {
+		fmt.Fprintf(w, "%d", n)
+		for _, p := range wall.PaperFig2Probabilities {
+			fmt.Fprintf(w, "\t%.4f", wall.SuccessRatio(p, n))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	for _, p := range wall.PaperFig2Probabilities {
+		if n, err := wall.Crossing(p, 0.99); err == nil {
+			fmt.Printf("wall (99%% SLA) at p=%g: %d servers\n", p, n)
+		}
+	}
+}
+
+// tables: the §IV-A shard-mapping worked examples.
+func tables() {
+	fmt.Println("§IV-A mapping tables (maxShards=100000)")
+	naive := core.NaiveMapper{MaxShards: 100000}
+	mono := core.MonotonicMapper{MaxShards: 100000}
+	for _, table := range []string{"dim_users", "test_table"} {
+		w := newTab()
+		fmt.Fprintln(w, "table name\tnaive hash\tmonotonic (production)")
+		for p := 0; p < 4; p++ {
+			fmt.Fprintf(w, "%s\t%d\t%d\n", core.PartitionName(table, p), naive.Shard(table, p), mono.Shard(table, p))
+		}
+		w.Flush()
+		fmt.Println()
+	}
+	fmt.Println("monotonic mapping assigns consecutive shards: no same-table collisions (§IV-A)")
+}
+
+func fig4a() {
+	cfg := sim.DefaultCollisionConfig()
+	if *quick {
+		cfg.Tables, cfg.Hosts = 1000, 200
+	}
+	rep := sim.Collisions(cfg)
+	fmt.Printf("Fig 4a: collision frequencies over %d tables on %d hosts (%d shards)\n", cfg.Tables, cfg.Hosts, cfg.MaxShards)
+	w := newTab()
+	fmt.Fprintln(w, "collision class\ttables\tfraction")
+	fmt.Fprintf(w, "shard collision (same table, same host)\t%d\t%.1f%%\n", rep.TablesWithShardCollision, rep.FracShardCollision()*100)
+	fmt.Fprintf(w, "partition collision (different tables, same shard)\t%d\t%.1f%%\n", rep.TablesWithCrossPartitionCollision, rep.FracCrossPartition()*100)
+	fmt.Fprintf(w, "partition collision (same table, same shard)\t%d\t%.1f%%\n", rep.TablesWithSamePartitionCollision, rep.FracSamePartition()*100)
+	w.Flush()
+}
+
+func fig4b() {
+	n := 10000
+	if *quick {
+		n = 2000
+	}
+	hist := sim.PartitionsHistogram(n, 1)
+	fmt.Printf("Fig 4b: partitions per table over %d tables\n", n)
+	w := newTab()
+	fmt.Fprintln(w, "partitions\ttables\tfraction")
+	for _, k := range sim.SortedKeys(hist) {
+		fmt.Fprintf(w, "%d\t%d\t%.2f%%\n", k, hist[k], float64(hist[k])/float64(n)*100)
+	}
+	w.Flush()
+}
+
+func fig4c() {
+	n := 2000
+	if *quick {
+		n = 300
+	}
+	dist := sim.PropagationDelays(n, 1)
+	fmt.Printf("Fig 4c: discovery propagation delay over %d publishes\n", n)
+	w := newTab()
+	fmt.Fprintln(w, "quantile\tdelay_seconds")
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		fmt.Fprintf(w, "p%g\t%.2f\n", q*100, dist.Quantile(q))
+	}
+	w.Flush()
+}
+
+// weekReport memoizes the week simulation: fig4d, fig4e and fig4f all read
+// from the same simulated week (as the paper's panels do).
+var weekReport *sim.WeekReport
+
+func runWeek() *sim.WeekReport {
+	if weekReport != nil {
+		return weekReport
+	}
+	cfg := sim.DefaultWeekConfig()
+	if *quick {
+		cfg.Days = 2
+		cfg.Tables = 8
+		cfg.RowsPerTable = 100
+		cfg.QueriesPerHour = 12
+	}
+	rep, err := sim.RunWeek(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "week simulation failed:", err)
+		os.Exit(1)
+	}
+	weekReport = rep
+	return rep
+}
+
+func fig4d() {
+	rep := runWeek()
+	fmt.Println("Fig 4d: shard migrations per simulated day")
+	w := newTab()
+	fmt.Fprintln(w, "day\tmigrations")
+	for i, m := range rep.MigrationsPerDay {
+		fmt.Fprintf(w, "%d\t%.0f\n", i+1, m)
+	}
+	w.Flush()
+	fmt.Printf("live=%d failover=%d; query success %.2f%% (retried %d)\n",
+		rep.LiveMigrations, rep.FailoverMigrations, rep.QuerySuccessRatio*100, rep.RetriedQueries)
+}
+
+func fig4e() {
+	rep := runWeek()
+	fmt.Println("Fig 4e: hot/cold data blocks after a simulated period")
+	w := newTab()
+	fmt.Fprintln(w, "population\tbricks")
+	fmt.Fprintf(w, "hot (hotness ≥ 1)\t%d\n", rep.HotBricks)
+	fmt.Fprintf(w, "cold (hotness < 1)\t%d\n", rep.ColdBricks)
+	w.Flush()
+	fmt.Printf("hotness p50=%.2f p99=%.2f\n", rep.HotnessP50, rep.HotnessP99)
+}
+
+func fig4f() {
+	rep := runWeek()
+	fmt.Println("Fig 4f: hosts sent to repair per simulated day (permanent failures)")
+	w := newTab()
+	fmt.Fprintln(w, "day\trepairs")
+	for i, r := range rep.RepairsPerDay {
+		fmt.Fprintf(w, "%d\t%.0f\n", i+1, r)
+	}
+	w.Flush()
+}
+
+// strategies reproduces the §IV-C comparison: the four coordinator
+// selection strategies, their coordinator-load imbalance and per-query
+// overheads. Cubrick's production choice is strategy 4 (cached random).
+func strategies() {
+	const parts = 8
+	const queries = 50000
+	fmt.Println("§IV-C coordinator selection strategies (8-partition table)")
+	w := newTab()
+	fmt.Fprintln(w, "strategy\tcoordinator imbalance (max/mean)\textra hops/query\textra roundtrips/query")
+	rnd := randutil.New(1)
+	for _, strat := range []core.CoordinatorStrategy{
+		core.AlwaysPartitionZero, core.ForwardFromZero, core.LookupThenRandom, core.CachedRandom,
+	} {
+		trips := 0
+		picker := &core.Picker{
+			Strategy: strat,
+			Cache:    core.NewPartitionCountCache(),
+			Rand:     rnd.Float64,
+			LookupPartitions: func(string) (int, error) {
+				trips++
+				return parts, nil
+			},
+		}
+		counts := make([]int, parts)
+		hops := 0
+		for q := 0; q < queries; q++ {
+			p, cost, err := picker.Pick("t")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			counts[p]++
+			hops += cost.ExtraHops
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.3f\t%.5f\n",
+			strat, float64(max)/(float64(queries)/parts),
+			float64(hops)/queries, float64(trips)/queries)
+	}
+	w.Flush()
+	fmt.Println("production uses cached-random: balanced, no extra hops, ~0 extra roundtrips (§IV-C)")
+}
+
+func fig5() {
+	cfg := sim.DefaultFanoutConfig()
+	if *quick {
+		cfg.QueriesPerLevel = 20000
+	}
+	series := sim.FanoutExperiment(cfg)
+	fmt.Printf("Fig 5: query latency by fan-out level (%d queries per level)\n", cfg.QueriesPerLevel)
+	w := newTab()
+	fmt.Fprintln(w, "fanout\tp50_ms\tp90_ms\tp99_ms\tp999_ms\tmax_ms\tsuccess")
+	for _, s := range series {
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.3f%%\n",
+			s.Fanout, s.Latency.P50*1000, s.Latency.P90*1000, s.Latency.P99*1000,
+			s.Latency.P999*1000, s.Latency.Max*1000, s.SuccessRatio*100)
+	}
+	w.Flush()
+}

@@ -1,0 +1,169 @@
+// Command smctl demonstrates Shard Manager operations on a simulated
+// deployment: it builds a three-region Cubrick cluster with tenant tables,
+// then runs the requested control-plane scenario and prints the resulting
+// shard placements and migration log — the view SM's management consoles
+// give operators (§IV).
+//
+// Scenarios:
+//
+//	placements     show shard→host placements per region
+//	drain          drain a host and show where its shards went
+//	failover       kill a host, let heartbeats lapse, show failovers
+//	balance        skew load and run the balancer
+//	resize         add a host, balance onto it, then decommission another
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"cubrick/internal/cluster"
+	"cubrick/internal/cubrick"
+	"cubrick/internal/randutil"
+	"cubrick/internal/shardmgr"
+	"cubrick/internal/workload"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: smctl placements|drain|failover|balance|resize")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, tables := buildDemo()
+	var migrations []shardmgr.MigrationEvent
+	d.SM.OnMigration(func(ev shardmgr.MigrationEvent) { migrations = append(migrations, ev) })
+
+	switch flag.Arg(0) {
+	case "placements":
+		printPlacements(d, tables)
+	case "drain":
+		host := d.Fleet.Region("east")[0]
+		shards, _ := d.SM.ShardsOn(cubrick.ServiceName("east"), host.Name)
+		fmt.Printf("draining %s (%d shards)\n", host.Name, len(shards))
+		moved, err := d.SM.DrainServer(cubrick.ServiceName("east"), host.Name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drain failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("moved %d shards\n", moved)
+		printMigrations(migrations)
+	case "failover":
+		host := d.Fleet.Region("east")[0]
+		fmt.Printf("killing %s; waiting for heartbeat TTL...\n", host.Name)
+		host.SetState(cluster.Down)
+		for i := 0; i < 20; i++ {
+			d.Clock.Advance(10 * time.Second)
+			d.SM.Sweep()
+		}
+		printMigrations(migrations)
+	case "balance":
+		svc := cubrick.ServiceName("east")
+		// Skew: make one host's shards 100x heavier.
+		victim := d.Fleet.Region("east")[0].Name
+		shards, _ := d.SM.ShardsOn(svc, victim)
+		for _, sh := range shards {
+			d.SM.SetShardLoad(svc, sh, 100<<20)
+		}
+		moved, err := d.SM.BalanceOnce(svc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "balance failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("balancer moved %d shards off %s\n", moved, victim)
+		printMigrations(migrations)
+	case "resize":
+		// Scale out: new host joins empty, the balancer shifts load onto
+		// it (§II-C "cluster resize"); then scale in: decommission a host
+		// via a graceful drain (§IV-G).
+		node, err := d.AddHost("east", "east-rNew", "east-rNew-h0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "add host:", err)
+			os.Exit(1)
+		}
+		svc := cubrick.ServiceName("east")
+		d.SM.CollectMetrics(svc)
+		moved, _ := d.SM.BalanceOnce(svc)
+		d.Clock.Advance(time.Minute)
+		fmt.Printf("added %s; balancer ran %d migrations; new host now holds %d shards\n",
+			node.Host().Name, moved, len(node.Shards()))
+		victim := d.Fleet.Region("east")[0].Name
+		if err := d.RemoveHost(victim); err != nil {
+			fmt.Fprintln(os.Stderr, "remove host:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("decommissioned %s via graceful drain\n", victim)
+		printMigrations(migrations)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func buildDemo() (*cubrick.Deployment, []string) {
+	cfg := cubrick.DefaultDeploymentConfig()
+	cfg.Policy.InitialPartitions = 4
+	d, err := cubrick.Open(cfg, time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open deployment:", err)
+		os.Exit(1)
+	}
+	schema := workload.StandardSchema()
+	gen := workload.NewRowGenerator(schema, randutil.New(1))
+	tables := []string{"ads_metrics", "growth_funnels", "infra_counters"}
+	for _, tbl := range tables {
+		if _, err := d.CreateTable(tbl, schema); err != nil {
+			fmt.Fprintln(os.Stderr, "create table:", err)
+			os.Exit(1)
+		}
+		if err := d.LoadGenerated(tbl, 200, gen); err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+	}
+	return d, tables
+}
+
+func printPlacements(d *cubrick.Deployment, tables []string) {
+	for _, region := range d.Config.Regions {
+		fmt.Printf("-- region %s (service %s)\n", region, cubrick.ServiceName(region))
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "table\tpartition\tshard\thost")
+		for _, tbl := range tables {
+			info, err := d.Catalog.Table(tbl)
+			if err != nil {
+				continue
+			}
+			for p := 0; p < info.Partitions; p++ {
+				shard := d.Catalog.ShardOf(tbl, p)
+				a, err := d.SM.Assignment(cubrick.ServiceName(region), shard)
+				host := "(unassigned)"
+				if err == nil {
+					host = a.Primary()
+				}
+				fmt.Fprintf(w, "%s\t%d\t%d\t%s\n", tbl, p, shard, host)
+			}
+		}
+		w.Flush()
+	}
+}
+
+func printMigrations(events []shardmgr.MigrationEvent) {
+	if len(events) == 0 {
+		fmt.Println("no migrations")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "kind\tservice\tshard\tfrom\tto")
+	for _, ev := range events {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\n", ev.Kind, ev.Service, ev.Shard, ev.From, ev.To)
+	}
+	w.Flush()
+}

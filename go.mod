@@ -1,0 +1,3 @@
+module cubrick
+
+go 1.22

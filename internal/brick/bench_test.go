@@ -1,0 +1,107 @@
+package brick
+
+import (
+	"testing"
+
+	"cubrick/internal/randutil"
+)
+
+func benchStore(b *testing.B, rows int) *Store {
+	b.Helper()
+	s, err := NewStore(testSchema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rnd := randutil.New(1)
+	for i := 0; i < rows; i++ {
+		if err := s.Insert(
+			[]uint32{uint32(rnd.Intn(16)), uint32(rnd.Intn(100)), uint32(rnd.Intn(365))},
+			[]float64{rnd.Float64(), rnd.Float64()},
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s, _ := NewStore(testSchema())
+	rnd := randutil.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(
+			[]uint32{uint32(rnd.Intn(16)), uint32(rnd.Intn(100)), uint32(rnd.Intn(365))},
+			[]float64{1, 2},
+		)
+	}
+	b.ReportMetric(float64(s.Rows())/float64(b.N), "rows_per_op")
+}
+
+func BenchmarkScanUncompressed(b *testing.B) {
+	s := benchStore(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		s.Scan(nil, func(_ []uint32, m []float64) error { sum += m[0]; return nil })
+	}
+	b.ReportMetric(float64(s.Rows()), "rows")
+}
+
+func BenchmarkScanCompressed(b *testing.B) {
+	s := benchStore(b, 100000)
+	s.EnsureBudget(0, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		s.Scan(nil, func(_ []uint32, m []float64) error { sum += m[0]; return nil })
+	}
+}
+
+func BenchmarkScanPruned(b *testing.B) {
+	s := benchStore(b, 100000)
+	f := &Filter{Ranges: map[int][2]uint32{2: {0, 4}}} // one ds bucket
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan(f, func([]uint32, []float64) error { return nil })
+	}
+}
+
+func BenchmarkCompressDecompressRoundTrip(b *testing.B) {
+	s := benchStore(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.EnsureBudget(0, 0.5); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.EnsureBudget(1<<62, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExportImport(b *testing.B) {
+	s := benchStore(b, 50000)
+	dst, _ := NewStore(testSchema())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := s.Export()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.Import(blob); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(blob)))
+	}
+}
+
+func BenchmarkBrickID(b *testing.B) {
+	schema := testSchema()
+	dims := []uint32{7, 42, 123}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := schema.BrickID(dims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

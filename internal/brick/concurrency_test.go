@@ -1,0 +1,117 @@
+package brick
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInsertScanCompress hammers one store from parallel
+// writers, readers and a memory monitor; run with -race. Scans must only
+// ever see internally consistent rows (correct arity, in-domain values).
+func TestConcurrentInsertScanCompress(t *testing.T) {
+	s, err := NewStore(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const readers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := uint32(w*perWriter + i)
+				if err := s.Insert([]uint32{v % 16, v % 100, v % 365}, []float64{1, 2}); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				err := s.Scan(nil, func(dims []uint32, metrics []float64) error {
+					if len(dims) != 3 || len(metrics) != 2 {
+						t.Error("scan row arity corrupted")
+					}
+					if dims[0] >= 16 || dims[1] >= 100 || dims[2] >= 365 {
+						t.Errorf("scan row out of domain: %v", dims)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// A memory monitor oscillating between pressure and surplus.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if i%2 == 0 {
+				s.EnsureBudget(1024, 0.8)
+			} else {
+				s.EnsureBudget(1<<62, 1.0)
+			}
+			s.DecayHotness(0.9)
+		}
+	}()
+	wg.Wait()
+
+	if s.Rows() != writers*perWriter {
+		t.Fatalf("rows = %d, want %d", s.Rows(), writers*perWriter)
+	}
+	// Final full scan sees every row.
+	count := 0
+	s.Scan(nil, func([]uint32, []float64) error { count++; return nil })
+	if count != writers*perWriter {
+		t.Fatalf("final scan saw %d rows, want %d", count, writers*perWriter)
+	}
+}
+
+// TestConcurrentExport runs migrations (Export) against live traffic.
+func TestConcurrentExport(t *testing.T) {
+	s, _ := NewStore(testSchema())
+	for i := uint32(0); i < 2000; i++ {
+		s.Insert([]uint32{i % 16, i % 100, i % 365}, []float64{1, 1})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				blob, err := s.Export()
+				if err != nil {
+					t.Errorf("export: %v", err)
+					return
+				}
+				dst, _ := NewStore(testSchema())
+				if err := dst.Import(blob); err != nil {
+					t.Errorf("import: %v", err)
+					return
+				}
+				if dst.Rows() < 2000 {
+					t.Errorf("imported %d rows, want ≥ 2000", dst.Rows())
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint32(0); i < 500; i++ {
+			s.Insert([]uint32{i % 16, i % 100, i % 365}, []float64{1, 1})
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,8 @@
+package brick
+
+import "math"
+
+// floatBits and floatFromBits isolate the unsafe-free float serialization
+// used by the column codec.
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

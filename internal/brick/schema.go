@@ -1,0 +1,162 @@
+// Package brick implements Cubrick's storage internals: data is
+// range-partitioned on every dimension column ("Granular Partitioning",
+// §IV), forming fixed-size cells called bricks. Each brick stores its rows
+// columnar and unordered, carries a hotness counter that decays over time,
+// and can be transparently compressed; a memory monitor compresses the
+// coldest bricks under memory pressure and decompresses the hottest ones
+// under surplus — the paper's adaptive compression (§IV-F2).
+package brick
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dimension describes one dimension column. Values are dictionary-encoded
+// or otherwise normalized to uint32 by the caller; the dimension's value
+// domain [0, Max) is range-partitioned into Buckets equal ranges, and the
+// per-dimension bucket indexes jointly identify a brick.
+type Dimension struct {
+	Name string
+	// Max is the exclusive upper bound of the value domain.
+	Max uint32
+	// Buckets is how many ranges the domain splits into (≥1).
+	Buckets uint32
+}
+
+// bucketWidth returns the value width of each range.
+func (d Dimension) bucketWidth() uint32 {
+	w := d.Max / d.Buckets
+	if d.Max%d.Buckets != 0 {
+		w++
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// bucketOf returns the bucket index for a value.
+func (d Dimension) bucketOf(v uint32) uint32 {
+	b := v / d.bucketWidth()
+	if b >= d.Buckets {
+		b = d.Buckets - 1
+	}
+	return b
+}
+
+// Metric describes one metric (measure) column, stored as float64 and
+// aggregated at query time.
+type Metric struct {
+	Name string
+}
+
+// Schema is the dimensional schema of one table: an ordered list of
+// dimensions and metrics.
+type Schema struct {
+	Dimensions []Dimension
+	Metrics    []Metric
+}
+
+// Validate checks structural invariants.
+func (s Schema) Validate() error {
+	if len(s.Dimensions) == 0 {
+		return errors.New("brick: schema needs at least one dimension")
+	}
+	seen := make(map[string]bool)
+	var totalBricks uint64 = 1
+	for _, d := range s.Dimensions {
+		if d.Name == "" {
+			return errors.New("brick: empty dimension name")
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("brick: duplicate column %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Max == 0 || d.Buckets == 0 {
+			return fmt.Errorf("brick: dimension %q needs Max>0 and Buckets>0", d.Name)
+		}
+		if d.Buckets > d.Max {
+			return fmt.Errorf("brick: dimension %q has more buckets than values", d.Name)
+		}
+		totalBricks *= uint64(d.Buckets)
+		if totalBricks > 1<<40 {
+			return errors.New("brick: brick space too large")
+		}
+	}
+	for _, m := range s.Metrics {
+		if m.Name == "" {
+			return errors.New("brick: empty metric name")
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("brick: duplicate column %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	return nil
+}
+
+// DimIndex returns the position of a dimension by name, or -1.
+func (s Schema) DimIndex(name string) int {
+	for i, d := range s.Dimensions {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MetricIndex returns the position of a metric by name, or -1.
+func (s Schema) MetricIndex(name string) int {
+	for i, m := range s.Metrics {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// BrickID computes the brick a row belongs to from its dimension values:
+// the mixed-radix composition of per-dimension bucket indexes. This is the
+// O(1), index-free lookup Granular Partitioning provides.
+func (s Schema) BrickID(dims []uint32) (uint64, error) {
+	if len(dims) != len(s.Dimensions) {
+		return 0, fmt.Errorf("brick: row has %d dims, schema has %d", len(dims), len(s.Dimensions))
+	}
+	var id uint64
+	for i, d := range s.Dimensions {
+		if dims[i] >= d.Max {
+			return 0, fmt.Errorf("brick: value %d out of domain [0,%d) for %q", dims[i], d.Max, d.Name)
+		}
+		id = id*uint64(d.Buckets) + uint64(d.bucketOf(dims[i]))
+	}
+	return id, nil
+}
+
+// BrickBounds returns, for each dimension, the inclusive value range
+// [lo, hi] covered by the given brick id — used for brick pruning at scan
+// time.
+func (s Schema) BrickBounds(id uint64) ([][2]uint32, error) {
+	bounds := make([][2]uint32, len(s.Dimensions))
+	for i := len(s.Dimensions) - 1; i >= 0; i-- {
+		d := s.Dimensions[i]
+		b := uint32(id % uint64(d.Buckets))
+		id /= uint64(d.Buckets)
+		w := d.bucketWidth()
+		lo := b * w
+		hi := lo + w - 1
+		if hi >= d.Max {
+			hi = d.Max - 1
+		}
+		bounds[i] = [2]uint32{lo, hi}
+	}
+	if id != 0 {
+		return nil, errors.New("brick: brick id out of range")
+	}
+	return bounds, nil
+}
+
+// RowBytes is the in-memory cost of one uncompressed row under this schema.
+func (s Schema) RowBytes() int64 {
+	return int64(4*len(s.Dimensions) + 8*len(s.Metrics))
+}

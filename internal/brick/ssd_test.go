@@ -1,0 +1,184 @@
+package brick
+
+import "testing"
+
+// loadTiered builds a store with distinct hot/cold brick populations.
+func loadTiered(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 1600; i++ {
+		s.Insert([]uint32{i % 16, (i / 16) % 100, 0}, []float64{1, 1})
+	}
+	// Heat region bucket 0 heavily, bucket 1 mildly, leave the rest cold.
+	for i := 0; i < 50; i++ {
+		s.Scan(&Filter{Ranges: map[int][2]uint32{0: {0, 3}}}, func([]uint32, []float64) error { return nil })
+	}
+	for i := 0; i < 5; i++ {
+		s.Scan(&Filter{Ranges: map[int][2]uint32{0: {4, 7}}}, func([]uint32, []float64) error { return nil })
+	}
+	return s
+}
+
+func TestEvictUnevictLifecycle(t *testing.T) {
+	s, _ := NewStore(testSchema())
+	s.Insert([]uint32{0, 0, 0}, []float64{1, 2})
+	var b *Brick
+	for _, e := range s.snapshotBricks() {
+		b = e.b
+	}
+	if err := b.Evict(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsEvicted() || !b.IsCompressed() {
+		t.Fatal("evicted brick must be compressed and flagged")
+	}
+	if b.MemoryBytes(s.Schema()) != 0 {
+		t.Fatalf("evicted memory = %d, want 0", b.MemoryBytes(s.Schema()))
+	}
+	if b.SSDBytes() == 0 {
+		t.Fatal("evicted brick has no SSD footprint")
+	}
+	b.Unevict()
+	if b.IsEvicted() || b.MemoryBytes(s.Schema()) == 0 {
+		t.Fatal("unevict did not restore residency")
+	}
+	if b.SSDBytes() != 0 {
+		t.Fatal("resident brick still has SSD footprint")
+	}
+}
+
+func TestEvictEmptyBrickNoop(t *testing.T) {
+	b := newBrick(1, 1)
+	if err := b.Evict(); err != nil {
+		t.Fatal(err)
+	}
+	if b.IsEvicted() {
+		t.Fatal("empty brick claims evicted")
+	}
+}
+
+func TestScanEvictedBrickCountsIOPS(t *testing.T) {
+	s, _ := NewStore(testSchema())
+	s.Insert([]uint32{0, 0, 0}, []float64{5, 0})
+	for _, e := range s.snapshotBricks() {
+		e.b.Evict()
+	}
+	var sum float64
+	if err := s.Scan(nil, func(_ []uint32, m []float64) error { sum += m[0]; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 5 {
+		t.Fatalf("sum over evicted store = %v", sum)
+	}
+	if s.SSDReads() != 1 {
+		t.Fatalf("SSDReads = %d, want 1", s.SSDReads())
+	}
+	// Reads must not change residency: the brick stays on SSD.
+	if s.EvictedBrickCount() != 1 {
+		t.Fatal("scan promoted the brick")
+	}
+}
+
+func TestDecompressClearsEviction(t *testing.T) {
+	s, _ := NewStore(testSchema())
+	s.Insert([]uint32{0, 0, 0}, []float64{1, 0})
+	var b *Brick
+	for _, e := range s.snapshotBricks() {
+		b = e.b
+	}
+	b.Evict()
+	// Ingest into an evicted brick pulls it back to memory uncompressed.
+	if err := s.Insert([]uint32{0, 0, 0}, []float64{2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if b.IsEvicted() || b.IsCompressed() {
+		t.Fatal("insert did not promote evicted brick")
+	}
+	var sum float64
+	s.Scan(nil, func(_ []uint32, m []float64) error { sum += m[0]; return nil })
+	if sum != 3 {
+		t.Fatalf("sum = %v, want 3", sum)
+	}
+}
+
+func TestEnsureTieredEvictsColdestFirst(t *testing.T) {
+	s := loadTiered(t)
+	// Budget below even the compressed footprint forces eviction.
+	c, ev, _, err := s.EnsureTiered(1024, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == 0 || ev == 0 {
+		t.Fatalf("EnsureTiered compressed=%d evicted=%d, want both > 0", c, ev)
+	}
+	if s.MemoryBytes() > s.UncompressedBytes() {
+		t.Fatal("accounting broken")
+	}
+	// The hottest bricks (region bucket 0) must not be on SSD while colder
+	// bricks are resident.
+	var hottestEvicted, colderResident bool
+	for _, h := range s.HotnessSnapshot() {
+		bounds, _ := s.Schema().BrickBounds(h.BrickID)
+		hot := bounds[0][0] == 0
+		if hot && h.Hotness >= 50 {
+			for _, e := range s.snapshotBricks() {
+				if e.id == h.BrickID && e.b.IsEvicted() {
+					hottestEvicted = true
+				}
+			}
+		}
+	}
+	_ = colderResident
+	if hottestEvicted {
+		t.Fatal("hottest brick evicted while colder candidates existed")
+	}
+}
+
+func TestEnsureTieredPromotesUnderSurplus(t *testing.T) {
+	s := loadTiered(t)
+	if _, _, _, err := s.EnsureTiered(0, 0.8); err != nil {
+		t.Fatal(err) // evict everything
+	}
+	if s.EvictedBrickCount() == 0 {
+		t.Fatal("setup: nothing evicted")
+	}
+	before := s.EvictedBrickCount()
+	_, _, promoted, err := s.EnsureTiered(s.UncompressedBytes()*4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted == 0 || s.EvictedBrickCount() >= before {
+		t.Fatalf("surplus promoted %d bricks (evicted %d -> %d)", promoted, before, s.EvictedBrickCount())
+	}
+}
+
+func TestWorkingSetBytes(t *testing.T) {
+	s := loadTiered(t)
+	// Every brick has heat 40 from ingest alone; the 50-scan hot region
+	// sits near 90. Threshold 60 selects just the hot working set.
+	ws := s.WorkingSetBytes(60)
+	if ws <= 0 || ws >= s.UncompressedBytes() {
+		t.Fatalf("working set = %d of %d total — want a strict subset", ws, s.UncompressedBytes())
+	}
+	// Threshold 0 counts everything.
+	if s.WorkingSetBytes(0) != s.UncompressedBytes() {
+		t.Fatal("zero threshold must cover the full store")
+	}
+}
+
+func TestSSDBytesAccounting(t *testing.T) {
+	s := loadTiered(t)
+	if s.SSDBytes() != 0 {
+		t.Fatal("fresh store has SSD footprint")
+	}
+	s.EnsureTiered(0, 0.8)
+	if s.SSDBytes() == 0 {
+		t.Fatal("no SSD footprint after full eviction")
+	}
+	if s.MemoryBytes() != 0 {
+		t.Fatalf("memory = %d after full eviction, want 0", s.MemoryBytes())
+	}
+}

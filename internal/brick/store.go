@@ -1,0 +1,322 @@
+package brick
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Filter restricts a scan to rows whose dimension values fall within the
+// given inclusive ranges. A nil entry (or missing dimension) means
+// unfiltered. Filters on bucket-aligned ranges enable whole-brick pruning.
+type Filter struct {
+	// Ranges maps dimension index -> [lo, hi] inclusive bounds.
+	Ranges map[int][2]uint32
+}
+
+// Matches reports whether a row passes the filter.
+func (f *Filter) Matches(dims []uint32) bool {
+	if f == nil {
+		return true
+	}
+	for i, r := range f.Ranges {
+		v := dims[i]
+		if v < r[0] || v > r[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// overlaps reports whether a brick's bounds intersect the filter.
+func (f *Filter) overlaps(bounds [][2]uint32) bool {
+	if f == nil {
+		return true
+	}
+	for i, r := range f.Ranges {
+		b := bounds[i]
+		if r[1] < b[0] || r[0] > b[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// covers reports whether the filter fully contains the brick's bounds for
+// every filtered dimension, in which case per-row checks can be skipped.
+func (f *Filter) covers(bounds [][2]uint32) bool {
+	if f == nil {
+		return true
+	}
+	for i, r := range f.Ranges {
+		b := bounds[i]
+		if r[0] > b[0] || r[1] < b[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Store holds the bricks of one table partition on one server.
+// It is safe for concurrent use.
+type Store struct {
+	schema Schema
+
+	mu     sync.Mutex
+	bricks map[uint64]*Brick
+	rows   int64
+
+	// decompressions counts transient decode work done by scans over
+	// compressed bricks — the cost adaptive compression tries to avoid
+	// for hot data (§IV-F2).
+	decompressions int64
+	// ssdReads counts scans that had to fetch an evicted brick from the
+	// SSD tier (§IV-F3).
+	ssdReads int64
+}
+
+// NewStore creates an empty store for the schema.
+func NewStore(schema Schema) (*Store, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{schema: schema, bricks: make(map[uint64]*Brick)}, nil
+}
+
+// Schema returns the store's schema.
+func (s *Store) Schema() Schema { return s.schema }
+
+// Rows returns the total number of stored rows.
+func (s *Store) Rows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// BrickCount returns the number of materialized bricks.
+func (s *Store) BrickCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.bricks)
+}
+
+// Insert adds one row. The row's dimension values determine its brick in
+// O(1); if the brick is compressed it is decompressed first (ingest heats
+// data).
+func (s *Store) Insert(dims []uint32, metrics []float64) error {
+	if len(metrics) != len(s.schema.Metrics) {
+		return fmt.Errorf("brick: row has %d metrics, schema has %d", len(metrics), len(s.schema.Metrics))
+	}
+	id, err := s.schema.BrickID(dims)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	b, ok := s.bricks[id]
+	if !ok {
+		b = newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
+		s.bricks[id] = b
+	}
+	s.rows++
+	s.mu.Unlock()
+
+	if err := b.Decompress(); err != nil {
+		return err
+	}
+	b.append(dims, metrics)
+	b.Touch(1)
+	return nil
+}
+
+// snapshotBricks returns a stable view of (id, brick) pairs.
+func (s *Store) snapshotBricks() []struct {
+	id uint64
+	b  *Brick
+} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]struct {
+		id uint64
+		b  *Brick
+	}, 0, len(s.bricks))
+	for id, b := range s.bricks {
+		out = append(out, struct {
+			id uint64
+			b  *Brick
+		}{id, b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Scan streams matching rows to visit. Bricks whose bounds do not
+// intersect the filter are pruned without being touched (the index-free
+// pruning Granular Partitioning provides); visited bricks gain heat.
+func (s *Store) Scan(f *Filter, visit func(dims []uint32, metrics []float64) error) error {
+	for _, e := range s.snapshotBricks() {
+		bounds, err := s.schema.BrickBounds(e.id)
+		if err != nil {
+			return err
+		}
+		if !f.overlaps(bounds) {
+			continue
+		}
+		e.b.Touch(1)
+		if e.b.IsCompressed() {
+			s.mu.Lock()
+			s.decompressions++
+			if e.b.IsEvicted() {
+				s.ssdReads++
+			}
+			s.mu.Unlock()
+		}
+		full := f.covers(bounds)
+		rowDims := make([]uint32, len(s.schema.Dimensions))
+		rowMetrics := make([]float64, len(s.schema.Metrics))
+		err = e.b.visit(func(dims [][]uint32, metrics [][]float64, rows int) error {
+			for r := 0; r < rows; r++ {
+				for i := range rowDims {
+					rowDims[i] = dims[i][r]
+				}
+				if !full && !f.Matches(rowDims) {
+					continue
+				}
+				for i := range rowMetrics {
+					rowMetrics[i] = metrics[i][r]
+				}
+				if err := visit(rowDims, rowMetrics); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decompressions returns how many scans had to transiently decode a
+// compressed brick.
+func (s *Store) Decompressions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decompressions
+}
+
+// MemoryBytes returns the store's resident footprint (compressed bricks at
+// compressed size).
+func (s *Store) MemoryBytes() int64 {
+	var sum int64
+	for _, e := range s.snapshotBricks() {
+		sum += e.b.MemoryBytes(s.schema)
+	}
+	return sum
+}
+
+// UncompressedBytes returns the footprint if everything were decompressed —
+// Cubrick's gen-2 load-balancing metric (§IV-F2).
+func (s *Store) UncompressedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows * s.schema.RowBytes()
+}
+
+// CompressedBrickCount returns how many bricks are currently compressed.
+func (s *Store) CompressedBrickCount() int {
+	n := 0
+	for _, e := range s.snapshotBricks() {
+		if e.b.IsCompressed() {
+			n++
+		}
+	}
+	return n
+}
+
+// DecayHotness multiplies every brick's hotness by factor; the memory
+// monitor calls it periodically so unused bricks cool down (§IV-F2).
+func (s *Store) DecayHotness(factor float64) {
+	for _, e := range s.snapshotBricks() {
+		e.b.Decay(factor)
+	}
+}
+
+// HotnessSnapshot returns each brick's (hotness, compressed) pair, for the
+// hot/cold distribution of Fig 4e.
+func (s *Store) HotnessSnapshot() []BrickHeat {
+	entries := s.snapshotBricks()
+	out := make([]BrickHeat, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, BrickHeat{
+			BrickID:    e.id,
+			Hotness:    e.b.Hotness(),
+			Compressed: e.b.IsCompressed(),
+			Rows:       e.b.Rows(),
+		})
+	}
+	return out
+}
+
+// BrickHeat is one brick's heat sample.
+type BrickHeat struct {
+	BrickID    uint64
+	Hotness    float64
+	Compressed bool
+	Rows       int
+}
+
+// EnsureBudget is the memory monitor (§IV-F2): while the resident
+// footprint exceeds budget it compresses bricks coldest-first; if there is
+// surplus (footprint below lowWater × budget) it decompresses bricks
+// hottest-first until the surplus is consumed. It returns how many bricks
+// were (de)compressed.
+func (s *Store) EnsureBudget(budget int64, lowWater float64) (compressed, decompressed int, err error) {
+	entries := s.snapshotBricks()
+	type heatEntry struct {
+		b    *Brick
+		heat float64
+	}
+	var cold, hot []heatEntry
+	for _, e := range entries {
+		he := heatEntry{e.b, e.b.Hotness()}
+		if e.b.IsCompressed() {
+			hot = append(hot, he)
+		} else {
+			cold = append(cold, he)
+		}
+	}
+	// Coldest first for compression.
+	sort.Slice(cold, func(i, j int) bool { return cold[i].heat < cold[j].heat })
+	// Hottest first for decompression.
+	sort.Slice(hot, func(i, j int) bool { return hot[i].heat > hot[j].heat })
+
+	mem := s.MemoryBytes()
+	for _, he := range cold {
+		if mem <= budget {
+			break
+		}
+		before := he.b.MemoryBytes(s.schema)
+		if err := he.b.Compress(); err != nil {
+			return compressed, decompressed, err
+		}
+		mem += he.b.MemoryBytes(s.schema) - before
+		compressed++
+	}
+	if compressed > 0 {
+		return compressed, decompressed, nil
+	}
+	low := int64(lowWater * float64(budget))
+	for _, he := range hot {
+		grow := he.b.UncompressedBytes(s.schema) - he.b.MemoryBytes(s.schema)
+		if mem+grow > low {
+			continue
+		}
+		if err := he.b.Decompress(); err != nil {
+			return compressed, decompressed, err
+		}
+		mem += grow
+		decompressed++
+	}
+	return compressed, decompressed, nil
+}

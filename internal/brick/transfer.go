@@ -1,0 +1,101 @@
+package brick
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Export serializes the full store (schema-less; the receiver must create
+// its store with the same schema) for shard migration: on a live migration
+// the new server copies the data from the old one, on a failover from a
+// healthy replica in another region (§IV-E).
+func (s *Store) Export() ([]byte, error) {
+	var raw bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		raw.Write(scratch[:n])
+	}
+	entries := s.snapshotBricks()
+	put(uint64(len(entries)))
+	for _, e := range entries {
+		put(e.id)
+		var payload []byte
+		err := e.b.visit(func(dims [][]uint32, metrics [][]float64, rows int) error {
+			tmp := &Brick{dims: dims, metrics: metrics, rows: rows}
+			payload = tmp.encodeColumns()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if payload == nil { // empty brick
+			tmp := newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
+			payload = tmp.encodeColumns()
+		}
+		put(uint64(len(payload)))
+		raw.Write(payload)
+	}
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(raw.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Import replaces the store's contents with a previously Exported blob.
+// Bricks arrive uncompressed; the memory monitor will compress them later
+// if there is pressure.
+func (s *Store) Import(blob []byte) error {
+	fr := flate.NewReader(bytes.NewReader(blob))
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		return fmt.Errorf("brick: import: %w", err)
+	}
+	r := bytes.NewReader(raw)
+	nBricks, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("brick: import header: %w", err)
+	}
+	bricks := make(map[uint64]*Brick, nBricks)
+	var total int64
+	for i := uint64(0); i < nBricks; i++ {
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("brick: import brick id: %w", err)
+		}
+		plen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("brick: import brick len: %w", err)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("brick: import brick payload: %w", err)
+		}
+		dims, metrics, rows, err := decodeColumns(payload, len(s.schema.Dimensions), len(s.schema.Metrics))
+		if err != nil {
+			return err
+		}
+		b := newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
+		b.dims = dims
+		b.metrics = metrics
+		b.rows = rows
+		bricks[id] = b
+		total += int64(rows)
+	}
+	s.mu.Lock()
+	s.bricks = bricks
+	s.rows = total
+	s.mu.Unlock()
+	return nil
+}

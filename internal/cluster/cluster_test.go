@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cubrick/internal/randutil"
+	"cubrick/internal/simclock"
+)
+
+var epoch = time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFleetAddRemove(t *testing.T) {
+	f := NewFleet()
+	h := &Host{Name: "a", Rack: "r0", Region: "east"}
+	if err := f.Add(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(&Host{Name: "a"}); !errors.Is(err, ErrDuplicateHost) {
+		t.Fatalf("duplicate add = %v, want ErrDuplicateHost", err)
+	}
+	got, err := f.Host("a")
+	if err != nil || got != h {
+		t.Fatalf("Host = %v, %v", got, err)
+	}
+	if _, err := f.Host("zzz"); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("unknown host = %v, want ErrNoHost", err)
+	}
+	if err := f.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove("a"); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("double remove = %v, want ErrNoHost", err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", f.Size())
+	}
+}
+
+func TestBuildLayout(t *testing.T) {
+	f := Build(BuildConfig{
+		Regions:        []string{"east", "west", "central"},
+		RacksPerRegion: 2,
+		HostsPerRack:   3,
+		CapacityBytes:  1 << 30,
+	})
+	if f.Size() != 18 {
+		t.Fatalf("Size = %d, want 18", f.Size())
+	}
+	east := f.Region("east")
+	if len(east) != 6 {
+		t.Fatalf("east region = %d hosts, want 6", len(east))
+	}
+	for _, h := range east {
+		if h.Region != "east" || h.CapacityBytes != 1<<30 {
+			t.Fatalf("bad host %+v", h)
+		}
+		if h.State() != Up {
+			t.Fatalf("new host state = %v, want up", h.State())
+		}
+	}
+	// Hosts sorted by name.
+	hosts := f.Hosts()
+	for i := 1; i < len(hosts); i++ {
+		if hosts[i-1].Name >= hosts[i].Name {
+			t.Fatal("Hosts() not sorted")
+		}
+	}
+}
+
+func TestHostAvailability(t *testing.T) {
+	h := &Host{Name: "x"}
+	for s, want := range map[State]bool{
+		Up: true, Draining: true, Drained: false, Down: false, Repairing: false,
+	} {
+		h.SetState(s)
+		if h.Available() != want {
+			t.Errorf("Available in %v = %v, want %v", s, h.Available(), want)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Up: "up", Draining: "draining", Drained: "drained",
+		Down: "down", Repairing: "repairing", State(42): "State(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestConfigForUnavailability(t *testing.T) {
+	cfg := ConfigForUnavailability(1e-4, time.Minute)
+	if got := cfg.Unavailability(); math.Abs(got-1e-4) > 1e-9 {
+		t.Fatalf("Unavailability = %v, want 1e-4", got)
+	}
+}
+
+func TestConfigForUnavailabilityPanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ConfigForUnavailability(%v) did not panic", p)
+				}
+			}()
+			ConfigForUnavailability(p, time.Minute)
+		}()
+	}
+}
+
+// Property: round-tripping any p in (0,1) through ConfigForUnavailability
+// recovers p.
+func TestUnavailabilityRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := (float64(raw) + 1) / 70000 // (0, ~0.94)
+		cfg := ConfigForUnavailability(p, 30*time.Second)
+		return math.Abs(cfg.Unavailability()-p) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorStationaryUnavailability(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	f := Build(BuildConfig{Regions: []string{"east"}, RacksPerRegion: 10, HostsPerRack: 10})
+	// Target 5% unavailability with 1-minute outages so a simulated day
+	// gives a tight estimate.
+	cfg := ConfigForUnavailability(0.05, time.Minute)
+	in := NewInjector(clk, f, cfg, randutil.New(42))
+	in.Start()
+
+	samples, down := 0, 0
+	for i := 0; i < 24*60; i++ {
+		clk.Advance(time.Minute)
+		for _, h := range f.Hosts() {
+			samples++
+			if h.State() == Down {
+				down++
+			}
+		}
+	}
+	got := float64(down) / float64(samples)
+	if math.Abs(got-0.05) > 0.01 {
+		t.Fatalf("measured unavailability = %v, want ~0.05", got)
+	}
+}
+
+func TestInjectorPermanentFailuresAndRepair(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	f := Build(BuildConfig{Regions: []string{"east"}, RacksPerRegion: 5, HostsPerRack: 10})
+	cfg := FailureConfig{
+		PermanentMTBF: 10 * 24 * time.Hour, // ~5 failures/day across 50 hosts
+		RepairTime:    24 * time.Hour,
+	}
+	in := NewInjector(clk, f, cfg, randutil.New(7))
+	var events []State
+	in.Subscribe(ObserverFunc(func(h *Host, s State, at time.Time) {
+		events = append(events, s)
+	}))
+	in.Start()
+	clk.Advance(7 * 24 * time.Hour)
+	if in.Repairs() == 0 {
+		t.Fatal("no permanent failures in a simulated week")
+	}
+	// Expect ~35 repairs in a week (50 hosts / 10-day MTBF * 7 days).
+	if r := in.Repairs(); r < 10 || r > 80 {
+		t.Fatalf("Repairs = %d, want within [10,80] of expectation ~35", r)
+	}
+	sawRepair, sawReturn := false, false
+	for _, s := range events {
+		if s == Repairing {
+			sawRepair = true
+		}
+		if s == Up {
+			sawReturn = true
+		}
+	}
+	if !sawRepair || !sawReturn {
+		t.Fatalf("observer missed transitions: repair=%v return=%v", sawRepair, sawReturn)
+	}
+}
+
+func TestInjectorStop(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	f := Build(BuildConfig{Regions: []string{"east"}, RacksPerRegion: 1, HostsPerRack: 5})
+	cfg := ConfigForUnavailability(0.5, time.Minute)
+	in := NewInjector(clk, f, cfg, randutil.New(1))
+	in.Start()
+	in.Stop()
+	clk.Advance(24 * time.Hour)
+	for _, h := range f.Hosts() {
+		if h.State() != Up {
+			t.Fatal("stopped injector still failed hosts")
+		}
+	}
+}
+
+func TestDrainWorkflow(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	h := &Host{Name: "x"}
+	d := NewDrainer(clk)
+	shards := 3
+	moved := false
+	d.Drain(h,
+		func() { moved = true },
+		func() bool { shards--; return shards <= 0 },
+		time.Second,
+		nil,
+	)
+	if !moved {
+		t.Fatal("moveShards not called")
+	}
+	if h.State() != Draining {
+		t.Fatalf("state = %v, want draining", h.State())
+	}
+	clk.Advance(10 * time.Second)
+	if h.State() != Drained {
+		t.Fatalf("state = %v, want drained", h.State())
+	}
+}
+
+func TestDrainAbortsIfHostFails(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	h := &Host{Name: "x"}
+	d := NewDrainer(clk)
+	d.Drain(h, func() {}, func() bool { return false }, time.Second, nil)
+	h.SetState(Down) // host dies mid-drain
+	clk.Advance(time.Minute)
+	if h.State() != Down {
+		t.Fatalf("state = %v, want down (drain must not resurrect)", h.State())
+	}
+}
+
+func TestTransportCallHealthy(t *testing.T) {
+	f := Build(BuildConfig{Regions: []string{"east"}, RacksPerRegion: 1, HostsPerRack: 1})
+	tr := NewTransport(f, DefaultTransportConfig())
+	rnd := randutil.New(5)
+	host := f.Hosts()[0].Name
+	out := tr.Call(host, rnd)
+	if out.Err != nil {
+		t.Fatalf("Call = %v", out.Err)
+	}
+	if out.Latency <= 0 {
+		t.Fatal("non-positive latency")
+	}
+}
+
+func TestTransportCallDownHost(t *testing.T) {
+	f := Build(BuildConfig{Regions: []string{"east"}, RacksPerRegion: 1, HostsPerRack: 1})
+	h := f.Hosts()[0]
+	h.SetState(Down)
+	tr := NewTransport(f, DefaultTransportConfig())
+	out := tr.Call(h.Name, randutil.New(1))
+	if !errors.Is(out.Err, ErrHostDown) {
+		t.Fatalf("Call to down host = %v, want ErrHostDown", out.Err)
+	}
+	out = tr.Call("ghost", randutil.New(1))
+	if !errors.Is(out.Err, ErrNoHost) {
+		t.Fatalf("Call to unknown host = %v, want ErrNoHost", out.Err)
+	}
+}
+
+func TestTransportRequestFailures(t *testing.T) {
+	f := Build(BuildConfig{Regions: []string{"east"}, RacksPerRegion: 1, HostsPerRack: 1})
+	cfg := DefaultTransportConfig()
+	cfg.RequestFailureProb = 0.5
+	tr := NewTransport(f, cfg)
+	rnd := randutil.New(9)
+	host := f.Hosts()[0].Name
+	failures := 0
+	for i := 0; i < 1000; i++ {
+		if out := tr.Call(host, rnd); errors.Is(out.Err, ErrRequestFailed) {
+			failures++
+		}
+	}
+	if failures < 400 || failures > 600 {
+		t.Fatalf("failures = %d/1000, want ~500", failures)
+	}
+}
+
+func TestFanOutLatencyIsMax(t *testing.T) {
+	f := Build(BuildConfig{Regions: []string{"east"}, RacksPerRegion: 4, HostsPerRack: 16})
+	cfg := DefaultTransportConfig()
+	cfg.RequestFailureProb = 0
+	tr := NewTransport(f, cfg)
+	rnd := randutil.New(11)
+	var names []string
+	for _, h := range f.Hosts() {
+		names = append(names, h.Name)
+	}
+	// Higher fan-out must not be faster on average (tail-at-scale).
+	const trials = 300
+	meanAt := func(n int) float64 {
+		var sum float64
+		for i := 0; i < trials; i++ {
+			lat, err := tr.FanOut(names[:n], 0, rnd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += lat.Seconds()
+		}
+		return sum / trials
+	}
+	m1, m64 := meanAt(1), meanAt(64)
+	if m64 <= m1 {
+		t.Fatalf("fan-out 64 mean %v not above fan-out 1 mean %v", m64, m1)
+	}
+}
+
+func TestFanOutFailsIfAnyHostDown(t *testing.T) {
+	f := Build(BuildConfig{Regions: []string{"east"}, RacksPerRegion: 1, HostsPerRack: 4})
+	hosts := f.Hosts()
+	hosts[2].SetState(Down)
+	cfg := DefaultTransportConfig()
+	cfg.RequestFailureProb = 0
+	tr := NewTransport(f, cfg)
+	names := []string{hosts[0].Name, hosts[1].Name, hosts[2].Name, hosts[3].Name}
+	_, err := tr.FanOut(names, 0, randutil.New(3))
+	if !errors.Is(err, ErrHostDown) {
+		t.Fatalf("FanOut with down host = %v, want ErrHostDown", err)
+	}
+}
+
+func TestFanOutDeadline(t *testing.T) {
+	f := Build(BuildConfig{Regions: []string{"east"}, RacksPerRegion: 1, HostsPerRack: 1})
+	cfg := DefaultTransportConfig()
+	cfg.RequestFailureProb = 0
+	tr := NewTransport(f, cfg)
+	_, err := tr.FanOut([]string{f.Hosts()[0].Name}, time.Nanosecond, randutil.New(3))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("FanOut with tiny deadline = %v, want ErrTimeout", err)
+	}
+}

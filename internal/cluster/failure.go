@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"cubrick/internal/randutil"
+	"cubrick/internal/simclock"
+)
+
+// FailureConfig parameterizes the per-host stochastic failure processes.
+//
+// The paper's model (§II-B) assumes "the probability of a server failure in
+// a given instant is 0.01%": at any moment a host is unavailable with
+// probability p. We realize that as an alternating renewal process — hosts
+// fail transiently with exponential interarrivals and recover after an
+// exponential outage — whose stationary unavailability is
+// MTTR / (MTBF + MTTR); choose the two means to hit the target p.
+// Separately, a slower Poisson process produces *permanent* failures that
+// send hosts to the repair pipeline (Fig 4f) and trigger SM failovers.
+type FailureConfig struct {
+	// TransientMTBF is a host's mean time between transient failures.
+	TransientMTBF time.Duration
+	// TransientMTTR is the mean outage duration of a transient failure.
+	TransientMTTR time.Duration
+	// PermanentMTBF is a host's mean time between permanent (hardware)
+	// failures. Zero disables permanent failures.
+	PermanentMTBF time.Duration
+	// RepairTime is the mean time a host spends in the repair pipeline
+	// before rejoining the fleet.
+	RepairTime time.Duration
+}
+
+// Unavailability returns the stationary probability that a host is down due
+// to a transient failure — the "p" of the paper's Figures 1 and 2.
+func (c FailureConfig) Unavailability() float64 {
+	if c.TransientMTBF <= 0 {
+		return 0
+	}
+	mttr := c.TransientMTTR.Seconds()
+	return mttr / (c.TransientMTBF.Seconds() + mttr)
+}
+
+// ConfigForUnavailability returns a FailureConfig whose transient process
+// has stationary unavailability p, given a mean outage duration.
+func ConfigForUnavailability(p float64, mttr time.Duration) FailureConfig {
+	if p <= 0 || p >= 1 {
+		panic("cluster: unavailability must be in (0,1)")
+	}
+	mtbf := time.Duration(float64(mttr) * (1 - p) / p)
+	return FailureConfig{TransientMTBF: mtbf, TransientMTTR: mttr}
+}
+
+// Injector drives the failure processes for every host in a fleet under a
+// simulated clock.
+type Injector struct {
+	clock *simclock.SimClock
+	fleet *Fleet
+	cfg   FailureConfig
+	rnd   *randutil.Source
+
+	mu        sync.Mutex
+	observers []Observer
+	repairs   int64 // total permanent failures sent to repair
+	stopped   bool
+}
+
+// NewInjector creates a failure injector. Call Start to arm the processes.
+func NewInjector(clock *simclock.SimClock, fleet *Fleet, cfg FailureConfig, rnd *randutil.Source) *Injector {
+	return &Injector{clock: clock, fleet: fleet, cfg: cfg, rnd: rnd}
+}
+
+// Subscribe registers an observer for host state transitions.
+func (in *Injector) Subscribe(o Observer) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.observers = append(in.observers, o)
+}
+
+func (in *Injector) notify(h *Host, s State) {
+	in.mu.Lock()
+	obs := append([]Observer{}, in.observers...)
+	in.mu.Unlock()
+	at := in.clock.Now()
+	for _, o := range obs {
+		o.HostStateChanged(h, s, at)
+	}
+}
+
+// Start arms the transient and permanent failure processes for every host
+// currently in the fleet.
+func (in *Injector) Start() {
+	for _, h := range in.fleet.Hosts() {
+		in.armTransient(h)
+		in.armPermanent(h)
+	}
+}
+
+// Stop disarms the injector; already-scheduled events become no-ops.
+func (in *Injector) Stop() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stopped = true
+}
+
+func (in *Injector) running() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return !in.stopped
+}
+
+func (in *Injector) armTransient(h *Host) {
+	if in.cfg.TransientMTBF <= 0 {
+		return
+	}
+	wait := time.Duration(in.rnd.Exp(in.cfg.TransientMTBF.Seconds()) * float64(time.Second))
+	in.clock.Schedule(wait, func() {
+		if !in.running() {
+			return
+		}
+		// Only fail hosts that are actually serving; a host in repair
+		// re-arms when it comes back.
+		if h.State() == Up || h.State() == Draining {
+			h.SetState(Down)
+			in.notify(h, Down)
+			outage := time.Duration(in.rnd.Exp(in.cfg.TransientMTTR.Seconds()) * float64(time.Second))
+			in.clock.Schedule(outage, func() {
+				if !in.running() {
+					return
+				}
+				if h.State() == Down {
+					h.SetState(Up)
+					in.notify(h, Up)
+				}
+				in.armTransient(h)
+			})
+			return
+		}
+		in.armTransient(h)
+	})
+}
+
+func (in *Injector) armPermanent(h *Host) {
+	if in.cfg.PermanentMTBF <= 0 {
+		return
+	}
+	wait := time.Duration(in.rnd.Exp(in.cfg.PermanentMTBF.Seconds()) * float64(time.Second))
+	in.clock.Schedule(wait, func() {
+		if !in.running() {
+			return
+		}
+		h.SetState(Repairing)
+		in.mu.Lock()
+		in.repairs++
+		in.mu.Unlock()
+		in.notify(h, Repairing)
+		repair := time.Duration(in.rnd.Exp(in.cfg.RepairTime.Seconds()) * float64(time.Second))
+		in.clock.Schedule(repair, func() {
+			if !in.running() {
+				return
+			}
+			h.SetState(Up)
+			in.notify(h, Up)
+			in.armPermanent(h)
+			in.armTransient(h)
+		})
+	})
+}
+
+// Repairs returns the total number of permanent failures sent to the repair
+// pipeline so far (the counter behind Fig 4f).
+func (in *Injector) Repairs() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.repairs
+}
+
+// Drainer models data-center automation (§IV-G): it marks a host Draining,
+// waits for the provided drain function to move all shards away, then marks
+// it Drained.
+type Drainer struct {
+	clock *simclock.SimClock
+}
+
+// NewDrainer returns a drainer scheduling on the given clock.
+func NewDrainer(clock *simclock.SimClock) *Drainer {
+	return &Drainer{clock: clock}
+}
+
+// Drain starts a drain of h. moveShards is called immediately and must
+// arrange for the host's shards to be migrated; done is polled every
+// pollInterval, and once it returns true the host transitions to Drained
+// and onDrained (if non-nil) fires.
+func (d *Drainer) Drain(h *Host, moveShards func(), done func() bool, pollInterval time.Duration, onDrained func()) {
+	h.SetState(Draining)
+	moveShards()
+	var poll func()
+	poll = func() {
+		if h.State() != Draining {
+			return // failed or cancelled mid-drain
+		}
+		if done() {
+			h.SetState(Drained)
+			if onDrained != nil {
+				onDrained()
+			}
+			return
+		}
+		d.clock.Schedule(pollInterval, poll)
+	}
+	d.clock.Schedule(pollInterval, poll)
+}

@@ -1,0 +1,212 @@
+// Package cluster models the fleet an analytic DBMS deployment runs on:
+// hosts with rack/region placement and capacity, per-host failure processes
+// (transient faults, permanent failures followed by repair), drain
+// workflows driven by data-center automation, and a request transport that
+// injects the latency tails and failures the paper's scalability-wall
+// argument rests on (§II-B, Fig 1/2; §IV-G, Fig 4f; §IV-H, Fig 5).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a host's lifecycle state.
+type State int
+
+const (
+	// Up means the host serves traffic.
+	Up State = iota
+	// Draining means automation asked for the host's shards to be moved
+	// away; the host still serves traffic until drained.
+	Draining
+	// Drained means the host holds no shards and can be taken offline.
+	Drained
+	// Down means the host failed and serves nothing.
+	Down
+	// Repairing means the host was sent to the repair pipeline after a
+	// permanent failure (the events counted in Fig 4f).
+	Repairing
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Draining:
+		return "draining"
+	case Drained:
+		return "drained"
+	case Down:
+		return "down"
+	case Repairing:
+		return "repairing"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Host is one server in the fleet.
+type Host struct {
+	Name   string
+	Rack   string
+	Region string
+	// CapacityBytes is the load-balancing capacity the host exports to SM
+	// (paper §III-A3, "Heterogeneous servers"). Its interpretation depends
+	// on the metric generation in use (§IV-F).
+	CapacityBytes int64
+
+	mu    sync.Mutex
+	state State
+}
+
+// State returns the host's current lifecycle state.
+func (h *Host) State() State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// SetState transitions the host. Transitions are unvalidated; the failure
+// injector and drain workflows drive legal sequences.
+func (h *Host) SetState(s State) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.state = s
+}
+
+// Available reports whether the host can serve requests right now.
+func (h *Host) Available() bool {
+	s := h.State()
+	return s == Up || s == Draining
+}
+
+// Fleet is a collection of hosts indexed by name. It is safe for
+// concurrent use.
+type Fleet struct {
+	mu    sync.Mutex
+	hosts map[string]*Host
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{hosts: make(map[string]*Host)}
+}
+
+// ErrDuplicateHost is returned when adding a host name twice.
+var ErrDuplicateHost = errors.New("cluster: duplicate host")
+
+// ErrNoHost is returned when a host name is unknown.
+var ErrNoHost = errors.New("cluster: unknown host")
+
+// Add registers a host.
+func (f *Fleet) Add(h *Host) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.hosts[h.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateHost, h.Name)
+	}
+	f.hosts[h.Name] = h
+	return nil
+}
+
+// Remove unregisters a host (cluster downsize).
+func (f *Fleet) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.hosts[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoHost, name)
+	}
+	delete(f.hosts, name)
+	return nil
+}
+
+// Host returns the named host.
+func (f *Fleet) Host(name string) (*Host, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoHost, name)
+	}
+	return h, nil
+}
+
+// Hosts returns all hosts sorted by name.
+func (f *Fleet) Hosts() []*Host {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Host, 0, len(f.hosts))
+	for _, h := range f.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Region returns all hosts in a region, sorted by name.
+func (f *Fleet) Region(region string) []*Host {
+	var out []*Host
+	for _, h := range f.Hosts() {
+		if h.Region == region {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Size returns the number of registered hosts.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.hosts)
+}
+
+// BuildConfig describes a regular fleet layout for Build.
+type BuildConfig struct {
+	Regions        []string
+	HostsPerRack   int
+	RacksPerRegion int
+	CapacityBytes  int64
+}
+
+// Build constructs a fleet with the given layout. Host names are
+// "<region>-r<rack>-h<n>".
+func Build(cfg BuildConfig) *Fleet {
+	f := NewFleet()
+	for _, region := range cfg.Regions {
+		for r := 0; r < cfg.RacksPerRegion; r++ {
+			rack := fmt.Sprintf("%s-r%d", region, r)
+			for n := 0; n < cfg.HostsPerRack; n++ {
+				h := &Host{
+					Name:          fmt.Sprintf("%s-h%d", rack, n),
+					Rack:          rack,
+					Region:        region,
+					CapacityBytes: cfg.CapacityBytes,
+				}
+				if err := f.Add(h); err != nil {
+					panic(err) // generated names are unique by construction
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Observer is notified of host lifecycle events. Shard Manager subscribes
+// to trigger failovers and drains; the simulator subscribes to count Fig 4f
+// repair events.
+type Observer interface {
+	// HostStateChanged fires after a host transitions to the given state.
+	HostStateChanged(h *Host, s State, at time.Time)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(h *Host, s State, at time.Time)
+
+// HostStateChanged implements Observer.
+func (f ObserverFunc) HostStateChanged(h *Host, s State, at time.Time) { f(h, s, at) }

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cubrick/internal/randutil"
+)
+
+// Transport errors.
+var (
+	// ErrHostDown is returned when the target host is not serving.
+	ErrHostDown = errors.New("cluster: host down")
+	// ErrRequestFailed is returned for per-request non-deterministic
+	// failures (dropped connections, OOM kills, etc.).
+	ErrRequestFailed = errors.New("cluster: request failed")
+	// ErrTimeout is returned when a request's sampled latency exceeds the
+	// caller's deadline.
+	ErrTimeout = errors.New("cluster: request timed out")
+)
+
+// TransportConfig parameterizes the per-request fault and latency model.
+type TransportConfig struct {
+	// Latency is the per-request service latency model. The heavy tail is
+	// what makes high fan-out queries slow (paper Fig 5): one straggler
+	// stalls the whole query.
+	Latency randutil.LatencyModel
+	// RequestFailureProb is the probability that a request to a healthy
+	// host fails anyway — the paper's "other non-deterministic sources of
+	// tail latency" and errors (§I).
+	RequestFailureProb float64
+	// NetworkHop is the fixed one-way network latency added per call.
+	NetworkHop time.Duration
+}
+
+// DefaultTransportConfig returns the calibration used by the experiments:
+// ~20ms median service time, 1µs-scale network hops, and a small
+// per-request failure probability.
+func DefaultTransportConfig() TransportConfig {
+	return TransportConfig{
+		Latency:            randutil.DefaultLatencyModel(),
+		RequestFailureProb: 1e-4,
+		NetworkHop:         200 * time.Microsecond,
+	}
+}
+
+// Transport samples the outcome of requests against fleet hosts. It does
+// not move bytes — the simulator composes outcomes analytically — but its
+// distributions are the ground truth for every latency/failure figure.
+//
+// Transport methods take the randomness source explicitly so concurrent
+// simulations can use independent streams.
+type Transport struct {
+	fleet *Fleet
+	cfg   TransportConfig
+}
+
+// NewTransport returns a transport over the fleet.
+func NewTransport(fleet *Fleet, cfg TransportConfig) *Transport {
+	return &Transport{fleet: fleet, cfg: cfg}
+}
+
+// Outcome is the sampled result of one request.
+type Outcome struct {
+	Host    string
+	Latency time.Duration
+	Err     error
+}
+
+// Call samples the outcome of one request to the named host.
+func (t *Transport) Call(host string, rnd *randutil.Source) Outcome {
+	h, err := t.fleet.Host(host)
+	if err != nil {
+		return Outcome{Host: host, Err: err}
+	}
+	if !h.Available() {
+		return Outcome{Host: host, Err: fmt.Errorf("%w: %s (%s)", ErrHostDown, host, h.State())}
+	}
+	if rnd.Bernoulli(t.cfg.RequestFailureProb) {
+		return Outcome{Host: host, Err: fmt.Errorf("%w: %s", ErrRequestFailed, host)}
+	}
+	service := time.Duration(t.cfg.Latency.Sample(rnd) * float64(time.Second))
+	return Outcome{Host: host, Latency: 2*t.cfg.NetworkHop + service}
+}
+
+// FanOut samples a scatter-gather over all named hosts, as a fully- or
+// partially-sharded query does: every host must answer, so the query's
+// latency is the maximum of the per-host latencies, and the query fails if
+// any host fails (the paper's full-fan-out failure model, §II-B). deadline
+// (if > 0) converts stragglers into ErrTimeout.
+func (t *Transport) FanOut(hosts []string, deadline time.Duration, rnd *randutil.Source) (time.Duration, error) {
+	var max time.Duration
+	for _, h := range hosts {
+		out := t.Call(h, rnd)
+		if out.Err != nil {
+			return 0, out.Err
+		}
+		if out.Latency > max {
+			max = out.Latency
+		}
+	}
+	if deadline > 0 && max > deadline {
+		return max, fmt.Errorf("%w: %v > %v", ErrTimeout, max, deadline)
+	}
+	return max, nil
+}

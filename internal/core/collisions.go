@@ -1,0 +1,156 @@
+package core
+
+// The paper distinguishes two collision classes (§IV-A):
+//
+//   - Partition collisions: partitions mapped to the same shard. Within one
+//     table they permanently double a server's work and are prevented by
+//     the monotonic mapping; across tables they are "expected and
+//     unavoidable" and merely pin those partitions together.
+//   - Shard collisions: different shards holding partitions of the same
+//     table placed on the same host by SM. They also double a server's
+//     work for that table, but are fixable by migrating one shard away.
+//
+// Fig 4a reports the deployment-wide frequency of each class; the
+// CollisionReport below computes the same statistic for a simulated
+// deployment.
+
+// TableLayout describes one table's sharding for collision analysis.
+type TableLayout struct {
+	Table string
+	// ShardOf[i] is the shard id of partition i.
+	ShardOf []int64
+}
+
+// Layout materializes the shard assignment of each table under a mapper.
+func Layout(m Mapper, table string, partitions int) TableLayout {
+	return TableLayout{Table: table, ShardOf: Shards(m, table, partitions)}
+}
+
+// CollisionReport aggregates collision statistics over a deployment, the
+// quantities plotted in Fig 4a.
+type CollisionReport struct {
+	Tables int
+	// TablesWithSamePartitionCollision counts tables having two of their
+	// own partitions on the same shard (0 by design with MonotonicMapper).
+	TablesWithSamePartitionCollision int
+	// TablesWithCrossPartitionCollision counts tables sharing at least one
+	// shard with a partition of a different table.
+	TablesWithCrossPartitionCollision int
+	// TablesWithShardCollision counts tables with two different shards
+	// placed on the same host.
+	TablesWithShardCollision int
+}
+
+// FracSamePartition returns the same-table partition collision rate.
+func (r CollisionReport) FracSamePartition() float64 {
+	return frac(r.TablesWithSamePartitionCollision, r.Tables)
+}
+
+// FracCrossPartition returns the cross-table partition collision rate.
+func (r CollisionReport) FracCrossPartition() float64 {
+	return frac(r.TablesWithCrossPartitionCollision, r.Tables)
+}
+
+// FracShardCollision returns the shard collision rate.
+func (r CollisionReport) FracShardCollision() float64 {
+	return frac(r.TablesWithShardCollision, r.Tables)
+}
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// AnalyzeCollisions computes the collision report for a set of table
+// layouts and a shard→host placement (hostOf returns "" when a shard is
+// unplaced; unplaced shards cannot collide).
+func AnalyzeCollisions(layouts []TableLayout, hostOf func(shard int64) string) CollisionReport {
+	rep := CollisionReport{Tables: len(layouts)}
+
+	// Owner tables per shard, for cross-table partition collisions.
+	shardTables := make(map[int64]map[string]bool)
+	for _, l := range layouts {
+		for _, sh := range l.ShardOf {
+			if shardTables[sh] == nil {
+				shardTables[sh] = make(map[string]bool)
+			}
+			shardTables[sh][l.Table] = true
+		}
+	}
+
+	for _, l := range layouts {
+		seenShard := make(map[int64]int)
+		same := false
+		for _, sh := range l.ShardOf {
+			seenShard[sh]++
+			if seenShard[sh] > 1 {
+				same = true
+			}
+		}
+		if same {
+			rep.TablesWithSamePartitionCollision++
+		}
+
+		cross := false
+		for sh := range seenShard {
+			if len(shardTables[sh]) > 1 {
+				cross = true
+				break
+			}
+		}
+		if cross {
+			rep.TablesWithCrossPartitionCollision++
+		}
+
+		if hostOf != nil {
+			hostShards := make(map[string]map[int64]bool)
+			coll := false
+			for sh := range seenShard {
+				h := hostOf(sh)
+				if h == "" {
+					continue
+				}
+				if hostShards[h] == nil {
+					hostShards[h] = make(map[int64]bool)
+				}
+				hostShards[h][sh] = true
+				if len(hostShards[h]) > 1 {
+					coll = true
+				}
+			}
+			if coll {
+				rep.TablesWithShardCollision++
+			}
+		}
+	}
+	return rep
+}
+
+// WouldCollide reports whether placing the given shard on host would
+// create a shard collision for any table in layouts — i.e. the host
+// already holds a different shard containing a partition of a table that
+// also has a partition in this shard. Cubrick servers use this check to
+// throw the non-retryable exception that makes SM retarget a migration
+// (§IV-A).
+func WouldCollide(layouts []TableLayout, hostShards map[int64]bool, shard int64) bool {
+	for _, l := range layouts {
+		inShard := false
+		for _, sh := range l.ShardOf {
+			if sh == shard {
+				inShard = true
+				break
+			}
+		}
+		if !inShard {
+			continue
+		}
+		for _, sh := range l.ShardOf {
+			if sh != shard && hostShards[sh] {
+				return true
+			}
+		}
+	}
+	return false
+}

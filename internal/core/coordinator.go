@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+)
+
+// CoordinatorStrategy selects which partition's host a client connects to
+// as the query coordinator (§IV-C). The coordinator must store a partition
+// of the target table (compute stays with the data) and does extra work
+// (parse, distribute, merge), so coordinators should balance evenly across
+// partitions.
+type CoordinatorStrategy int
+
+const (
+	// CachedRandom uses a cached partition count, picks a random
+	// partition, and refreshes the cache from query-result metadata —
+	// the production strategy (the paper's strategy 4), and therefore
+	// the zero value.
+	CachedRandom CoordinatorStrategy = iota
+	// AlwaysPartitionZero always coordinates on partition 0's host —
+	// simple but hot-spots that host (strategy 1).
+	AlwaysPartitionZero
+	// ForwardFromZero connects to partition 0, which forwards to a random
+	// partition — balanced but costs an extra network hop on result
+	// buffers (strategy 2).
+	ForwardFromZero
+	// LookupThenRandom fetches the current partition count first, then
+	// picks a random partition — balanced, no extra hop, but one extra
+	// round trip per query (strategy 3).
+	LookupThenRandom
+)
+
+// String implements fmt.Stringer.
+func (s CoordinatorStrategy) String() string {
+	switch s {
+	case AlwaysPartitionZero:
+		return "always-partition-0"
+	case ForwardFromZero:
+		return "forward-from-0"
+	case LookupThenRandom:
+		return "lookup-then-random"
+	case CachedRandom:
+		return "cached-random"
+	default:
+		return "CoordinatorStrategy(?)"
+	}
+}
+
+// CoordinatorCost captures the per-query overhead of a strategy, used by
+// the picker to report what a query paid.
+type CoordinatorCost struct {
+	// ExtraHops is the number of additional network forwards of query
+	// buffers (strategy 2).
+	ExtraHops int
+	// ExtraRoundTrips is the number of additional metadata round trips
+	// before the query starts (strategy 3, and strategy 4 on cache miss).
+	ExtraRoundTrips int
+}
+
+// PartitionCountCache is the proxy-side cache of partitions-per-table that
+// strategy 4 depends on. Query results carry the current partition count
+// in their metadata, and the proxy refreshes the cache from it (§IV-C).
+type PartitionCountCache struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// NewPartitionCountCache returns an empty cache.
+func NewPartitionCountCache() *PartitionCountCache {
+	return &PartitionCountCache{counts: make(map[string]int)}
+}
+
+// Get returns the cached partition count for a table (0 = unknown).
+func (c *PartitionCountCache) Get(table string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[table]
+}
+
+// Update stores the partition count observed in a query result's metadata.
+func (c *PartitionCountCache) Update(table string, partitions int) {
+	if partitions <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[table] = partitions
+}
+
+// Invalidate drops a table from the cache (table deleted or re-partition
+// detected).
+func (c *PartitionCountCache) Invalidate(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.counts, table)
+}
+
+// Len returns the number of cached tables.
+func (c *PartitionCountCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.counts)
+}
+
+// Picker selects coordinator partitions under a strategy.
+type Picker struct {
+	Strategy CoordinatorStrategy
+	Cache    *PartitionCountCache
+	// Rand returns a uniform value in [0,1); injected for determinism.
+	Rand func() float64
+	// LookupPartitions fetches the authoritative partition count of a
+	// table (strategy 3, and strategy 4 cache misses). May be nil if the
+	// strategy never needs it.
+	LookupPartitions func(table string) (int, error)
+}
+
+// Pick returns the partition index to coordinate on and the overhead this
+// choice incurred.
+func (p *Picker) Pick(table string) (partition int, cost CoordinatorCost, err error) {
+	switch p.Strategy {
+	case AlwaysPartitionZero:
+		return 0, CoordinatorCost{}, nil
+	case ForwardFromZero:
+		// Connect to partition 0, which forwards to a random partition;
+		// the forward costs one extra hop. Partition 0 knows the count.
+		n, err := p.LookupPartitions(table)
+		if err != nil {
+			return 0, CoordinatorCost{}, err
+		}
+		return p.random(n), CoordinatorCost{ExtraHops: 1}, nil
+	case LookupThenRandom:
+		n, err := p.LookupPartitions(table)
+		if err != nil {
+			return 0, CoordinatorCost{}, err
+		}
+		return p.random(n), CoordinatorCost{ExtraRoundTrips: 1}, nil
+	case CachedRandom:
+		if n := p.Cache.Get(table); n > 0 {
+			return p.random(n), CoordinatorCost{}, nil
+		}
+		// Cache miss: one extra round trip, then prime the cache.
+		n, err := p.LookupPartitions(table)
+		if err != nil {
+			return 0, CoordinatorCost{}, err
+		}
+		p.Cache.Update(table, n)
+		return p.random(n), CoordinatorCost{ExtraRoundTrips: 1}, nil
+	default:
+		return 0, CoordinatorCost{}, nil
+	}
+}
+
+func (p *Picker) random(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(p.Rand() * float64(n))
+}

@@ -1,0 +1,35 @@
+package core
+
+// FanoutMode distinguishes the two sharding regimes of §II.
+type FanoutMode int
+
+const (
+	// FullSharding spreads every table over all cluster nodes; every
+	// query is broadcast to the whole cluster (§II-B).
+	FullSharding FanoutMode = iota
+	// PartialSharding contains each table to its own few shards; a query
+	// visits only the hosts holding those shards (§II-C).
+	PartialSharding
+)
+
+// String implements fmt.Stringer.
+func (m FanoutMode) String() string {
+	if m == FullSharding {
+		return "full"
+	}
+	return "partial"
+}
+
+// QueryFanout returns how many hosts a single-table query must visit under
+// a mode: the whole cluster when fully sharded, at most the table's
+// partition count when partially sharded (fewer if shard collisions
+// co-locate partitions).
+func QueryFanout(mode FanoutMode, clusterSize, tablePartitions, distinctHosts int) int {
+	if mode == FullSharding {
+		return clusterSize
+	}
+	if distinctHosts > 0 && distinctHosts < tablePartitions {
+		return distinctHosts
+	}
+	return tablePartitions
+}

@@ -1,0 +1,119 @@
+package core
+
+// PartitionPolicy is the dynamic partitions-per-table model of §IV-B:
+// every new table starts with InitialPartitions (8 in production — enough
+// parallelism for small tables without frequent re-partitions); when a
+// partition outgrows MaxPartitionBytes the table re-partitions to more
+// partitions, and when partitions shrink far below the target the data is
+// collapsed into fewer.
+type PartitionPolicy struct {
+	// InitialPartitions is the partition count for new tables.
+	InitialPartitions int
+	// MaxPartitionBytes triggers a re-partition when the *average*
+	// partition size exceeds it.
+	MaxPartitionBytes int64
+	// MinPartitionBytes triggers a collapse when the average partition
+	// size of a table with more than InitialPartitions falls below it.
+	MinPartitionBytes int64
+	// GrowthFactor is the multiplier applied on re-partition (2 doubles).
+	GrowthFactor int
+	// MaxTableBytes caps the total size of one table; production Cubrick
+	// limits datasets to about 1TB (§IV-B footnote). Zero disables.
+	MaxTableBytes int64
+}
+
+// DefaultPartitionPolicy mirrors the production configuration described in
+// the paper: 8 initial partitions, doubling growth. The size thresholds
+// are scaled for simulation (production would use tens of GB).
+func DefaultPartitionPolicy() PartitionPolicy {
+	return PartitionPolicy{
+		InitialPartitions: 8,
+		MaxPartitionBytes: 64 << 20, // 64 MiB per partition
+		MinPartitionBytes: 4 << 20,  // 4 MiB
+		GrowthFactor:      2,
+		MaxTableBytes:     1 << 40, // 1 TiB
+	}
+}
+
+// PartitionsFor returns the steady-state partition count the policy
+// assigns to a table of the given total size: the smallest count, starting
+// at InitialPartitions and growing by GrowthFactor, at which the average
+// partition fits within MaxPartitionBytes.
+func (p PartitionPolicy) PartitionsFor(tableBytes int64) int {
+	n := p.InitialPartitions
+	if n < 1 {
+		n = 1
+	}
+	g := p.GrowthFactor
+	if g < 2 {
+		g = 2
+	}
+	if p.MaxPartitionBytes <= 0 {
+		return n
+	}
+	for tableBytes/int64(n) > p.MaxPartitionBytes {
+		n *= g
+	}
+	return n
+}
+
+// Decision is the outcome of evaluating the policy against a table.
+type Decision int
+
+const (
+	// Keep means the current partition count stands.
+	Keep Decision = iota
+	// Grow means the table should re-partition to more partitions.
+	Grow
+	// Shrink means the table should collapse into fewer partitions.
+	Shrink
+	// RejectSize means the table exceeds MaxTableBytes and further loads
+	// should be refused.
+	RejectSize
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Keep:
+		return "keep"
+	case Grow:
+		return "grow"
+	case Shrink:
+		return "shrink"
+	case RejectSize:
+		return "reject-size"
+	default:
+		return "Decision(?)"
+	}
+}
+
+// Evaluate returns the policy decision for a table of tableBytes split
+// into partitions, plus the target partition count when the decision is
+// Grow or Shrink. Re-partitions are computationally expensive (they
+// shuffle data), so hysteresis between Max and Min thresholds keeps them
+// sporadic (§IV-B).
+func (p PartitionPolicy) Evaluate(tableBytes int64, partitions int) (Decision, int) {
+	if p.MaxTableBytes > 0 && tableBytes > p.MaxTableBytes {
+		return RejectSize, partitions
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	g := p.GrowthFactor
+	if g < 2 {
+		g = 2
+	}
+	avg := tableBytes / int64(partitions)
+	if p.MaxPartitionBytes > 0 && avg > p.MaxPartitionBytes {
+		return Grow, partitions * g
+	}
+	if p.MinPartitionBytes > 0 && partitions > p.InitialPartitions && avg < p.MinPartitionBytes {
+		target := partitions / g
+		if target < p.InitialPartitions {
+			target = p.InitialPartitions
+		}
+		return Shrink, target
+	}
+	return Keep, partitions
+}

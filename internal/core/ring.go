@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// RingMapper is the consistent-hashing alternative the paper mentions for
+// deployments that need to change maxShards over time (§IV-A: "In case
+// changing the maximum number of shards had to be supported, a consistent
+// hashing function could have been used instead"). Shards own arcs of a
+// hash ring via virtual points; a partition maps to the shard owning the
+// point clockwise of its hash. Growing the ring moves only the keys that
+// land on the new shard's arcs.
+//
+// Like MonotonicMapper, partition 0 is hashed and the remaining partitions
+// take the consecutive ring positions, preserving the same-table
+// collision-freedom guarantee (distinct ring owners are distinct shards;
+// consecutive owners are distinct as long as the table has fewer
+// partitions than the ring has shards... strictly, fewer than the number
+// of distinct owners encountered; see SpreadShards).
+type RingMapper struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int64
+}
+
+// NewRingMapper builds a ring with the given shard ids, each owning
+// vnodes virtual points.
+func NewRingMapper(shards []int64, vnodes int) (*RingMapper, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: ring needs at least one shard")
+	}
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &RingMapper{}
+	for _, sh := range shards {
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "shard-%d-vnode-%d", sh, v)
+			r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), shard: sh})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// owner returns the shard owning the first ring point at or after h.
+func (r *RingMapper) owner(h uint64) (int64, int) {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard, i
+}
+
+// mix64 is a splitmix64 finalizer: FNV's raw output clusters on short
+// structured strings, which would leave ring arcs badly uneven.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Shard implements Mapper: hash partition 0's name onto the ring, then
+// walk clockwise so that partition k gets the k-th *distinct* shard after
+// partition 0's owner — consecutive-by-ring, mirroring the monotonic
+// mapper's consecutive-by-id scheme.
+func (r *RingMapper) Shard(table string, partition int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(PartitionName(table, 0)))
+	shard0, idx := r.owner(mix64(h.Sum64()))
+	if partition == 0 {
+		return shard0
+	}
+	seen := map[int64]bool{shard0: true}
+	distinct := 0
+	for step := 1; step <= len(r.points); step++ {
+		p := r.points[(idx+step)%len(r.points)]
+		if seen[p.shard] {
+			continue
+		}
+		seen[p.shard] = true
+		distinct++
+		if distinct == partition {
+			return p.shard
+		}
+	}
+	// More partitions than distinct shards: wrap (collision unavoidable,
+	// as with MonotonicMapper beyond maxShards).
+	return r.points[(idx+partition)%len(r.points)].shard
+}
+
+// Shards returns the ring's distinct shard ids, sorted.
+func (r *RingMapper) Shards() []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, p := range r.points {
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MovedKeys reports, for a sample of table names, the fraction of
+// partition-0 placements that differ between two rings — the resize-cost
+// metric consistent hashing minimizes.
+func MovedKeys(a, b *RingMapper, tables []string) float64 {
+	if len(tables) == 0 {
+		return 0
+	}
+	moved := 0
+	for _, t := range tables {
+		if a.Shard(t, 0) != b.Shard(t, 0) {
+			moved++
+		}
+	}
+	return float64(moved) / float64(len(tables))
+}

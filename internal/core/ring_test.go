@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func ringShards(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+func TestRingMapperBasics(t *testing.T) {
+	r, err := NewRingMapper(ringShards(16), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Shards()) != 16 {
+		t.Fatalf("Shards = %v", r.Shards())
+	}
+	// Deterministic.
+	if r.Shard("t", 3) != r.Shard("t", 3) {
+		t.Fatal("not deterministic")
+	}
+	// In range.
+	for p := 0; p < 8; p++ {
+		sh := r.Shard("t", p)
+		if sh < 0 || sh >= 16 {
+			t.Fatalf("shard %d out of range", sh)
+		}
+	}
+}
+
+func TestRingMapperEmptyErrors(t *testing.T) {
+	if _, err := NewRingMapper(nil, 8); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
+// Same-table collision freedom, the §IV-A guarantee, holds on the ring as
+// long as the table has at most as many partitions as the ring has shards.
+func TestRingMapperNoSameTableCollisionProperty(t *testing.T) {
+	r, _ := NewRingMapper(ringShards(64), 16)
+	f := func(name string, parts uint8) bool {
+		if name == "" {
+			name = "t"
+		}
+		n := int(parts)%64 + 1
+		seen := make(map[int64]bool)
+		for p := 0; p < n; p++ {
+			sh := r.Shard(name, p)
+			if seen[sh] {
+				return false
+			}
+			seen[sh] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The consistent-hashing payoff: growing the ring by one shard moves only
+// ~1/n of the keys, whereas changing MonotonicMapper's maxShards reshuffles
+// nearly everything.
+func TestRingMapperResizeStability(t *testing.T) {
+	before, _ := NewRingMapper(ringShards(50), 64)
+	after, _ := NewRingMapper(ringShards(51), 64)
+	var tables []string
+	for i := 0; i < 2000; i++ {
+		tables = append(tables, fmt.Sprintf("table%d", i))
+	}
+	moved := MovedKeys(before, after, tables)
+	if moved > 0.08 {
+		t.Fatalf("ring resize moved %.1f%% of keys, want ~1/51 ≈ 2%%", moved*100)
+	}
+	if moved == 0 {
+		t.Fatal("resize moved nothing — new shard owns no keys")
+	}
+
+	// Contrast: the modulo mapper moves almost everything.
+	m1 := MonotonicMapper{MaxShards: 50}
+	m2 := MonotonicMapper{MaxShards: 51}
+	movedMod := 0
+	for _, tbl := range tables {
+		if m1.Shard(tbl, 0) != m2.Shard(tbl, 0) {
+			movedMod++
+		}
+	}
+	if frac := float64(movedMod) / float64(len(tables)); frac < 0.9 {
+		t.Fatalf("modulo mapper moved only %.1f%% — expected nearly all", frac*100)
+	}
+}
+
+func TestRingMapperBalance(t *testing.T) {
+	r, _ := NewRingMapper(ringShards(10), 128)
+	counts := make(map[int64]int)
+	for i := 0; i < 10000; i++ {
+		counts[r.Shard(fmt.Sprintf("tbl%d", i), 0)]++
+	}
+	for sh, c := range counts {
+		if c < 300 || c > 3000 {
+			t.Fatalf("shard %d owns %d/10000 keys — too imbalanced", sh, c)
+		}
+	}
+}
+
+func TestRingMapperWrapsBeyondShardCount(t *testing.T) {
+	r, _ := NewRingMapper(ringShards(4), 8)
+	// 6 partitions over 4 shards must still return valid shards.
+	seen := make(map[int64]bool)
+	for p := 0; p < 6; p++ {
+		sh := r.Shard("t", p)
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("shard %d out of range", sh)
+		}
+		seen[sh] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("expected all 4 shards used, got %d", len(seen))
+	}
+}

@@ -1,0 +1,216 @@
+package cql
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cubrick/internal/engine"
+)
+
+func parseSelect(t *testing.T, input string) *SelectStmt {
+	t.Helper()
+	st, err := Parse(input)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", input, err)
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *SelectStmt", input, st)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := parseSelect(t, "SELECT SUM(value) FROM metrics")
+	if sel.Table != "metrics" {
+		t.Fatalf("table = %q", sel.Table)
+	}
+	if len(sel.Query.Aggregates) != 1 || sel.Query.Aggregates[0].Func != engine.Sum ||
+		sel.Query.Aggregates[0].Metric != "value" {
+		t.Fatalf("aggregates = %+v", sel.Query.Aggregates)
+	}
+}
+
+func TestParseFullSelect(t *testing.T) {
+	sel := parseSelect(t, `
+		SELECT region, SUM(value) AS total, COUNT(*), AVG(latency)
+		FROM metrics
+		WHERE ds >= 10 AND ds <= 20 AND app = 3
+		GROUP BY region
+		ORDER BY total DESC
+		LIMIT 5`)
+	q := sel.Query
+	if len(q.Aggregates) != 3 {
+		t.Fatalf("aggregates = %+v", q.Aggregates)
+	}
+	if q.Aggregates[0].Alias != "total" {
+		t.Fatalf("alias = %q", q.Aggregates[0].Alias)
+	}
+	if q.Aggregates[1].Func != engine.Count {
+		t.Fatal("count(*) not parsed")
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "region" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	if q.Filter["ds"] != [2]uint32{10, 20} {
+		t.Fatalf("ds filter = %v", q.Filter["ds"])
+	}
+	if q.Filter["app"] != [2]uint32{3, 3} {
+		t.Fatalf("app filter = %v", q.Filter["app"])
+	}
+	if q.OrderBy != "total" || !q.Desc || q.Limit != 5 {
+		t.Fatalf("order/limit = %q %v %d", q.OrderBy, q.Desc, q.Limit)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	sel := parseSelect(t, "SELECT COUNT(*) FROM t WHERE a < 5 AND b > 7 AND c BETWEEN 2 AND 9")
+	q := sel.Query
+	if q.Filter["a"] != [2]uint32{0, 4} {
+		t.Fatalf("a = %v", q.Filter["a"])
+	}
+	if q.Filter["b"] != [2]uint32{8, math.MaxUint32} {
+		t.Fatalf("b = %v", q.Filter["b"])
+	}
+	if q.Filter["c"] != [2]uint32{2, 9} {
+		t.Fatalf("c = %v", q.Filter["c"])
+	}
+}
+
+func TestParseIntersectingPredicates(t *testing.T) {
+	sel := parseSelect(t, "SELECT COUNT(*) FROM t WHERE a >= 3 AND a <= 10 AND a = 7")
+	if sel.Query.Filter["a"] != [2]uint32{7, 7} {
+		t.Fatalf("intersection = %v", sel.Query.Filter["a"])
+	}
+}
+
+func TestParseOrderByAggregateForm(t *testing.T) {
+	sel := parseSelect(t, "SELECT SUM(value) FROM t ORDER BY sum(value)")
+	if sel.Query.OrderBy != "sum(value)" {
+		t.Fatalf("order by = %q", sel.Query.OrderBy)
+	}
+	sel = parseSelect(t, "SELECT COUNT(*) FROM t ORDER BY count(*) ASC")
+	if sel.Query.OrderBy != "count(*)" || sel.Query.Desc {
+		t.Fatalf("order by = %q desc=%v", sel.Query.OrderBy, sel.Query.Desc)
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	sel := parseSelect(t, "select Sum(Value) from Metrics group by REGION, app")
+	if sel.Table != "metrics" || sel.Query.GroupBy[0] != "region" || sel.Query.GroupBy[1] != "app" {
+		t.Fatalf("case normalization broken: %+v", sel)
+	}
+}
+
+func TestParseShowAndDescribe(t *testing.T) {
+	st, err := Parse("SHOW TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*ShowTablesStmt); !ok {
+		t.Fatalf("= %T", st)
+	}
+	st, err = Parse("DESCRIBE metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := st.(*DescribeStmt)
+	if !ok || d.Table != "metrics" {
+		t.Fatalf("= %#v", st)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DELETE FROM t",
+		"SELECT FROM t",
+		"SELECT SUM(value FROM t",
+		"SELECT SUM() FROM t",
+		"SELECT SUM(*) FROM t",
+		"SELECT region FROM t", // bare column without GROUP BY
+		"SELECT SUM(v) FROM",
+		"SELECT SUM(v) FROM t WHERE",
+		"SELECT SUM(v) FROM t WHERE a",
+		"SELECT SUM(v) FROM t WHERE a !! 3",
+		"SELECT SUM(v) FROM t WHERE a < 0",
+		"SELECT SUM(v) FROM t WHERE a BETWEEN 1",
+		"SELECT SUM(v) FROM t GROUP region",
+		"SELECT SUM(v) FROM t ORDER region",
+		"SELECT SUM(v) FROM t LIMIT x",
+		"SELECT SUM(v) FROM t extra garbage",
+		"SHOW COLUMNS",
+		"DESCRIBE",
+		"SELECT SUM(v) FROM t WHERE a = 99999999999999999999",
+		"SELECT SUM(v) FROM t; DROP",
+		"SELECT 5abc FROM t",
+	}
+	for _, input := range bad {
+		if _, err := Parse(input); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) = %v, want ErrSyntax", input, err)
+		}
+	}
+}
+
+func TestParseBareColumnEchoedWhenGrouped(t *testing.T) {
+	sel := parseSelect(t, "SELECT region, COUNT(*) FROM t GROUP BY region")
+	if len(sel.Query.GroupBy) != 1 {
+		t.Fatalf("group by = %v", sel.Query.GroupBy)
+	}
+}
+
+// Property: the parser never panics on arbitrary input.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(input string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Parse(%q) panicked: %v", input, r)
+			}
+		}()
+		Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("SELECT @ FROM t"); err == nil {
+		t.Fatal("invalid character accepted")
+	}
+	if _, err := lex("123abc"); err == nil {
+		t.Fatal("malformed number accepted")
+	}
+}
+
+func TestStringLiteralLexing(t *testing.T) {
+	sel := parseSelect(t, "SELECT COUNT(*) FROM t WHERE country = 'BR'")
+	if sel.StringEq["country"] != "BR" {
+		t.Fatalf("StringEq = %v", sel.StringEq)
+	}
+	// Escaped quote and mixed predicates.
+	sel = parseSelect(t, "SELECT COUNT(*) FROM t WHERE a = 'it''s' AND b = 3")
+	if sel.StringEq["a"] != "it's" {
+		t.Fatalf("escaped literal = %q", sel.StringEq["a"])
+	}
+	if sel.Query.Filter["b"] != [2]uint32{3, 3} {
+		t.Fatalf("numeric filter lost: %v", sel.Query.Filter)
+	}
+	// Case preserved inside literals, lowered outside.
+	sel = parseSelect(t, "SELECT COUNT(*) FROM T WHERE C = 'MiXeD'")
+	if sel.StringEq["c"] != "MiXeD" {
+		t.Fatalf("literal case = %q", sel.StringEq["c"])
+	}
+	for _, bad := range []string{
+		"SELECT COUNT(*) FROM t WHERE a = 'unterminated",
+		"SELECT COUNT(*) FROM t WHERE a BETWEEN 'x' AND 3",
+		"SELECT COUNT(*) FROM t WHERE a >= 'x'",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package cql
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseJoin(t *testing.T) {
+	sel := parseSelect(t, "SELECT team, SUM(value) AS total FROM fact JOIN apps ON app GROUP BY team ORDER BY total DESC")
+	if sel.Table != "fact" || sel.JoinTable != "apps" {
+		t.Fatalf("tables = %q join %q", sel.Table, sel.JoinTable)
+	}
+	if len(sel.Query.GroupBy) != 1 || sel.Query.GroupBy[0] != "team" {
+		t.Fatalf("group by = %v", sel.Query.GroupBy)
+	}
+}
+
+func TestParseJoinWithoutOn(t *testing.T) {
+	sel := parseSelect(t, "SELECT COUNT(*) FROM fact JOIN apps WHERE team = 2")
+	if sel.JoinTable != "apps" {
+		t.Fatalf("join table = %q", sel.JoinTable)
+	}
+	if sel.Query.Filter["team"] != [2]uint32{2, 2} {
+		t.Fatalf("filter = %v", sel.Query.Filter)
+	}
+}
+
+func TestParseJoinErrors(t *testing.T) {
+	for _, bad := range []string{
+		"SELECT COUNT(*) FROM fact JOIN",
+		"SELECT COUNT(*) FROM fact JOIN apps ON",
+	} {
+		if _, err := Parse(bad); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) = %v, want ErrSyntax", bad, err)
+		}
+	}
+}
+
+func TestParseNoJoinLeavesFieldEmpty(t *testing.T) {
+	sel := parseSelect(t, "SELECT COUNT(*) FROM t")
+	if sel.JoinTable != "" {
+		t.Fatalf("JoinTable = %q, want empty", sel.JoinTable)
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	sel := parseSelect(t, "SELECT COUNT(DISTINCT app) FROM t")
+	a := sel.Query.Aggregates[0]
+	if a.Metric != "app" || a.Name() != "count_distinct(app)" {
+		t.Fatalf("aggregate = %+v", a)
+	}
+	sel = parseSelect(t, "SELECT COUNT(DISTINCT app) AS apps FROM t ORDER BY apps DESC")
+	if sel.Query.Aggregates[0].Alias != "apps" || sel.Query.OrderBy != "apps" {
+		t.Fatalf("alias/order = %+v", sel.Query)
+	}
+	// count_distinct(x) spelling and ORDER BY aggregate form.
+	sel = parseSelect(t, "SELECT region, COUNT_DISTINCT(app) FROM t GROUP BY region ORDER BY count(DISTINCT app)")
+	if sel.Query.OrderBy != "count_distinct(app)" {
+		t.Fatalf("order by = %q", sel.Query.OrderBy)
+	}
+	if _, err := Parse("SELECT COUNT(DISTINCT) FROM t"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	// DISTINCT is only valid inside COUNT.
+	if _, err := Parse("SELECT SUM(DISTINCT x) FROM t"); err == nil {
+		t.Fatal("SUM(DISTINCT x) accepted")
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	sel := parseSelect(t, "SELECT region, SUM(value) AS total FROM t GROUP BY region HAVING total > 100 AND count(*) >= 5 ORDER BY total")
+	h := sel.Query.Having
+	if len(h) != 2 {
+		t.Fatalf("having = %+v", h)
+	}
+	if h[0].Column != "total" || h[0].Op != ">" || h[0].Value != 100 {
+		t.Fatalf("having[0] = %+v", h[0])
+	}
+	if h[1].Column != "count(*)" || h[1].Op != ">=" || h[1].Value != 5 {
+		t.Fatalf("having[1] = %+v", h[1])
+	}
+	if sel.Query.OrderBy != "total" {
+		t.Fatalf("order by lost after having: %q", sel.Query.OrderBy)
+	}
+	for _, bad := range []string{
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING x",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING x >",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package cql implements a small SQL dialect for querying Cubrick tables
+// interactively — the kind of query the paper's fan-out experiment issues
+// ("the same simple query was executed every 500ms", §IV-H):
+//
+//	SELECT SUM(value), COUNT(*) FROM metrics
+//	WHERE ds >= 10 AND app = 3
+//	GROUP BY region ORDER BY sum(value) DESC LIMIT 10
+//
+// Supported statements: SELECT, SHOW TABLES, DESCRIBE <table>.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // ( ) , * = < > <= >=
+	tokString // single-quoted literal, for dictionary-encoded dimensions
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits CQL input into tokens. Identifiers are case-insensitive
+// (normalized to lower case); keywords are just identifiers the parser
+// recognizes.
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+}
+
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case isIdentStart(rune(c)):
+			l.ident()
+		case unicode.IsDigit(rune(c)):
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.stringLit(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),*=", rune(c)):
+			l.toks = append(l.toks, token{tokSymbol, string(c), l.pos})
+			l.pos++
+		case c == '<' || c == '>':
+			sym := string(c)
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+				sym += "="
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokSymbol, sym, l.pos})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("cql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokIdent, strings.ToLower(l.input[start:l.pos]), start})
+}
+
+// stringLit lexes a single-quoted literal; ” escapes a quote. String
+// values are case-preserved (dictionary labels are case-sensitive).
+func (l *lexer) stringLit() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{tokString, sb.String(), start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("cql: unterminated string at %d", start)
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	for l.pos < len(l.input) && unicode.IsDigit(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos < len(l.input) && isIdentStart(rune(l.input[l.pos])) {
+		return fmt.Errorf("cql: malformed number at %d", start)
+	}
+	l.toks = append(l.toks, token{tokNumber, l.input[start:l.pos], start})
+	return nil
+}

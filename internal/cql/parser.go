@@ -1,0 +1,406 @@
+package cql
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"cubrick/internal/engine"
+)
+
+// Statement is a parsed CQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Table string
+	Query *engine.Query
+	// JoinTable is the replicated dimension table of a star join
+	// ("... FROM fact JOIN dims ..."); empty for single-table queries.
+	// Join attributes are inferred from the schemas at execution time.
+	JoinTable string
+	// StringEq holds `dim = 'label'` predicates on dictionary-encoded
+	// dimensions. The executor resolves each label to its id through the
+	// table's dictionaries and folds it into Query.Filter.
+	StringEq map[string]string
+}
+
+func (*SelectStmt) stmt() {}
+
+// ShowTablesStmt is SHOW TABLES.
+type ShowTablesStmt struct{}
+
+func (*ShowTablesStmt) stmt() {}
+
+// DescribeStmt is DESCRIBE <table>.
+type DescribeStmt struct{ Table string }
+
+func (*DescribeStmt) stmt() {}
+
+// ErrSyntax wraps all parse errors.
+var ErrSyntax = errors.New("cql: syntax error")
+
+type parser struct {
+	toks     []token
+	pos      int
+	stringEq map[string]string
+}
+
+// Parse parses one CQL statement.
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	p := &parser{toks: toks}
+	var st Statement
+	switch {
+	case p.acceptKeyword("select"):
+		st, err = p.parseSelect()
+	case p.acceptKeyword("show"):
+		if !p.acceptKeyword("tables") {
+			return nil, p.errorf("expected TABLES after SHOW")
+		}
+		st = &ShowTablesStmt{}
+	case p.acceptKeyword("describe"):
+		name, ok := p.acceptIdent()
+		if !ok {
+			return nil, p.errorf("expected table name after DESCRIBE")
+		}
+		st = &DescribeStmt{Table: name}
+	default:
+		return nil, p.errorf("expected SELECT, SHOW or DESCRIBE")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokEOF, "") {
+		return nil, p.errorf("trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	if text != "" && t.text != text {
+		return false
+	}
+	p.pos++
+	return true
+}
+
+func (p *parser) acceptKeyword(kw string) bool { return p.accept(tokIdent, kw) }
+
+func (p *parser) acceptIdent() (string, bool) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", false
+	}
+	p.pos++
+	return t.text, true
+}
+
+func (p *parser) acceptNumber() (uint32, bool) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(t.text, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	p.pos++
+	return uint32(v), true
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w at position %d: %s", ErrSyntax, p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+var aggFuncs = map[string]engine.AggFunc{
+	"sum": engine.Sum, "count": engine.Count, "min": engine.Min,
+	"max": engine.Max, "avg": engine.Avg,
+	// count_distinct(col) is the canonical output-column spelling of
+	// COUNT(DISTINCT col); accepting it as input keeps ORDER BY symmetric.
+	"count_distinct": engine.CountDistinct,
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	q := &engine.Query{}
+	// Select list: agg(metric) [AS alias], ... ; bare idents are group
+	// columns echoed through GROUP BY.
+	var bareCols []string
+	for {
+		name, ok := p.acceptIdent()
+		if !ok {
+			return nil, p.errorf("expected select item")
+		}
+		if fn, isAgg := aggFuncs[name]; isAgg && p.accept(tokSymbol, "(") {
+			agg := engine.Aggregate{Func: fn}
+			if fn == engine.Count && p.acceptKeyword("distinct") {
+				agg.Func = engine.CountDistinct
+				col, ok := p.acceptIdent()
+				if !ok {
+					return nil, p.errorf("expected column in COUNT(DISTINCT ...)")
+				}
+				agg.Metric = col
+			} else if p.accept(tokSymbol, "*") {
+				if fn != engine.Count {
+					return nil, p.errorf("%s(*) is only valid for COUNT", name)
+				}
+			} else if metric, ok := p.acceptIdent(); ok {
+				agg.Metric = metric
+			} else {
+				return nil, p.errorf("expected metric name in %s()", name)
+			}
+			if !p.accept(tokSymbol, ")") {
+				return nil, p.errorf("expected ')'")
+			}
+			if p.acceptKeyword("as") {
+				alias, ok := p.acceptIdent()
+				if !ok {
+					return nil, p.errorf("expected alias after AS")
+				}
+				agg.Alias = alias
+			}
+			q.Aggregates = append(q.Aggregates, agg)
+		} else {
+			bareCols = append(bareCols, name)
+		}
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if !p.acceptKeyword("from") {
+		return nil, p.errorf("expected FROM")
+	}
+	table, ok := p.acceptIdent()
+	if !ok {
+		return nil, p.errorf("expected table name")
+	}
+
+	joinTable := ""
+	if p.acceptKeyword("join") {
+		joinTable, ok = p.acceptIdent()
+		if !ok {
+			return nil, p.errorf("expected table name after JOIN")
+		}
+		// An optional "ON <col>" is accepted for readability; the key is
+		// re-derived from the schemas at execution time.
+		if p.acceptKeyword("on") {
+			if _, ok := p.acceptIdent(); !ok {
+				return nil, p.errorf("expected column after ON")
+			}
+		}
+	}
+
+	if p.acceptKeyword("where") {
+		if err := p.parseWhere(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("group") {
+		if !p.acceptKeyword("by") {
+			return nil, p.errorf("expected BY after GROUP")
+		}
+		for {
+			dim, ok := p.acceptIdent()
+			if !ok {
+				return nil, p.errorf("expected dimension in GROUP BY")
+			}
+			q.GroupBy = append(q.GroupBy, dim)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	// Bare select columns must appear in GROUP BY.
+	grouped := make(map[string]bool, len(q.GroupBy))
+	for _, g := range q.GroupBy {
+		grouped[g] = true
+	}
+	for _, c := range bareCols {
+		if !grouped[c] {
+			return nil, fmt.Errorf("%w: column %q must appear in GROUP BY", ErrSyntax, c)
+		}
+	}
+	if p.acceptKeyword("having") {
+		for {
+			col, err := p.parseOrderColumn() // same grammar: ident or agg(col)
+			if err != nil {
+				return nil, err
+			}
+			t := p.cur()
+			if t.kind != tokSymbol || (t.text != "=" && t.text != "<" && t.text != "<=" && t.text != ">" && t.text != ">=") {
+				return nil, p.errorf("expected comparison operator in HAVING")
+			}
+			p.pos++
+			v, ok := p.acceptNumber()
+			if !ok {
+				return nil, p.errorf("expected number in HAVING")
+			}
+			q.Having = append(q.Having, engine.HavingCond{Column: col, Op: t.text, Value: float64(v)})
+			if !p.accept(tokSymbol, ",") && !p.acceptKeyword("and") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("order") {
+		if !p.acceptKeyword("by") {
+			return nil, p.errorf("expected BY after ORDER")
+		}
+		col, err := p.parseOrderColumn()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = col
+		if p.acceptKeyword("desc") {
+			q.Desc = true
+		} else {
+			p.acceptKeyword("asc")
+		}
+	}
+	if p.acceptKeyword("limit") {
+		n, ok := p.acceptNumber()
+		if !ok {
+			return nil, p.errorf("expected number after LIMIT")
+		}
+		q.Limit = int(n)
+	}
+	if len(q.Aggregates) == 0 {
+		return nil, fmt.Errorf("%w: SELECT list needs at least one aggregate", ErrSyntax)
+	}
+	return &SelectStmt{Table: table, Query: q, JoinTable: joinTable, StringEq: p.stringEq}, nil
+}
+
+// parseOrderColumn accepts either a bare identifier or agg(metric) and
+// returns the engine output column name.
+func (p *parser) parseOrderColumn() (string, error) {
+	name, ok := p.acceptIdent()
+	if !ok {
+		return "", p.errorf("expected column in ORDER BY")
+	}
+	fn, isAgg := aggFuncs[name]
+	if !isAgg || !p.accept(tokSymbol, "(") {
+		return name, nil
+	}
+	agg := engine.Aggregate{Func: fn}
+	if fn == engine.Count && p.acceptKeyword("distinct") {
+		agg.Func = engine.CountDistinct
+		col, ok := p.acceptIdent()
+		if !ok {
+			return "", p.errorf("expected column in ORDER BY COUNT(DISTINCT ...)")
+		}
+		agg.Metric = col
+	} else if p.accept(tokSymbol, "*") {
+		if fn != engine.Count {
+			return "", p.errorf("%s(*) is only valid for COUNT", name)
+		}
+	} else if metric, ok := p.acceptIdent(); ok {
+		agg.Metric = metric
+	} else {
+		return "", p.errorf("expected metric in ORDER BY %s()", name)
+	}
+	if !p.accept(tokSymbol, ")") {
+		return "", p.errorf("expected ')'")
+	}
+	return agg.Name(), nil
+}
+
+// parseWhere parses conjunctive range predicates over dimensions:
+// dim = n, dim < n, dim <= n, dim > n, dim >= n, dim BETWEEN a AND b.
+// Multiple predicates on the same dimension intersect.
+func (p *parser) parseWhere(q *engine.Query) error {
+	q.Filter = make(map[string][2]uint32)
+	intersect := func(dim string, lo, hi uint32) {
+		r, ok := q.Filter[dim]
+		if !ok {
+			q.Filter[dim] = [2]uint32{lo, hi}
+			return
+		}
+		if lo > r[0] {
+			r[0] = lo
+		}
+		if hi < r[1] {
+			r[1] = hi
+		}
+		q.Filter[dim] = r
+	}
+	for {
+		dim, ok := p.acceptIdent()
+		if !ok {
+			return p.errorf("expected dimension in WHERE")
+		}
+		if p.acceptKeyword("between") {
+			lo, ok := p.acceptNumber()
+			if !ok {
+				return p.errorf("expected number after BETWEEN")
+			}
+			if !p.acceptKeyword("and") {
+				return p.errorf("expected AND in BETWEEN")
+			}
+			hi, ok := p.acceptNumber()
+			if !ok {
+				return p.errorf("expected upper bound in BETWEEN")
+			}
+			intersect(dim, lo, hi)
+		} else {
+			t := p.cur()
+			if t.kind != tokSymbol {
+				return p.errorf("expected comparison operator")
+			}
+			op := t.text
+			p.pos++
+			// String literal: only equality is meaningful for dictionary
+			// labels; ids carry no order.
+			if s := p.cur(); s.kind == tokString {
+				if op != "=" {
+					return p.errorf("operator %q not supported for string values", op)
+				}
+				p.pos++
+				if p.stringEq == nil {
+					p.stringEq = make(map[string]string)
+				}
+				p.stringEq[dim] = s.text
+				if !p.acceptKeyword("and") {
+					return nil
+				}
+				continue
+			}
+			v, ok := p.acceptNumber()
+			if !ok {
+				return p.errorf("expected number after %q", op)
+			}
+			switch op {
+			case "=":
+				intersect(dim, v, v)
+			case "<":
+				if v == 0 {
+					return p.errorf("dimension < 0 matches nothing")
+				}
+				intersect(dim, 0, v-1)
+			case "<=":
+				intersect(dim, 0, v)
+			case ">":
+				if v == math.MaxUint32 {
+					return p.errorf("dimension > max matches nothing")
+				}
+				intersect(dim, v+1, math.MaxUint32)
+			case ">=":
+				intersect(dim, v, math.MaxUint32)
+			default:
+				return p.errorf("unsupported operator %q", op)
+			}
+		}
+		if !p.acceptKeyword("and") {
+			break
+		}
+	}
+	return nil
+}

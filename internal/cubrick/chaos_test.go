@@ -1,0 +1,119 @@
+package cubrick
+
+import (
+	"testing"
+	"time"
+
+	"cubrick/internal/cluster"
+	"cubrick/internal/randutil"
+)
+
+// TestChaosSoak runs a deterministic chaos schedule — transient host
+// failures, heartbeat expiry, failovers, rejoins, drains and balancer runs
+// — while querying continuously through every region. The invariant is
+// the paper's consistency stance (§II-C): a query either fails (and would
+// be retried elsewhere) or returns the exact answer; partial or wrong
+// results are never served.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	cfg := DefaultDeploymentConfig()
+	cfg.RacksPerRegion = 3
+	cfg.HostsPerRack = 4
+	cfg.Policy.InitialPartitions = 4
+	cfg.Transport.RequestFailureProb = 0
+	d, err := Open(cfg, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CreateTable("soak", smallSchema())
+	want := loadRows(t, d, "soak", 500)
+
+	rnd := randutil.New(99)
+	checkAll := func(phase string) (okRegions int) {
+		for _, region := range d.Config.Regions {
+			res, err := d.Query(region, "soak", sumQuery(), 0)
+			if err != nil {
+				continue // unavailability is allowed; wrong answers are not
+			}
+			if res.Rows[0][0] != want {
+				t.Fatalf("%s: region %s returned %v, want %v — WRONG RESULT", phase, region, res.Rows[0][0], want)
+			}
+			okRegions++
+		}
+		return okRegions
+	}
+
+	sweep := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			d.Clock.Advance(10 * time.Second)
+			d.SM.Sweep()
+			for _, n := range d.Nodes() {
+				ag, _ := d.Agent(n.Host().Name)
+				if n.Host().Available() && ag != nil && ag.Expired() {
+					n.Reset()
+					_ = ag.Rejoin()
+					_ = d.ReplayReplicated(n.Host().Name)
+				}
+			}
+		}
+	}
+
+	if got := checkAll("baseline"); got != len(d.Config.Regions) {
+		t.Fatalf("baseline: only %d regions answered", got)
+	}
+
+	downHosts := make(map[string]*cluster.Host)
+	for round := 0; round < 30; round++ {
+		// Randomly kill a host, keeping at most two down at once so each
+		// shard always has a live replica somewhere (three regions): the
+		// no-data-loss precondition of the paper's fault-tolerance model.
+		if len(downHosts) < 2 {
+			hosts := d.Fleet.Hosts()
+			victim := hosts[rnd.Intn(len(hosts))]
+			if victim.State() == cluster.Up {
+				victim.SetState(cluster.Down)
+				downHosts[victim.Name] = victim
+			}
+		} else {
+			for name, h := range downHosts {
+				h.SetState(cluster.Up)
+				delete(downHosts, name)
+				break
+			}
+		}
+		// ...let failure detection and failover run...
+		sweep(6)
+		// ...occasionally drain or balance...
+		switch round % 5 {
+		case 2:
+			region := d.Config.Regions[rnd.Intn(len(d.Config.Regions))]
+			svc := ServiceName(region)
+			regionHosts := d.Fleet.Region(region)
+			h := regionHosts[rnd.Intn(len(regionHosts))]
+			if h.State() == cluster.Up {
+				_, _ = d.SM.DrainServer(svc, h.Name)
+				h.SetState(cluster.Up) // automation returns it
+			}
+		case 4:
+			for _, region := range d.Config.Regions {
+				svc := ServiceName(region)
+				_ = d.SM.CollectMetrics(svc)
+				_, _ = d.SM.BalanceOnce(svc)
+			}
+		}
+		d.Clock.Advance(cfg.PropagationWait + time.Second) // flush delayed drops
+		checkAll("chaos")
+	}
+
+	// Heal everything and verify full recovery.
+	for _, h := range downHosts {
+		h.SetState(cluster.Up)
+	}
+	sweep(12)
+	d.Clock.Advance(time.Minute)
+	if got := checkAll("healed"); got != len(d.Config.Regions) {
+		t.Fatalf("after healing only %d/%d regions answer correctly", got, len(d.Config.Regions))
+	}
+}

@@ -1,0 +1,322 @@
+// Package discovery implements the service discovery system the paper calls
+// SMC (Services Management Configuration, §III-A): it exposes shard↔server
+// mappings to clients.
+//
+// Because discovery is read by every client on every request, SMC "uses a
+// multi-level data distribution tree to cache and propagate this data",
+// which "can add a small delay to how long it takes for clients to learn
+// about changes to shard assignment" (§III-A). That delay is what the
+// paper's Fig 4c measures, and what the graceful shard-migration protocol
+// (§IV-E) must wait out before the old server may drop a shard. This
+// package models the tree explicitly: a root directory backed by the zk
+// store, fanning out through cache layers to per-host local proxies, each
+// hop adding a configurable propagation delay.
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cubrick/internal/metrics"
+	"cubrick/internal/simclock"
+)
+
+// ErrUnknownShard is returned when no server is published for a shard.
+var ErrUnknownShard = errors.New("discovery: no mapping for shard")
+
+// ShardKey identifies one shard of one service.
+type ShardKey struct {
+	Service string
+	Shard   int64
+}
+
+// String implements fmt.Stringer.
+func (k ShardKey) String() string { return fmt.Sprintf("%s/%d", k.Service, k.Shard) }
+
+// Mapping is one published shard→server assignment. An empty Server is a
+// tombstone: the shard is unassigned as of Version.
+type Mapping struct {
+	Key    ShardKey
+	Server string    // hostname, empty when the shard is unassigned
+	Stamp  time.Time // when the root published this version
+	// Version orders updates per key: caches apply a mapping only if its
+	// Version exceeds the one they hold, so jittered propagation cannot
+	// regress an assignment.
+	Version uint64
+}
+
+// Directory is the authoritative root of the distribution tree. SM server
+// writes assignments here; cache layers pull from it. All methods are safe
+// for concurrent use.
+type Directory struct {
+	clock simclock.Clock
+
+	mu          sync.Mutex
+	mappings    map[ShardKey]Mapping
+	version     uint64
+	subscribers []func(Mapping)
+}
+
+// NewDirectory returns an empty directory using the given clock for
+// publication timestamps.
+func NewDirectory(clock simclock.Clock) *Directory {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Directory{clock: clock, mappings: make(map[ShardKey]Mapping)}
+}
+
+// Publish records that shard key is now served by server. An empty server
+// unassigns the shard. Propagation is per-delta: each publish ships one
+// mapping down the tree, not a snapshot, so publish cost stays O(levels)
+// no matter how many mappings exist (a deployment has 100k-1M shards).
+func (d *Directory) Publish(key ShardKey, server string) {
+	d.mu.Lock()
+	d.version++
+	m := Mapping{Key: key, Server: server, Stamp: d.clock.Now(), Version: d.version}
+	if server == "" {
+		// Keep a tombstone so a late, older update cannot resurrect the
+		// mapping in caches.
+		d.mappings[key] = m
+	} else {
+		d.mappings[key] = m
+	}
+	subs := append([]func(Mapping){}, d.subscribers...)
+	d.mu.Unlock()
+	// Subscribers are invoked synchronously (outside the lock) so that
+	// propagation scheduling is deterministic under simulated time.
+	for _, fn := range subs {
+		fn(m)
+	}
+}
+
+// Lookup resolves a shard at the root (no propagation delay). Cluster
+// clients should resolve through a LocalProxy instead.
+func (d *Directory) Lookup(key ShardKey) (Mapping, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.mappings[key]
+	if !ok || m.Server == "" { // absent or tombstoned (unassigned)
+		return Mapping{}, fmt.Errorf("%w: %s", ErrUnknownShard, key)
+	}
+	return m, nil
+}
+
+// Version returns the root's monotonically increasing publish counter.
+func (d *Directory) Version() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
+// Snapshot returns a copy of all current mappings plus the version.
+func (d *Directory) Snapshot() (map[ShardKey]Mapping, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[ShardKey]Mapping, len(d.mappings))
+	for k, v := range d.mappings {
+		out[k] = v
+	}
+	return out, d.version
+}
+
+// subscribe registers fn to run synchronously with each published delta.
+func (d *Directory) subscribe(fn func(Mapping)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.subscribers = append(d.subscribers, fn)
+}
+
+// node is a layer in the distribution tree: it holds cached mappings that
+// lag the parent by the configured hop delay. Deltas apply with per-key
+// version checks so jitter-reordered deliveries cannot regress state.
+type node struct {
+	mu       sync.Mutex
+	mappings map[ShardKey]Mapping
+	version  uint64 // highest delta version applied (for proxy seeding)
+}
+
+// apply folds one delta in, unless the cache already holds a newer version
+// of that key.
+func (n *node) apply(m Mapping) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, ok := n.mappings[m.Key]; ok && cur.Version >= m.Version {
+		return // stale delta arrived out of order
+	}
+	n.mappings[m.Key] = m
+	if m.Version > n.version {
+		n.version = m.Version
+	}
+}
+
+func (n *node) lookup(key ShardKey) (Mapping, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.mappings[key]
+	if !ok || m.Server == "" { // tombstone: unassigned
+		return Mapping{}, false
+	}
+	return m, true
+}
+
+// TreeConfig describes the propagation tree shape.
+type TreeConfig struct {
+	// Levels is the number of cache layers between the root directory and
+	// the local proxies (the paper's "multi-level data distribution tree").
+	Levels int
+	// HopDelayMean and HopDelayJitter give the per-hop propagation delay:
+	// each layer observes its parent's state HopDelayMean ± uniform jitter
+	// later.
+	HopDelayMean   time.Duration
+	HopDelayJitter time.Duration
+}
+
+// DefaultTreeConfig matches the shape behind the paper's Fig 4c: a few
+// seconds of total propagation delay, most mass between 2 and 10 seconds.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{Levels: 3, HopDelayMean: 1500 * time.Millisecond, HopDelayJitter: 1200 * time.Millisecond}
+}
+
+// Tree is a simulated propagation tree driven by a SimClock. Each refresh
+// tick, layer i copies layer i-1's snapshot; the effective client-visible
+// delay is the sum of per-hop delays, which the tree records into a
+// distribution for Fig 4c.
+type Tree struct {
+	cfg    TreeConfig
+	clock  *simclock.SimClock
+	dir    *Directory
+	layers []*node
+	rand   func() float64 // uniform [0,1), injected for determinism
+
+	delayDist *metrics.Distribution
+	mu        sync.Mutex
+	proxies   map[string]*LocalProxy
+}
+
+// NewTree builds a propagation tree under the given simulated clock. rnd
+// supplies uniform [0,1) values for jitter; pass nil for no jitter.
+func NewTree(clock *simclock.SimClock, dir *Directory, cfg TreeConfig, rnd func() float64) *Tree {
+	if cfg.Levels < 1 {
+		cfg.Levels = 1
+	}
+	if rnd == nil {
+		rnd = func() float64 { return 0.5 }
+	}
+	t := &Tree{
+		cfg:       cfg,
+		clock:     clock,
+		dir:       dir,
+		rand:      rnd,
+		delayDist: &metrics.Distribution{},
+		proxies:   make(map[string]*LocalProxy),
+	}
+	for i := 0; i < cfg.Levels; i++ {
+		t.layers = append(t.layers, &node{mappings: make(map[ShardKey]Mapping)})
+	}
+	dir.subscribe(t.onPublish)
+	return t
+}
+
+// onPublish propagates one delta down the layers, one hop delay per level,
+// by scheduling applies on the simulated clock — O(levels) per publish.
+func (t *Tree) onPublish(m Mapping) {
+	delay := time.Duration(0)
+	for i, layer := range t.layers {
+		delay += t.hopDelay()
+		layer := layer
+		last := i == len(t.layers)-1
+		t.clock.ScheduleAt(t.clock.Now().Add(delay), func() {
+			layer.apply(m)
+			if last {
+				t.fanOutToProxies(m)
+			}
+		})
+	}
+	// Record the leaf-visible delay for Fig 4c.
+	t.delayDist.Add(delay.Seconds())
+}
+
+func (t *Tree) hopDelay() time.Duration {
+	j := t.cfg.HopDelayJitter
+	base := t.cfg.HopDelayMean
+	if j <= 0 {
+		return base
+	}
+	// Uniform jitter in [-j, +j].
+	off := time.Duration((t.rand()*2 - 1) * float64(j))
+	d := base + off
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func (t *Tree) fanOutToProxies(m Mapping) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.proxies {
+		p.node.apply(m)
+	}
+}
+
+// DelayStats returns the distribution of leaf propagation delays in
+// seconds, the series the paper plots in Fig 4c.
+func (t *Tree) DelayStats() *metrics.Distribution { return t.delayDist }
+
+// Proxy returns (creating on first use) the local discovery proxy for a
+// host. "SMC is ... cached by a service running locally on every single
+// server in the fleet, in order to avoid unnecessary network round-trips"
+// (§III-A).
+func (t *Tree) Proxy(host string) *LocalProxy {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.proxies[host]
+	if !ok {
+		p = &LocalProxy{host: host, node: &node{mappings: make(map[ShardKey]Mapping)}}
+		// Seed from the current leaf layer so a new host starts warm (a
+		// one-time full copy, as a freshly provisioned local SMC proxy
+		// would bootstrap).
+		leaf := t.layers[len(t.layers)-1]
+		leaf.mu.Lock()
+		for _, m := range leaf.mappings {
+			p.node.mappings[m.Key] = m
+		}
+		p.node.version = leaf.version
+		leaf.mu.Unlock()
+		t.proxies[host] = p
+	}
+	return p
+}
+
+// LocalProxy is the per-host cache clients resolve against. Resolution
+// works even if the root directory (or SM server) is down — the paper's
+// survivability requirement: "clients would still be able to resolve shard
+// ids into hostnames since the mappings are propagated and cached locally"
+// (§V-C).
+type LocalProxy struct {
+	host string
+	node *node
+}
+
+// Host returns the host this proxy runs on.
+func (p *LocalProxy) Host() string { return p.host }
+
+// Resolve returns the server for a shard as of this proxy's (possibly
+// stale) snapshot.
+func (p *LocalProxy) Resolve(key ShardKey) (string, error) {
+	m, ok := p.node.lookup(key)
+	if !ok || m.Server == "" {
+		return "", fmt.Errorf("%w: %s", ErrUnknownShard, key)
+	}
+	return m.Server, nil
+}
+
+// Version returns the snapshot version this proxy has observed.
+func (p *LocalProxy) Version() uint64 {
+	p.node.mu.Lock()
+	defer p.node.mu.Unlock()
+	return p.node.version
+}

@@ -1,0 +1,226 @@
+package discovery
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cubrick/internal/randutil"
+	"cubrick/internal/simclock"
+)
+
+var epoch = time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestDirectoryPublishLookup(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	key := ShardKey{Service: "cubrick", Shard: 42}
+	if _, err := d.Lookup(key); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("Lookup unknown = %v, want ErrUnknownShard", err)
+	}
+	d.Publish(key, "host1")
+	m, err := d.Lookup(key)
+	if err != nil || m.Server != "host1" {
+		t.Fatalf("Lookup = %+v, %v", m, err)
+	}
+	if !m.Stamp.Equal(epoch) {
+		t.Fatalf("Stamp = %v, want epoch", m.Stamp)
+	}
+	d.Publish(key, "host2")
+	m, _ = d.Lookup(key)
+	if m.Server != "host2" {
+		t.Fatalf("reassignment lost: %+v", m)
+	}
+	d.Publish(key, "") // unassign
+	if _, err := d.Lookup(key); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("Lookup after unassign = %v, want ErrUnknownShard", err)
+	}
+	if d.Version() != 3 {
+		t.Fatalf("Version = %d, want 3", d.Version())
+	}
+}
+
+func TestShardKeyString(t *testing.T) {
+	k := ShardKey{Service: "svc", Shard: 7}
+	if got := k.String(); got != "svc/7" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTreePropagationDelay(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	cfg := TreeConfig{Levels: 3, HopDelayMean: time.Second, HopDelayJitter: 0}
+	tree := NewTree(clk, d, cfg, nil)
+	proxy := tree.Proxy("client-host")
+
+	key := ShardKey{Service: "cubrick", Shard: 1}
+	d.Publish(key, "server-a")
+
+	// Before any time passes the proxy must not see the mapping.
+	if _, err := proxy.Resolve(key); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("proxy saw mapping instantly: %v", err)
+	}
+	// After 2s (two of three hops) still nothing.
+	clk.Advance(2 * time.Second)
+	if _, err := proxy.Resolve(key); err == nil {
+		t.Fatal("proxy saw mapping before full propagation")
+	}
+	// After the third hop the mapping is visible.
+	clk.Advance(time.Second)
+	server, err := proxy.Resolve(key)
+	if err != nil || server != "server-a" {
+		t.Fatalf("Resolve = %q, %v", server, err)
+	}
+}
+
+func TestTreeDelayStatsRecorded(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	src := randutil.New(1)
+	tree := NewTree(clk, d, DefaultTreeConfig(), src.Float64)
+	for i := 0; i < 100; i++ {
+		d.Publish(ShardKey{Service: "s", Shard: int64(i)}, "h")
+	}
+	clk.Advance(time.Minute)
+	dist := tree.DelayStats()
+	if dist.Len() != 100 {
+		t.Fatalf("recorded %d delays, want 100", dist.Len())
+	}
+	p50 := dist.Quantile(0.5)
+	if p50 < 1 || p50 > 10 {
+		t.Fatalf("median propagation delay = %vs, want a few seconds (Fig 4c shape)", p50)
+	}
+}
+
+func TestStaleUpdateDoesNotRegress(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	// Jitter can reorder refreshes between publishes; versions guard that.
+	rnd := randutil.New(7)
+	cfg := TreeConfig{Levels: 2, HopDelayMean: 2 * time.Second, HopDelayJitter: 1900 * time.Millisecond}
+	tree := NewTree(clk, d, cfg, rnd.Float64)
+	proxy := tree.Proxy("h")
+	key := ShardKey{Service: "s", Shard: 1}
+	d.Publish(key, "old")
+	clk.Advance(100 * time.Millisecond)
+	d.Publish(key, "new")
+	clk.Advance(time.Minute)
+	server, err := proxy.Resolve(key)
+	if err != nil || server != "new" {
+		t.Fatalf("Resolve after out-of-order refresh = %q, %v; want new", server, err)
+	}
+	if proxy.Version() != 2 {
+		t.Fatalf("proxy version = %d, want 2", proxy.Version())
+	}
+}
+
+func TestNewProxySeededFromLeafLayer(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	tree := NewTree(clk, d, TreeConfig{Levels: 1, HopDelayMean: time.Second}, nil)
+	key := ShardKey{Service: "s", Shard: 9}
+	d.Publish(key, "srv")
+	clk.Advance(10 * time.Second)
+	// A proxy created after propagation starts warm.
+	p := tree.Proxy("latecomer")
+	server, err := p.Resolve(key)
+	if err != nil || server != "srv" {
+		t.Fatalf("late proxy Resolve = %q, %v", server, err)
+	}
+}
+
+func TestProxyIdentityPerHost(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	tree := NewTree(clk, d, DefaultTreeConfig(), nil)
+	if tree.Proxy("a") != tree.Proxy("a") {
+		t.Fatal("Proxy not memoized per host")
+	}
+	if tree.Proxy("a") == tree.Proxy("b") {
+		t.Fatal("different hosts share a proxy")
+	}
+	if tree.Proxy("a").Host() != "a" {
+		t.Fatal("Host() mismatch")
+	}
+}
+
+// Survivability (§V-C): once mappings have propagated, clients resolve even
+// if the root stops publishing (SM down). Nothing in LocalProxy consults
+// the Directory, so resolution keeps working from the cached snapshot.
+func TestResolutionSurvivesRootSilence(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	tree := NewTree(clk, d, TreeConfig{Levels: 1, HopDelayMean: time.Second}, nil)
+	proxy := tree.Proxy("h")
+	key := ShardKey{Service: "s", Shard: 3}
+	d.Publish(key, "srv")
+	clk.Advance(5 * time.Second)
+	// Simulate SM being down for a week: no publishes, just time.
+	clk.Advance(7 * 24 * time.Hour)
+	server, err := proxy.Resolve(key)
+	if err != nil || server != "srv" {
+		t.Fatalf("cached resolution failed after root silence: %q, %v", server, err)
+	}
+}
+
+func TestZeroLevelsClampedToOne(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	tree := NewTree(clk, d, TreeConfig{Levels: 0, HopDelayMean: time.Second}, nil)
+	p := tree.Proxy("h")
+	d.Publish(ShardKey{Service: "s", Shard: 1}, "srv")
+	clk.Advance(2 * time.Second)
+	if _, err := p.Resolve(ShardKey{Service: "s", Shard: 1}); err != nil {
+		t.Fatalf("resolution through clamped tree failed: %v", err)
+	}
+}
+
+func TestTombstonePreventsResurrection(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	// Heavy jitter so deltas can arrive out of order.
+	rnd := randutil.New(3)
+	cfg := TreeConfig{Levels: 1, HopDelayMean: 2 * time.Second, HopDelayJitter: 1900 * time.Millisecond}
+	tree := NewTree(clk, d, cfg, rnd.Float64)
+	proxy := tree.Proxy("h")
+	key := ShardKey{Service: "s", Shard: 5}
+	d.Publish(key, "host-a")
+	clk.Advance(50 * time.Millisecond)
+	d.Publish(key, "") // unassign: tombstone
+	clk.Advance(time.Minute)
+	if _, err := proxy.Resolve(key); err == nil {
+		t.Fatal("tombstoned mapping resurrected by out-of-order delta")
+	}
+}
+
+func BenchmarkPublish(b *testing.B) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	NewTree(clk, d, DefaultTreeConfig(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Publish(ShardKey{Service: "svc", Shard: int64(i)}, "host")
+		if i%1024 == 0 {
+			b.StopTimer()
+			clk.Advance(time.Minute) // drain scheduled applies
+			b.StartTimer()
+		}
+	}
+}
+
+func TestDirectorySnapshot(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	d := NewDirectory(clk)
+	d.Publish(ShardKey{Service: "s", Shard: 1}, "h1")
+	d.Publish(ShardKey{Service: "s", Shard: 2}, "h2")
+	snap, v := d.Snapshot()
+	if len(snap) != 2 || v != 2 {
+		t.Fatalf("Snapshot = %d entries v%d", len(snap), v)
+	}
+	// The snapshot is a copy: mutating it does not affect the directory.
+	delete(snap, ShardKey{Service: "s", Shard: 1})
+	if _, err := d.Lookup(ShardKey{Service: "s", Shard: 1}); err != nil {
+		t.Fatal("snapshot mutation leaked into directory")
+	}
+}

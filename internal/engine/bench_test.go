@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"testing"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/randutil"
+)
+
+func benchFactStore(b *testing.B, rows int) *brick.Store {
+	b.Helper()
+	s, err := brick.NewStore(factSchema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rnd := randutil.New(1)
+	for i := 0; i < rows; i++ {
+		s.Insert([]uint32{uint32(rnd.Intn(10)), uint32(rnd.Intn(20))}, []float64{rnd.Float64()})
+	}
+	return s
+}
+
+func BenchmarkAggregateGlobal(b *testing.B) {
+	s := benchFactStore(b, 100000)
+	q := &Query{Aggregates: []Aggregate{{Func: Sum, Metric: "value"}, {Func: Count}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(s, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	s := benchFactStore(b, 100000)
+	q := &Query{
+		Aggregates: []Aggregate{{Func: Sum, Metric: "value"}, {Func: Avg, Metric: "value"}},
+		GroupBy:    []string{"ds", "app"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(s, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergePartials(b *testing.B) {
+	s := benchFactStore(b, 50000)
+	q := &Query{Aggregates: []Aggregate{{Func: Sum, Metric: "value"}}, GroupBy: []string{"app"}}
+	partials := make([]*Partial, 8)
+	for i := range partials {
+		p, err := Execute(s, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		partials[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged := NewPartial(q)
+		for _, p := range partials {
+			if err := merged.Merge(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		merged.Finalize()
+	}
+}
+
+func BenchmarkStarJoin(b *testing.B) {
+	fact := benchFactStore(b, 100000)
+	dim, _ := brick.NewStore(dimSchema())
+	for app := uint32(0); app < 20; app++ {
+		dim.Insert([]uint32{app, app % 4, app % 3}, nil)
+	}
+	q := &Query{
+		Aggregates: []Aggregate{{Func: Sum, Metric: "value"}},
+		GroupBy:    []string{"team"},
+	}
+	js := &JoinSpec{Table: "apps", On: "app", Attrs: []string{"team"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecuteJoin(fact, dim, q, js); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

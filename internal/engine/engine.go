@@ -1,0 +1,500 @@
+// Package engine implements Cubrick's single-node query execution: filtered
+// scans over a brick store, grouped aggregation, ordering and limits. Every
+// node executes the same plan over its local partition and produces a
+// Partial; the query coordinator merges partials from all partitions and
+// finalizes the result (§IV: "Each node eventually returns a partial
+// result, which are merged and materialized on a query coordinator node").
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/hll"
+)
+
+// AggFunc is an aggregation function.
+type AggFunc int
+
+const (
+	// Sum adds metric values.
+	Sum AggFunc = iota
+	// Count counts rows (the metric name is ignored).
+	Count
+	// Min keeps the smallest metric value.
+	Min
+	// Max keeps the largest metric value.
+	Max
+	// Avg averages metric values; partials carry (sum, count) so merging
+	// stays exact.
+	Avg
+	// CountDistinct estimates the number of distinct values of a
+	// *dimension* column via a HyperLogLog sketch (~1.6% error). Sketches
+	// merge losslessly across partitions, so the distributed estimate
+	// equals the single-node one.
+	CountDistinct
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	case CountDistinct:
+		return "count_distinct"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// Aggregate is one aggregation in the select list.
+type Aggregate struct {
+	Func AggFunc
+	// Metric names the column aggregated: a metric column for
+	// Sum/Min/Max/Avg, a dimension column for CountDistinct, ignored for
+	// Count.
+	Metric string
+	Alias  string // output column name; defaults to func(metric)
+}
+
+// Name returns the output column name.
+func (a Aggregate) Name() string {
+	if a.Alias != "" {
+		return a.Alias
+	}
+	if a.Func == Count {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Metric)
+}
+
+// Query is a grouped aggregation over one table.
+type Query struct {
+	// Aggregates is the select list (at least one).
+	Aggregates []Aggregate
+	// GroupBy lists dimension names to group on (may be empty for a
+	// global aggregate).
+	GroupBy []string
+	// Filter maps dimension name -> inclusive [lo, hi] value range.
+	Filter map[string][2]uint32
+	// OrderBy names an output column (aggregate name or group dimension)
+	// to sort the final result by; empty means sort by group key.
+	OrderBy string
+	// Desc reverses the sort order.
+	Desc bool
+	// Limit truncates the final result (0 = unlimited).
+	Limit int
+	// Having filters groups by their aggregate outputs, applied at
+	// finalize time on the coordinator (after merging, before
+	// order/limit).
+	Having []HavingCond
+}
+
+// HavingCond is one post-aggregation predicate.
+type HavingCond struct {
+	// Column names an output column (aggregate name or group dimension).
+	Column string
+	// Op is one of "=", "<", "<=", ">", ">=".
+	Op string
+	// Value is the comparison operand.
+	Value float64
+}
+
+// matches evaluates the condition against a value.
+func (h HavingCond) matches(v float64) bool {
+	switch h.Op {
+	case "=":
+		return v == h.Value
+	case "<":
+		return v < h.Value
+	case "<=":
+		return v <= h.Value
+	case ">":
+		return v > h.Value
+	case ">=":
+		return v >= h.Value
+	default:
+		return false
+	}
+}
+
+// Validate checks the query against a schema.
+func (q *Query) Validate(schema brick.Schema) error {
+	if len(q.Aggregates) == 0 {
+		return errors.New("engine: query needs at least one aggregate")
+	}
+	for _, a := range q.Aggregates {
+		switch a.Func {
+		case Count:
+		case CountDistinct:
+			if schema.DimIndex(a.Metric) < 0 {
+				return fmt.Errorf("engine: COUNT(DISTINCT %s): not a dimension", a.Metric)
+			}
+		default:
+			if schema.MetricIndex(a.Metric) < 0 {
+				return fmt.Errorf("engine: unknown metric %q", a.Metric)
+			}
+		}
+	}
+	for _, g := range q.GroupBy {
+		if schema.DimIndex(g) < 0 {
+			return fmt.Errorf("engine: unknown group dimension %q", g)
+		}
+	}
+	for d := range q.Filter {
+		if schema.DimIndex(d) < 0 {
+			return fmt.Errorf("engine: unknown filter dimension %q", d)
+		}
+	}
+	if q.OrderBy != "" && !q.hasOutputColumn(q.OrderBy) {
+		return fmt.Errorf("engine: ORDER BY column %q not in output", q.OrderBy)
+	}
+	for _, h := range q.Having {
+		if !q.hasOutputColumn(h.Column) {
+			return fmt.Errorf("engine: HAVING column %q not in output", h.Column)
+		}
+		switch h.Op {
+		case "=", "<", "<=", ">", ">=":
+		default:
+			return fmt.Errorf("engine: HAVING operator %q unsupported", h.Op)
+		}
+	}
+	if q.Limit < 0 {
+		return errors.New("engine: negative limit")
+	}
+	return nil
+}
+
+func (q *Query) hasOutputColumn(name string) bool {
+	for _, g := range q.GroupBy {
+		if g == name {
+			return true
+		}
+	}
+	for _, a := range q.Aggregates {
+		if a.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// cell is the accumulator set for one aggregate within one group. The
+// sketch is lazily allocated, only for CountDistinct cells.
+type cell struct {
+	sum    float64
+	count  int64
+	min    float64
+	max    float64
+	sketch *hll.Sketch
+}
+
+func newCell() cell {
+	return cell{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (c *cell) observe(v float64) {
+	c.sum += v
+	c.count++
+	if v < c.min {
+		c.min = v
+	}
+	if v > c.max {
+		c.max = v
+	}
+}
+
+// observeDistinct folds one dimension value into the cell's sketch.
+func (c *cell) observeDistinct(v uint32) {
+	if c.sketch == nil {
+		c.sketch = hll.New()
+	}
+	c.sketch.Add(hll.Hash64(uint64(v)))
+	c.count++
+}
+
+func (c *cell) merge(o cell) {
+	c.sum += o.sum
+	c.count += o.count
+	if o.min < c.min {
+		c.min = o.min
+	}
+	if o.max > c.max {
+		c.max = o.max
+	}
+	if o.sketch != nil {
+		if c.sketch == nil {
+			c.sketch = hll.New()
+		}
+		c.sketch.Merge(o.sketch)
+	}
+}
+
+func (c *cell) finalize(f AggFunc) float64 {
+	switch f {
+	case Sum:
+		return c.sum
+	case Count:
+		return float64(c.count)
+	case Min:
+		if c.count == 0 {
+			return 0
+		}
+		return c.min
+	case Max:
+		if c.count == 0 {
+			return 0
+		}
+		return c.max
+	case Avg:
+		if c.count == 0 {
+			return 0
+		}
+		return c.sum / float64(c.count)
+	case CountDistinct:
+		if c.sketch == nil {
+			return 0
+		}
+		// Round: distinct counts are integers; sub-1% noise reads badly.
+		return math.Round(c.sketch.Estimate())
+	default:
+		return 0
+	}
+}
+
+// group holds one group's key values and accumulators.
+type group struct {
+	key   []uint32
+	cells []cell
+}
+
+// Partial is an unfinalised grouped aggregation from one partition. It can
+// be merged with other partials of the same query and then finalized.
+type Partial struct {
+	query  *Query
+	groups map[string]*group
+	// RowsScanned counts rows visited, for instrumentation.
+	RowsScanned int64
+}
+
+// groupKey serializes group-by values into a map key.
+func groupKey(vals []uint32) string {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	return string(buf)
+}
+
+// Execute runs the query over one partition's store, returning a partial.
+func Execute(store *brick.Store, q *Query) (*Partial, error) {
+	schema := store.Schema()
+	if err := q.Validate(schema); err != nil {
+		return nil, err
+	}
+	groupIdx := make([]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		groupIdx[i] = schema.DimIndex(g)
+	}
+	metricIdx := make([]int, len(q.Aggregates))
+	distinctIdx := make([]int, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		metricIdx[i], distinctIdx[i] = -1, -1
+		switch a.Func {
+		case Count:
+		case CountDistinct:
+			distinctIdx[i] = schema.DimIndex(a.Metric)
+		default:
+			metricIdx[i] = schema.MetricIndex(a.Metric)
+		}
+	}
+	var filter *brick.Filter
+	if len(q.Filter) > 0 {
+		filter = &brick.Filter{Ranges: make(map[int][2]uint32, len(q.Filter))}
+		for name, r := range q.Filter {
+			filter.Ranges[schema.DimIndex(name)] = r
+		}
+	}
+
+	p := &Partial{query: q, groups: make(map[string]*group)}
+	keyVals := make([]uint32, len(groupIdx))
+	err := store.Scan(filter, func(dims []uint32, metrics []float64) error {
+		p.RowsScanned++
+		for i, gi := range groupIdx {
+			keyVals[i] = dims[gi]
+		}
+		k := groupKey(keyVals)
+		g, ok := p.groups[k]
+		if !ok {
+			g = &group{key: append([]uint32(nil), keyVals...), cells: make([]cell, len(q.Aggregates))}
+			for i := range g.cells {
+				g.cells[i] = newCell()
+			}
+			p.groups[k] = g
+		}
+		for i := range q.Aggregates {
+			if distinctIdx[i] >= 0 {
+				g.cells[i].observeDistinct(dims[distinctIdx[i]])
+				continue
+			}
+			v := 1.0 // Count observes 1 per row via count field anyway
+			if metricIdx[i] >= 0 {
+				v = metrics[metricIdx[i]]
+			}
+			g.cells[i].observe(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewPartial returns an empty partial for the query, used as the merge
+// identity by coordinators.
+func NewPartial(q *Query) *Partial {
+	return &Partial{query: q, groups: make(map[string]*group)}
+}
+
+// Merge folds another partial of the same query into p.
+func (p *Partial) Merge(o *Partial) error {
+	if o == nil {
+		return nil
+	}
+	if len(o.groups) > 0 && p.query != nil && o.query != nil &&
+		len(p.query.Aggregates) != len(o.query.Aggregates) {
+		return errors.New("engine: merging partials of different queries")
+	}
+	for k, og := range o.groups {
+		g, ok := p.groups[k]
+		if !ok {
+			ng := &group{key: append([]uint32(nil), og.key...), cells: make([]cell, len(og.cells))}
+			for i := range ng.cells {
+				ng.cells[i] = newCell()
+				ng.cells[i].merge(og.cells[i])
+			}
+			p.groups[k] = ng
+			continue
+		}
+		for i := range g.cells {
+			g.cells[i].merge(og.cells[i])
+		}
+	}
+	p.RowsScanned += o.RowsScanned
+	return nil
+}
+
+// Groups returns the number of groups accumulated so far.
+func (p *Partial) Groups() int { return len(p.groups) }
+
+// Result is a finalized query result.
+type Result struct {
+	// Columns is the output header: group dimensions then aggregates.
+	Columns []string
+	// Rows are the output tuples: group values (as float64 for
+	// uniformity) followed by aggregate values.
+	Rows [][]float64
+	// RowsScanned is the total rows visited across all partitions.
+	RowsScanned int64
+}
+
+// Finalize sorts, limits and materializes the partial into a Result.
+func (p *Partial) Finalize() *Result {
+	q := p.query
+	res := &Result{RowsScanned: p.RowsScanned}
+	for _, g := range q.GroupBy {
+		res.Columns = append(res.Columns, g)
+	}
+	for _, a := range q.Aggregates {
+		res.Columns = append(res.Columns, a.Name())
+	}
+	for _, g := range p.groups {
+		row := make([]float64, 0, len(res.Columns))
+		for _, v := range g.key {
+			row = append(row, float64(v))
+		}
+		for i, a := range q.Aggregates {
+			row = append(row, g.cells[i].finalize(a.Func))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	// SQL semantics: a global aggregate (no GROUP BY) over zero rows still
+	// yields exactly one row — COUNT(*) of an empty set is 0, not absent.
+	if len(q.GroupBy) == 0 && len(res.Rows) == 0 {
+		row := make([]float64, len(q.Aggregates))
+		empty := newCell()
+		for i, a := range q.Aggregates {
+			row[i] = empty.finalize(a.Func)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// HAVING: filter groups by their finalized aggregate values.
+	if len(q.Having) > 0 {
+		colIdx := make(map[string]int, len(res.Columns))
+		for i, c := range res.Columns {
+			colIdx[c] = i
+		}
+		kept := res.Rows[:0]
+		for _, row := range res.Rows {
+			ok := true
+			for _, h := range q.Having {
+				if !h.matches(row[colIdx[h.Column]]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		res.Rows = kept
+	}
+
+	// Sort: by OrderBy column if given, else by group key columns.
+	orderIdx := -1
+	if q.OrderBy != "" {
+		for i, c := range res.Columns {
+			if c == q.OrderBy {
+				orderIdx = i
+				break
+			}
+		}
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i], res.Rows[j]
+		if orderIdx >= 0 {
+			if a[orderIdx] != b[orderIdx] {
+				if q.Desc {
+					return a[orderIdx] > b[orderIdx]
+				}
+				return a[orderIdx] < b[orderIdx]
+			}
+		}
+		// Tie-break (and default order) on the leading columns for
+		// deterministic output.
+		for k := 0; k < len(q.GroupBy); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res
+}

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cubrick/internal/brick"
+)
+
+func factSchema() brick.Schema {
+	return brick.Schema{
+		Dimensions: []brick.Dimension{
+			{Name: "ds", Max: 10, Buckets: 5},
+			{Name: "app", Max: 20, Buckets: 4},
+		},
+		Metrics: []brick.Metric{{Name: "value"}},
+	}
+}
+
+func dimSchema() brick.Schema {
+	return brick.Schema{
+		Dimensions: []brick.Dimension{
+			{Name: "app", Max: 20, Buckets: 4},
+			{Name: "team", Max: 4, Buckets: 4},
+			{Name: "tier", Max: 3, Buckets: 3},
+		},
+	}
+}
+
+// buildJoinStores loads a fact table (one row per (ds, app), value = app)
+// and a dimension table mapping app -> (team = app % 4, tier = app % 3).
+func buildJoinStores(t *testing.T) (*brick.Store, *brick.Store) {
+	t.Helper()
+	fact, err := brick.NewStore(factSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ds := uint32(0); ds < 10; ds++ {
+		for app := uint32(0); app < 20; app++ {
+			if err := fact.Insert([]uint32{ds, app}, []float64{float64(app)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dim, err := brick.NewStore(dimSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app := uint32(0); app < 20; app++ {
+		if err := dim.Insert([]uint32{app, app % 4, app % 3}, nil); err == nil {
+			continue
+		}
+		// dim schema has no metrics; Insert expects len(metrics)==0.
+	}
+	return fact, dim
+}
+
+func joinSpec() *JoinSpec {
+	return &JoinSpec{Table: "apps", On: "app", Attrs: []string{"team", "tier"}}
+}
+
+func TestJoinGroupByAttribute(t *testing.T) {
+	fact, dim := buildJoinStores(t)
+	q := &Query{
+		Aggregates: []Aggregate{{Func: Sum, Metric: "value", Alias: "total"}},
+		GroupBy:    []string{"team"},
+	}
+	p, err := ExecuteJoin(fact, dim, q, joinSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Finalize()
+	if len(res.Rows) != 4 {
+		t.Fatalf("teams = %d, want 4", len(res.Rows))
+	}
+	// team k collects apps {k, k+4, k+8, k+12, k+16}, each over 10 ds:
+	// total = 10 * (5k + (0+4+8+12+16)) = 10*(5k+40).
+	for _, row := range res.Rows {
+		k := row[0]
+		want := 10 * (5*k + 40)
+		if row[1] != want {
+			t.Fatalf("team %v total = %v, want %v", k, row[1], want)
+		}
+	}
+}
+
+func TestJoinGroupByFactAndAttr(t *testing.T) {
+	fact, dim := buildJoinStores(t)
+	q := &Query{
+		Aggregates: []Aggregate{{Func: Count, Alias: "n"}},
+		GroupBy:    []string{"ds", "team"},
+	}
+	p, err := ExecuteJoin(fact, dim, q, joinSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Finalize()
+	if len(res.Rows) != 40 { // 10 ds × 4 teams
+		t.Fatalf("groups = %d, want 40", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[2] != 5 { // 5 apps per team per ds
+			t.Fatalf("count = %v, want 5", row[2])
+		}
+	}
+}
+
+func TestJoinAttributeFilter(t *testing.T) {
+	fact, dim := buildJoinStores(t)
+	q := &Query{
+		Aggregates: []Aggregate{{Func: Count, Alias: "n"}},
+		Filter:     map[string][2]uint32{"team": {1, 1}, "ds": {0, 4}},
+	}
+	p, err := ExecuteJoin(fact, dim, q, joinSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Finalize()
+	// team 1 has 5 apps; ds in [0,4] is 5 days -> 25 rows.
+	if res.Rows[0][0] != 25 {
+		t.Fatalf("filtered count = %v, want 25", res.Rows[0][0])
+	}
+}
+
+func TestJoinInnerSemantics(t *testing.T) {
+	fact, _ := buildJoinStores(t)
+	// Dimension table covering only apps 0..9: half the fact rows drop.
+	dim, _ := brick.NewStore(dimSchema())
+	for app := uint32(0); app < 10; app++ {
+		dim.Insert([]uint32{app, app % 4, app % 3}, nil)
+	}
+	q := &Query{Aggregates: []Aggregate{{Func: Count, Alias: "n"}}}
+	p, err := ExecuteJoin(fact, dim, q, joinSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Finalize()
+	if res.Rows[0][0] != 100 { // 10 ds × 10 matched apps
+		t.Fatalf("inner join count = %v, want 100", res.Rows[0][0])
+	}
+}
+
+func TestJoinValidationErrors(t *testing.T) {
+	fact, dim := buildJoinStores(t)
+	q := &Query{Aggregates: []Aggregate{{Func: Count}}}
+	cases := []*JoinSpec{
+		{On: "", Attrs: []string{"team"}},
+		{On: "nope", Attrs: []string{"team"}},
+		{On: "ds", Attrs: []string{"team"}},  // not in dim schema
+		{On: "app", Attrs: nil},              // no attributes
+		{On: "app", Attrs: []string{"nope"}}, // unknown attribute
+		{On: "app", Attrs: []string{"ds"}},   // shadows fact column
+	}
+	for i, js := range cases {
+		if _, err := ExecuteJoin(fact, dim, q, js); err == nil {
+			t.Errorf("case %d: invalid join accepted", i)
+		}
+	}
+	// Query referencing unknown columns.
+	badQ := &Query{Aggregates: []Aggregate{{Func: Count}}, GroupBy: []string{"ghost"}}
+	if _, err := ExecuteJoin(fact, dim, badQ, joinSpec()); err == nil {
+		t.Error("unknown group column accepted")
+	}
+	badF := &Query{Aggregates: []Aggregate{{Func: Count}}, Filter: map[string][2]uint32{"ghost": {0, 1}}}
+	if _, err := ExecuteJoin(fact, dim, badF, joinSpec()); err == nil {
+		t.Error("unknown filter column accepted")
+	}
+}
+
+// The distributed invariant extends to joins: joining each fact split
+// against the same replica and merging equals joining the whole.
+func TestJoinMergeInvariantProperty(t *testing.T) {
+	dim, _ := brick.NewStore(dimSchema())
+	for app := uint32(0); app < 20; app++ {
+		dim.Insert([]uint32{app, app % 4, app % 3}, nil)
+	}
+	q := &Query{
+		Aggregates: []Aggregate{{Func: Sum, Metric: "value"}, {Func: Count}},
+		GroupBy:    []string{"team"},
+	}
+	f := func(rows []uint16, split uint8) bool {
+		nParts := int(split)%3 + 1
+		whole, _ := brick.NewStore(factSchema())
+		parts := make([]*brick.Store, nParts)
+		for i := range parts {
+			parts[i], _ = brick.NewStore(factSchema())
+		}
+		for i, v := range rows {
+			dims := []uint32{uint32(v) % 10, uint32(v) % 20}
+			m := []float64{float64(v % 101)}
+			whole.Insert(dims, m)
+			parts[i%nParts].Insert(dims, m)
+		}
+		pw, err := ExecuteJoin(whole, dim, q, joinSpec())
+		if err != nil {
+			return false
+		}
+		merged := NewPartial(q)
+		for _, part := range parts {
+			pp, err := ExecuteJoin(part, dim, q, joinSpec())
+			if err != nil || merged.Merge(pp) != nil {
+				return false
+			}
+		}
+		a, b := pw.Finalize(), merged.Finalize()
+		if len(a.Rows) != len(b.Rows) {
+			return false
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if math.Abs(a.Rows[i][j]-b.Rows[i][j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cubrick/internal/hll"
+)
+
+// Wire format for partial results, so workers can return partials over the
+// network and coordinators can merge them exactly. Layout (little endian):
+//
+//	u32 magic "CBPR"
+//	uvarint rowsScanned
+//	uvarint groupKeyLen (uint32 count per group)
+//	uvarint cellCount (aggregates per group)
+//	uvarint groupCount
+//	per group: groupKeyLen × u32 key values,
+//	           cellCount × (f64 sum, varint count, f64 min, f64 max,
+//	                        uvarint sketchLen, sketchLen sketch bytes)
+//
+// sketchLen is zero for cells without a distinct-count sketch.
+const partialMagic = 0x43425052 // "CBPR"
+
+// MarshalBinary serializes the partial's accumulators (not finalized
+// values, so avg/min/max merge exactly on the coordinator).
+func (p *Partial) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	putF64 := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf.Write(b[:])
+	}
+
+	putU32(partialMagic)
+	putUvarint(uint64(p.RowsScanned))
+	keyLen := 0
+	cells := 0
+	if p.query != nil {
+		keyLen = len(p.query.GroupBy)
+		cells = len(p.query.Aggregates)
+	} else {
+		for _, g := range p.groups {
+			keyLen = len(g.key)
+			cells = len(g.cells)
+			break
+		}
+	}
+	putUvarint(uint64(keyLen))
+	putUvarint(uint64(cells))
+	putUvarint(uint64(len(p.groups)))
+	for _, g := range p.groups {
+		if len(g.key) != keyLen || len(g.cells) != cells {
+			return nil, fmt.Errorf("engine: inconsistent group arity %d/%d", len(g.key), len(g.cells))
+		}
+		for _, k := range g.key {
+			putU32(k)
+		}
+		for _, c := range g.cells {
+			putF64(c.sum)
+			putUvarint(uint64(c.count))
+			putF64(c.min)
+			putF64(c.max)
+			if c.sketch == nil {
+				putUvarint(0)
+				continue
+			}
+			blob, err := c.sketch.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			putUvarint(uint64(len(blob)))
+			buf.Write(blob)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalPartial parses a wire partial for the given query. The query
+// must structurally match the one the partial was produced with (same
+// group-by arity and aggregate count).
+func UnmarshalPartial(q *Query, data []byte) (*Partial, error) {
+	r := bytes.NewReader(data)
+	var u32buf [4]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(r, u32buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32buf[:]), nil
+	}
+	var f64buf [8]byte
+	readF64 := func() (float64, error) {
+		if _, err := io.ReadFull(r, f64buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(f64buf[:])), nil
+	}
+
+	magic, err := readU32()
+	if err != nil || magic != partialMagic {
+		return nil, fmt.Errorf("engine: bad partial magic")
+	}
+	rowsScanned, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+	}
+	keyLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+	}
+	cells, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+	}
+	if int(keyLen) != len(q.GroupBy) || int(cells) != len(q.Aggregates) {
+		return nil, fmt.Errorf("engine: partial shape %d/%d does not match query %d/%d",
+			keyLen, cells, len(q.GroupBy), len(q.Aggregates))
+	}
+	nGroups, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+	}
+
+	p := &Partial{query: q, groups: make(map[string]*group, nGroups), RowsScanned: int64(rowsScanned)}
+	for gi := uint64(0); gi < nGroups; gi++ {
+		g := &group{key: make([]uint32, keyLen), cells: make([]cell, cells)}
+		for i := range g.key {
+			v, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("engine: corrupt group key: %w", err)
+			}
+			g.key[i] = v
+		}
+		for i := range g.cells {
+			c := &g.cells[i]
+			if c.sum, err = readF64(); err != nil {
+				return nil, fmt.Errorf("engine: corrupt cell: %w", err)
+			}
+			cnt, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("engine: corrupt cell count: %w", err)
+			}
+			c.count = int64(cnt)
+			if c.min, err = readF64(); err != nil {
+				return nil, fmt.Errorf("engine: corrupt cell: %w", err)
+			}
+			if c.max, err = readF64(); err != nil {
+				return nil, fmt.Errorf("engine: corrupt cell: %w", err)
+			}
+			sketchLen, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("engine: corrupt sketch header: %w", err)
+			}
+			if sketchLen > 0 {
+				if sketchLen > uint64(r.Len()) {
+					return nil, fmt.Errorf("engine: sketch length %d exceeds payload", sketchLen)
+				}
+				blob := make([]byte, sketchLen)
+				if _, err := io.ReadFull(r, blob); err != nil {
+					return nil, fmt.Errorf("engine: corrupt sketch: %w", err)
+				}
+				c.sketch = hll.New()
+				if err := c.sketch.UnmarshalBinary(blob); err != nil {
+					return nil, err
+				}
+			}
+		}
+		p.groups[groupKey(g.key)] = g
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("engine: %d trailing bytes in partial", r.Len())
+	}
+	return p, nil
+}

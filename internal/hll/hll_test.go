@@ -1,0 +1,139 @@
+package hll
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySketch(t *testing.T) {
+	s := New()
+	if !s.Empty() {
+		t.Fatal("new sketch not empty")
+	}
+	if got := s.Estimate(); got != 0 {
+		t.Fatalf("empty estimate = %v", got)
+	}
+}
+
+func TestSmallCardinalitiesExact(t *testing.T) {
+	// Linear counting makes small cardinalities near-exact.
+	for _, n := range []int{1, 10, 100, 1000} {
+		s := New()
+		for i := 0; i < n; i++ {
+			s.Add(Hash64(uint64(i)))
+		}
+		got := s.Estimate()
+		if math.Abs(got-float64(n))/float64(n) > 0.05 {
+			t.Fatalf("estimate(%d) = %.1f, want within 5%%", n, got)
+		}
+	}
+}
+
+func TestLargeCardinalityWithinError(t *testing.T) {
+	const n = 1000000
+	s := New()
+	for i := 0; i < n; i++ {
+		s.Add(Hash64(uint64(i)))
+	}
+	got := s.Estimate()
+	if math.Abs(got-n)/n > 0.05 {
+		t.Fatalf("estimate(%d) = %.0f — error %.2f%%, want < 5%%", n, got, 100*math.Abs(got-n)/n)
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := New()
+	for rep := 0; rep < 100; rep++ {
+		for i := 0; i < 500; i++ {
+			s.Add(Hash64(uint64(i)))
+		}
+	}
+	got := s.Estimate()
+	if math.Abs(got-500)/500 > 0.05 {
+		t.Fatalf("estimate after heavy duplication = %.1f, want ~500", got)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b, u := New(), New(), New()
+	for i := 0; i < 10000; i++ {
+		a.Add(Hash64(uint64(i)))
+		u.Add(Hash64(uint64(i)))
+	}
+	for i := 5000; i < 20000; i++ { // overlapping range
+		b.Add(Hash64(uint64(i)))
+		u.Add(Hash64(uint64(i)))
+	}
+	a.Merge(b)
+	if a.Estimate() != u.Estimate() {
+		t.Fatalf("merge %.1f != union %.1f (merge must be lossless)", a.Estimate(), u.Estimate())
+	}
+	a.Merge(nil) // nil merge is a no-op
+}
+
+// Property: merging is commutative and idempotent.
+func TestMergePropertiesProperty(t *testing.T) {
+	f := func(xs, ys []uint32) bool {
+		a1, b1 := New(), New()
+		a2, b2 := New(), New()
+		for _, x := range xs {
+			a1.Add(Hash64(uint64(x)))
+			a2.Add(Hash64(uint64(x)))
+		}
+		for _, y := range ys {
+			b1.Add(Hash64(uint64(y)))
+			b2.Add(Hash64(uint64(y)))
+		}
+		a1.Merge(b1) // a ∪ b
+		b2.Merge(a2) // b ∪ a
+		if a1.Estimate() != b2.Estimate() {
+			return false
+		}
+		// Idempotent: merging again changes nothing.
+		before := a1.Estimate()
+		a1.Merge(b1)
+		return a1.Estimate() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 12345; i++ {
+		s.Add(Hash64(uint64(i)))
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if s.Estimate() != s2.Estimate() {
+		t.Fatalf("round trip changed estimate: %v vs %v", s.Estimate(), s2.Estimate())
+	}
+	// Corrupt inputs rejected.
+	if err := s2.UnmarshalBinary(blob[:10]); err == nil {
+		t.Fatal("short blob accepted")
+	}
+	bad := make([]byte, len(blob))
+	bad[0] = 255
+	if err := s2.UnmarshalBinary(bad); err == nil {
+		t.Fatal("out-of-range register accepted")
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Consecutive inputs must map to well-spread registers.
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		seen[Hash64(i)>>(64-Precision)] = true
+	}
+	if len(seen) < 800 {
+		t.Fatalf("only %d distinct registers from 1000 consecutive inputs", len(seen))
+	}
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TimeSeries accumulates values into fixed-width time windows. The
+// deployment simulator uses it to build the "per day over a week" panels of
+// the paper's Fig 4 (migrations per day, hosts repaired per day, ...).
+type TimeSeries struct {
+	mu     sync.Mutex
+	window time.Duration
+	epoch  time.Time
+	counts map[int64]float64
+}
+
+// NewTimeSeries returns a time series bucketed by window, with bucket 0
+// starting at epoch.
+func NewTimeSeries(epoch time.Time, window time.Duration) *TimeSeries {
+	if window <= 0 {
+		panic("metrics: non-positive TimeSeries window")
+	}
+	return &TimeSeries{window: window, epoch: epoch, counts: make(map[int64]float64)}
+}
+
+// Add accumulates v into the bucket containing t. Times before the epoch
+// land in bucket 0.
+func (ts *TimeSeries) Add(t time.Time, v float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	b := int64(t.Sub(ts.epoch) / ts.window)
+	if b < 0 {
+		b = 0
+	}
+	ts.counts[b] += v
+}
+
+// Buckets returns the bucket indexes (sorted) and their accumulated values,
+// with zero-filled gaps between the first and last non-empty bucket.
+func (ts *TimeSeries) Buckets() (idx []int64, vals []float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.counts) == 0 {
+		return nil, nil
+	}
+	var lo, hi int64
+	first := true
+	for b := range ts.counts {
+		if first {
+			lo, hi, first = b, b, false
+			continue
+		}
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	for b := lo; b <= hi; b++ {
+		idx = append(idx, b)
+		vals = append(vals, ts.counts[b])
+	}
+	return idx, vals
+}
+
+// String renders the series as "bucket=value" pairs, for logs and tests.
+func (ts *TimeSeries) String() string {
+	idx, vals := ts.Buckets()
+	var sb strings.Builder
+	for i := range idx {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d=%g", idx[i], vals[i])
+	}
+	return sb.String()
+}
+
+// Distribution is a simple container of float64 samples with exact
+// percentile computation, used where sample counts are small enough that a
+// histogram's bucketing error is unwanted (e.g. propagation-delay stats).
+type Distribution struct {
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
+}
+
+// Add records one sample.
+func (d *Distribution) Add(v float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.vals = append(d.vals, v)
+	d.sorted = false
+}
+
+// Len returns the number of samples.
+func (d *Distribution) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.vals)
+}
+
+// Quantile returns the exact q-quantile using nearest-rank, or 0 when empty.
+func (d *Distribution) Quantile(q float64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.vals) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.vals)
+		d.sorted = true
+	}
+	if q <= 0 {
+		return d.vals[0]
+	}
+	if q >= 1 {
+		return d.vals[len(d.vals)-1]
+	}
+	rank := int(q * float64(len(d.vals)))
+	if rank >= len(d.vals) {
+		rank = len(d.vals) - 1
+	}
+	return d.vals[rank]
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 when empty.
+func (d *Distribution) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.vals {
+		sum += v
+	}
+	return sum / float64(len(d.vals))
+}

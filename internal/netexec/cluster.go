@@ -1,0 +1,216 @@
+package netexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/core"
+	"cubrick/internal/cubrick"
+	"cubrick/internal/engine"
+)
+
+// Cluster is the coordinator-side view of a networked Cubrick cluster: a
+// set of worker URLs, a catalog of tables, and the partial-sharding layout
+// that maps each table's partitions to shards (via the §IV-A monotonic
+// mapping) and shards to workers. It is the multi-process counterpart of
+// the in-process Deployment: placement is deliberately simple (shard id
+// modulo worker count) because the full placement/balancing machinery
+// lives in internal/shardmgr; Cluster demonstrates the data plane.
+type Cluster struct {
+	mapper core.Mapper
+	client *http.Client
+
+	mu      sync.Mutex
+	workers []string // worker base URLs
+	tables  map[string]clusterTable
+}
+
+type clusterTable struct {
+	schema     brick.Schema
+	partitions int
+}
+
+// ErrNoWorkers is returned when operations run against an empty cluster.
+var ErrNoWorkers = errors.New("netexec: cluster has no workers")
+
+// NewCluster builds a coordinator over the given worker URLs.
+func NewCluster(workers []string, maxShards int64, client *http.Client) (*Cluster, error) {
+	if len(workers) == 0 {
+		return nil, ErrNoWorkers
+	}
+	if maxShards <= 0 {
+		maxShards = 100000
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Cluster{
+		mapper:  core.MonotonicMapper{MaxShards: maxShards},
+		client:  client,
+		workers: append([]string(nil), workers...),
+		tables:  make(map[string]clusterTable),
+	}, nil
+}
+
+// Workers returns the cluster's worker URLs.
+func (c *Cluster) Workers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.workers...)
+}
+
+// workerFor maps a shard to a worker URL.
+func (c *Cluster) workerFor(shard int64) string {
+	return c.workers[int(shard%int64(len(c.workers)))]
+}
+
+// CreateTable registers a table with the given partition count and creates
+// each partition on its worker.
+func (c *Cluster) CreateTable(name string, schema brick.Schema, partitions int) error {
+	if err := core.ValidateTableName(name); err != nil {
+		return err
+	}
+	if err := schema.Validate(); err != nil {
+		return err
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	c.mu.Lock()
+	if _, ok := c.tables[name]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("netexec: table %q exists", name)
+	}
+	c.tables[name] = clusterTable{schema: schema, partitions: partitions}
+	c.mu.Unlock()
+
+	for p := 0; p < partitions; p++ {
+		shard := c.mapper.Shard(name, p)
+		cl := &Client{BaseURL: c.workerFor(shard), HTTP: c.client}
+		if err := cl.CreatePartition(core.PartitionName(name, p), schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tables lists the catalog: name and partition count, sorted by name.
+func (c *Cluster) Tables() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.tables))
+	for name, t := range c.tables {
+		out[name] = t.partitions
+	}
+	return out
+}
+
+// table returns a catalog entry.
+func (c *Cluster) table(name string) (clusterTable, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return clusterTable{}, fmt.Errorf("netexec: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Load routes rows to partitions by dimension hash (the same routing the
+// in-process deployment uses) and ships each batch to its worker.
+func (c *Cluster) Load(table string, dims [][]uint32, metrics [][]float64) error {
+	t, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	if len(dims) != len(metrics) {
+		return errors.New("netexec: dims/metrics length mismatch")
+	}
+	byPart := make(map[int][][2]int) // partition -> row indexes (as pairs for reuse)
+	for i := range dims {
+		p := cubrick.RouteRow(dims[i], t.partitions)
+		byPart[p] = append(byPart[p], [2]int{i, i})
+	}
+	parts := make([]int, 0, len(byPart))
+	for p := range byPart {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		idx := byPart[p]
+		bd := make([][]uint32, len(idx))
+		bm := make([][]float64, len(idx))
+		for j, pair := range idx {
+			bd[j] = dims[pair[0]]
+			bm[j] = metrics[pair[0]]
+		}
+		shard := c.mapper.Shard(table, p)
+		cl := &Client{BaseURL: c.workerFor(shard), HTTP: c.client}
+		if err := cl.Load(core.PartitionName(table, p), bd, bm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Targets returns the scatter-gather targets of a table.
+func (c *Cluster) Targets(table string) ([]Target, error) {
+	t, err := c.table(table)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]Target, t.partitions)
+	for p := 0; p < t.partitions; p++ {
+		shard := c.mapper.Shard(table, p)
+		targets[p] = Target{URL: c.workerFor(shard), Partition: core.PartitionName(table, p)}
+	}
+	return targets, nil
+}
+
+// Query executes a grouped aggregation over the networked cluster.
+func (c *Cluster) Query(ctx context.Context, table string, q *engine.Query) (*engine.Result, error) {
+	targets, err := c.Targets(table)
+	if err != nil {
+		return nil, err
+	}
+	coord := &Coordinator{Client: c.client}
+	return coord.Query(ctx, targets, q)
+}
+
+// Fanout returns how many distinct workers a table's queries touch — the
+// partial-sharding containment, visible across processes.
+func (c *Cluster) Fanout(table string) (int, error) {
+	targets, err := c.Targets(table)
+	if err != nil {
+		return 0, err
+	}
+	distinct := make(map[string]bool)
+	for _, t := range targets {
+		distinct[t.URL] = true
+	}
+	return len(distinct), nil
+}
+
+// Health pings every worker; it returns the unreachable ones.
+func (c *Cluster) Health(ctx context.Context) (unhealthy []string) {
+	for _, url := range c.Workers() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/health", nil)
+		if err != nil {
+			unhealthy = append(unhealthy, url)
+			continue
+		}
+		resp, err := c.client.Do(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			unhealthy = append(unhealthy, url)
+		}
+		if resp != nil {
+			resp.Body.Close()
+		}
+	}
+	return unhealthy
+}

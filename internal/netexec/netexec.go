@@ -1,0 +1,349 @@
+// Package netexec is the networked data plane: Cubrick's scatter-gather
+// over real HTTP instead of in-process calls. A Worker serves partition
+// stores (ingest and partial-query execution) over HTTP; a Coordinator
+// fans a query out to the workers holding the table's partitions, merges
+// the returned wire partials and finalizes — exactly the paper's execution
+// flow ("Each node eventually returns a partial result, which are merged
+// and materialized on a query coordinator node"), with partials crossing a
+// real network boundary.
+package netexec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/engine"
+)
+
+// SchemaJSON is the wire form of a brick schema.
+type SchemaJSON struct {
+	Dimensions []struct {
+		Name    string `json:"name"`
+		Max     uint32 `json:"max"`
+		Buckets uint32 `json:"buckets"`
+	} `json:"dimensions"`
+	Metrics []struct {
+		Name string `json:"name"`
+	} `json:"metrics"`
+}
+
+// ToSchema converts the wire form.
+func (sj SchemaJSON) ToSchema() brick.Schema {
+	var s brick.Schema
+	for _, d := range sj.Dimensions {
+		s.Dimensions = append(s.Dimensions, brick.Dimension{Name: d.Name, Max: d.Max, Buckets: d.Buckets})
+	}
+	for _, m := range sj.Metrics {
+		s.Metrics = append(s.Metrics, brick.Metric{Name: m.Name})
+	}
+	return s
+}
+
+// FromSchema converts to the wire form.
+func FromSchema(s brick.Schema) SchemaJSON {
+	var sj SchemaJSON
+	for _, d := range s.Dimensions {
+		sj.Dimensions = append(sj.Dimensions, struct {
+			Name    string `json:"name"`
+			Max     uint32 `json:"max"`
+			Buckets uint32 `json:"buckets"`
+		}{d.Name, d.Max, d.Buckets})
+	}
+	for _, m := range s.Metrics {
+		sj.Metrics = append(sj.Metrics, struct {
+			Name string `json:"name"`
+		}{m.Name})
+	}
+	return sj
+}
+
+// Worker hosts partition stores behind an HTTP API:
+//
+//	POST /partition  {"name": ..., "schema": {...}}     create a partition
+//	POST /load       {"partition": ..., "rows": [...]}  ingest
+//	POST /partial    {"partition": ..., "query": {...}} execute, returns a
+//	                 binary engine partial (application/octet-stream)
+//	GET  /health     liveness
+type Worker struct {
+	mu     sync.Mutex
+	stores map[string]*brick.Store
+}
+
+// NewWorker returns an empty worker.
+func NewWorker() *Worker {
+	return &Worker{stores: make(map[string]*brick.Store)}
+}
+
+// AddPartition creates a partition store.
+func (w *Worker) AddPartition(name string, schema brick.Schema) error {
+	st, err := brick.NewStore(schema)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.stores[name]; ok {
+		return fmt.Errorf("netexec: partition %q exists", name)
+	}
+	w.stores[name] = st
+	return nil
+}
+
+// Store returns a partition's store.
+func (w *Worker) Store(name string) (*brick.Store, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, ok := w.stores[name]
+	if !ok {
+		return nil, fmt.Errorf("netexec: no partition %q", name)
+	}
+	return st, nil
+}
+
+// Partitions returns the worker's partition names, sorted.
+func (w *Worker) Partitions() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.stores))
+	for n := range w.stores {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type rowJSON struct {
+	Dims    []uint32  `json:"dims"`
+	Metrics []float64 `json:"metrics"`
+}
+
+// Handler returns the worker's HTTP handler.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		io.WriteString(rw, "ok")
+	})
+	mux.HandleFunc("/partition", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Name   string     `json:"name"`
+			Schema SchemaJSON `json:"schema"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := w.AddPartition(req.Name, req.Schema.ToSchema()); err != nil {
+			http.Error(rw, err.Error(), http.StatusConflict)
+			return
+		}
+		rw.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("/load", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Partition string    `json:"partition"`
+			Rows      []rowJSON `json:"rows"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := w.Store(req.Partition)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusNotFound)
+			return
+		}
+		for _, row := range req.Rows {
+			if err := st.Insert(row.Dims, row.Metrics); err != nil {
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		fmt.Fprintf(rw, `{"loaded":%d}`, len(req.Rows))
+	})
+	mux.HandleFunc("/partial", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Partition string       `json:"partition"`
+			Query     engine.Query `json:"query"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := w.Store(req.Partition)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusNotFound)
+			return
+		}
+		partial, err := engine.Execute(st, &req.Query)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		blob, err := partial.MarshalBinary()
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.Write(blob)
+	})
+	return mux
+}
+
+// Target is one partition placement: which worker URL serves it.
+type Target struct {
+	URL       string
+	Partition string
+}
+
+// ErrWorkerFailed wraps per-worker HTTP failures.
+var ErrWorkerFailed = errors.New("netexec: worker request failed")
+
+// Coordinator fans queries out to workers and merges their partials.
+type Coordinator struct {
+	// Client is the HTTP client used for worker calls; http.DefaultClient
+	// when nil.
+	Client *http.Client
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// Query executes q over all targets in parallel and returns the merged,
+// finalized result. Any worker failure fails the query (exact semantics,
+// §II-C) with an error wrapping ErrWorkerFailed.
+func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Query) (*engine.Result, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("netexec: no targets")
+	}
+	type outcome struct {
+		partial *engine.Partial
+		err     error
+	}
+	results := make([]outcome, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			partial, err := c.fetchPartial(ctx, t, q)
+			results[i] = outcome{partial, err}
+		}(i, t)
+	}
+	wg.Wait()
+
+	merged := engine.NewPartial(q)
+	for i, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("%w: %s %s: %v", ErrWorkerFailed, targets[i].URL, targets[i].Partition, res.err)
+		}
+		if err := merged.Merge(res.partial); err != nil {
+			return nil, err
+		}
+	}
+	return merged.Finalize(), nil
+}
+
+func (c *Coordinator) fetchPartial(ctx context.Context, t Target, q *engine.Query) (*engine.Partial, error) {
+	body, err := json.Marshal(struct {
+		Partition string        `json:"partition"`
+		Query     *engine.Query `json:"query"`
+	}{t.Partition, q})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.URL+"/partial", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return engine.UnmarshalPartial(q, blob)
+}
+
+// Client is a convenience HTTP client for worker admin operations.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+func (cl *Client) http() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (cl *Client) post(path string, v interface{}) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.http().Post(cl.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%w: %s: status %d: %s", ErrWorkerFailed, path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// CreatePartition creates a partition on the worker.
+func (cl *Client) CreatePartition(name string, schema brick.Schema) error {
+	return cl.post("/partition", struct {
+		Name   string     `json:"name"`
+		Schema SchemaJSON `json:"schema"`
+	}{name, FromSchema(schema)})
+}
+
+// Load ingests rows into a partition on the worker.
+func (cl *Client) Load(partition string, dims [][]uint32, metrics [][]float64) error {
+	rows := make([]rowJSON, len(dims))
+	for i := range dims {
+		rows[i] = rowJSON{Dims: dims[i], Metrics: metrics[i]}
+	}
+	return cl.post("/load", struct {
+		Partition string    `json:"partition"`
+		Rows      []rowJSON `json:"rows"`
+	}{partition, rows})
+}

@@ -1,0 +1,122 @@
+package shardmgr
+
+import (
+	"sync"
+	"time"
+
+	"cubrick/internal/cluster"
+	"cubrick/internal/simclock"
+	"cubrick/internal/zk"
+)
+
+// Agent is the SM-specific library linked into an application server
+// (§III-A: "An SM-specific library is linked to the service, providing
+// endpoints that allow SM server to communicate with it, collect counters,
+// add and drop shards"). It registers the server with SM and heartbeats its
+// zk session while the underlying host is healthy; when the host fails, the
+// heartbeats stop and SM's Sweep detects the death through session expiry —
+// exactly the paper's failure-detection path.
+type Agent struct {
+	sm       *Server
+	service  string
+	host     *cluster.Host
+	clock    *simclock.SimClock
+	interval time.Duration
+
+	mu      sync.Mutex
+	session *zk.Session
+	app     AppServer
+	stop    func()
+}
+
+// NewAgent creates an (unstarted) agent for the application server app
+// running on host.
+func NewAgent(sm *Server, serviceName string, host *cluster.Host, app AppServer, clock *simclock.SimClock, heartbeatInterval time.Duration) *Agent {
+	return &Agent{
+		sm:       sm,
+		service:  serviceName,
+		host:     host,
+		clock:    clock,
+		interval: heartbeatInterval,
+		app:      app,
+	}
+}
+
+// Start registers with SM and begins heartbeating on the simulated clock.
+func (a *Agent) Start() error {
+	sess, err := a.sm.RegisterServer(a.service, a.host.Name, a.app)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.session = sess
+	a.mu.Unlock()
+	a.stop = a.clock.Ticker(a.interval, a.beat)
+	return nil
+}
+
+// beat refreshes the session while the host is healthy. A Down or
+// Repairing host cannot heartbeat; a Draining host still can.
+func (a *Agent) beat() {
+	if !a.host.Available() {
+		return
+	}
+	a.mu.Lock()
+	sess := a.session
+	a.mu.Unlock()
+	if sess == nil {
+		return
+	}
+	if err := sess.Heartbeat(); err != nil {
+		// Session already expired: SM considers this server dead. A real
+		// deployment would re-register; Rejoin does that explicitly.
+		return
+	}
+}
+
+// Expired reports whether SM has declared this server dead.
+func (a *Agent) Expired() bool {
+	a.mu.Lock()
+	sess := a.session
+	a.mu.Unlock()
+	if sess == nil {
+		return false
+	}
+	select {
+	case <-sess.Expired():
+		return true
+	default:
+		return false
+	}
+}
+
+// Rejoin re-registers a server whose session expired (e.g. the host came
+// back from repair). The application server presents itself empty; SM will
+// assign shards to it over time.
+func (a *Agent) Rejoin() error {
+	if !a.Expired() {
+		return nil
+	}
+	sess, err := a.sm.RegisterServer(a.service, a.host.Name, a.app)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.session = sess
+	a.mu.Unlock()
+	return nil
+}
+
+// Stop halts heartbeating and closes the session (a graceful leave).
+func (a *Agent) Stop() {
+	if a.stop != nil {
+		a.stop()
+	}
+	a.mu.Lock()
+	sess := a.session
+	a.session = nil
+	a.mu.Unlock()
+	if sess != nil {
+		sess.Close()
+	}
+}

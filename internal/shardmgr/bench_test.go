@@ -1,0 +1,127 @@
+package shardmgr
+
+import (
+	"testing"
+	"time"
+
+	"cubrick/internal/cluster"
+	"cubrick/internal/discovery"
+	"cubrick/internal/simclock"
+	"cubrick/internal/zk"
+)
+
+// benchRig builds an SM deployment with the given number of servers, all
+// healthy, outside the testing.T helpers.
+func benchRig(b *testing.B, hosts int) *rig {
+	b.Helper()
+	clk := simclock.NewSim(epoch)
+	store := zk.NewStore(clk)
+	dir := discovery.NewDirectory(clk)
+	fleet := cluster.Build(cluster.BuildConfig{
+		Regions:        []string{"east"},
+		RacksPerRegion: (hosts + 15) / 16,
+		HostsPerRack:   16,
+	})
+	sm := NewServer(clk, store, dir, fleet)
+	cfg := defaultCfg()
+	cfg.MaxShards = 1 << 20
+	if err := sm.RegisterService(cfg); err != nil {
+		b.Fatal(err)
+	}
+	r := &rig{clk: clk, store: store, dir: dir, fleet: fleet, sm: sm, apps: make(map[string]*fakeApp)}
+	for i, h := range fleet.Hosts() {
+		if i >= hosts {
+			break
+		}
+		app := newFakeApp(h.Name, 1e15)
+		r.apps[h.Name] = app
+		if _, err := sm.RegisterServer(cfg.Name, h.Name, app); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// BenchmarkAssignShard measures initial placement cost as shards accumulate
+// (the table-creation path).
+func BenchmarkAssignShard(b *testing.B) {
+	r := benchRig(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.sm.AssignShard("svc", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N), "shards_placed")
+}
+
+// BenchmarkBalanceRun measures one load-balancing pass over a populated
+// service (the periodic SM server work).
+func BenchmarkBalanceRun(b *testing.B) {
+	r := benchRig(b, 64)
+	for i := int64(0); i < 2000; i++ {
+		if _, err := r.sm.AssignShard("svc", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Skew a quarter of the shards so the balancer has work.
+	for i := int64(0); i < 500; i++ {
+		r.sm.SetShardLoad("svc", i, float64(100+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.sm.BalanceOnce("svc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFailoverServer measures failing over a server holding many
+// shards (the heartbeat-expiry path).
+func BenchmarkFailoverServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := benchRig(b, 16)
+		for s := int64(0); s < 128; s++ {
+			if _, err := r.sm.AssignShard("svc", s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		victim := r.fleet.Hosts()[0]
+		victim.SetState(cluster.Down)
+		sessions := r.sessions(&testing.T{})
+		b.StartTimer()
+		for j := 0; j < 8; j++ {
+			r.clk.Advance(5 * time.Second)
+			for name, sess := range sessions {
+				h, _ := r.fleet.Host(name)
+				if h.Available() {
+					sess.Heartbeat()
+				}
+			}
+			r.sm.Sweep()
+		}
+	}
+}
+
+// BenchmarkResolve measures SM-client shard resolution through the local
+// discovery proxy (the per-query hot path).
+func BenchmarkResolve(b *testing.B) {
+	clk := simclock.NewSim(epoch)
+	dir := discovery.NewDirectory(clk)
+	tree := discovery.NewTree(clk, dir, discovery.TreeConfig{Levels: 1, HopDelayMean: time.Millisecond}, nil)
+	// A production-scale key space: per-delta propagation keeps each
+	// publish O(levels), so setup stays linear.
+	const shards = 100000
+	for i := int64(0); i < shards; i++ {
+		dir.Publish(discovery.ShardKey{Service: "svc", Shard: i}, "host")
+	}
+	clk.Advance(time.Second)
+	c := NewClient("svc", tree.Proxy("client"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Resolve(int64(i % shards)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

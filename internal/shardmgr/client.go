@@ -1,0 +1,62 @@
+package shardmgr
+
+import (
+	"errors"
+	"fmt"
+
+	"cubrick/internal/discovery"
+)
+
+// Client is the SM Client library (§III-A): callers provide a service name
+// and shard number, and the client resolves the pair to a hostname through
+// the service discovery system's local proxy — never through the SM server,
+// which keeps resolution working when SM is down (§V-C).
+type Client struct {
+	service string
+	proxy   *discovery.LocalProxy
+}
+
+// NewClient returns a client for one service resolving through the given
+// local discovery proxy (normally the proxy of the host the client runs
+// on).
+func NewClient(service string, proxy *discovery.LocalProxy) *Client {
+	return &Client{service: service, proxy: proxy}
+}
+
+// Resolve maps a shard to the hostname currently serving it, per this
+// host's (possibly slightly stale) discovery cache.
+func (c *Client) Resolve(shard int64) (string, error) {
+	return c.proxy.Resolve(discovery.ShardKey{Service: c.service, Shard: shard})
+}
+
+// ErrStaleMapping is returned by Dispatch when the resolved server rejects
+// the shard (it no longer owns it), signalling the caller to retry after
+// propagation catches up.
+var ErrStaleMapping = errors.New("shardmgr: stale shard mapping")
+
+// Dispatch resolves the shard and invokes call with the target hostname.
+// If call reports the server no longer owns the shard (by returning an
+// error wrapping ErrStaleMapping), Dispatch retries resolution up to
+// retries times — mappings can lag during migrations (§III-A, §IV-E).
+func (c *Client) Dispatch(shard int64, retries int, call func(host string) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		host, err := c.Resolve(shard)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = call(host)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrStaleMapping) {
+			return err
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: %s/%d", discovery.ErrUnknownShard, c.service, shard)
+	}
+	return lastErr
+}

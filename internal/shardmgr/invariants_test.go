@@ -1,0 +1,169 @@
+package shardmgr
+
+import (
+	"testing"
+	"time"
+
+	"cubrick/internal/cluster"
+	"cubrick/internal/randutil"
+)
+
+// checkInvariants verifies the SM server's internal consistency:
+//  1. assignments and hostShards are mirror images of each other;
+//  2. no shard has two replicas on one host;
+//  3. every replica's host is a registered server;
+//  4. a shard is never both assigned and pending.
+func (r *rig) checkInvariants(t *testing.T) {
+	t.Helper()
+	r.sm.mu.Lock()
+	defer r.sm.mu.Unlock()
+	for name, svc := range r.sm.services {
+		// 1a: every assignment replica appears in hostShards.
+		for shard, a := range svc.assignments {
+			hosts := make(map[string]bool)
+			for _, rep := range a.Replicas {
+				if hosts[rep.Host] {
+					t.Fatalf("service %s shard %d has two replicas on %s", name, shard, rep.Host)
+				}
+				hosts[rep.Host] = true
+				if _, ok := svc.hostShards[rep.Host][shard]; !ok {
+					t.Fatalf("service %s shard %d replica on %s missing from hostShards", name, shard, rep.Host)
+				}
+				if _, ok := svc.servers[rep.Host]; !ok {
+					t.Fatalf("service %s shard %d assigned to unregistered server %s", name, shard, rep.Host)
+				}
+			}
+			if _, pend := svc.pending[shard]; pend && len(a.Replicas) > 0 {
+				// Pending replicas are allowed alongside surviving
+				// replicas only in replicated models; primary-only must
+				// not have both.
+				if svc.cfg.Model == PrimaryOnly {
+					t.Fatalf("service %s shard %d both assigned and pending", name, shard)
+				}
+			}
+		}
+		// Cache consistency: the incremental per-host load cache equals a
+		// fresh recomputation from hostShards.
+		for host, shards := range svc.hostShards {
+			var want float64
+			for shard := range shards {
+				want += svc.shardLoad(shard)
+			}
+			got := svc.hostLoad(host)
+			if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("service %s host %s load cache drifted: %v vs %v", name, host, got, want)
+			}
+		}
+		// 1b: every hostShards entry appears in assignments.
+		for host, shards := range svc.hostShards {
+			for shard := range shards {
+				a, ok := svc.assignments[shard]
+				if !ok {
+					t.Fatalf("service %s host %s holds shard %d with no assignment", name, host, shard)
+				}
+				found := false
+				for _, rep := range a.Replicas {
+					if rep.Host == host {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("service %s host %s in hostShards but not in assignment of %d", name, host, shard)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomOperationsPreserveInvariants drives the SM server with a long
+// random sequence of control-plane operations and checks internal
+// consistency after every step.
+func TestRandomOperationsPreserveInvariants(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MaxShards = 500
+	r := newRig(t, 6, cfg)
+	rnd := randutil.New(2024)
+
+	hosts := make([]string, 0, len(r.apps))
+	for name := range r.apps {
+		hosts = append(hosts, name)
+	}
+	var assigned []int64
+	heartbeatAll := func() {
+		for name, sess := range r.sessions(t) {
+			h, _ := r.fleet.Host(name)
+			if h.Available() {
+				sess.Heartbeat()
+			}
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch rnd.Intn(8) {
+		case 0, 1: // assign a new shard
+			shard := int64(rnd.Intn(500))
+			if _, err := r.sm.AssignShard("svc", shard); err == nil {
+				assigned = append(assigned, shard)
+			}
+		case 2: // unassign a random assigned shard
+			if len(assigned) > 0 {
+				i := rnd.Intn(len(assigned))
+				r.sm.UnassignShard("svc", assigned[i])
+				assigned = append(assigned[:i], assigned[i+1:]...)
+			}
+		case 3: // migrate a random shard to a random host
+			if len(assigned) > 0 {
+				shard := assigned[rnd.Intn(len(assigned))]
+				if a, err := r.sm.Assignment("svc", shard); err == nil {
+					to := hosts[rnd.Intn(len(hosts))]
+					r.sm.MigrateShard("svc", shard, a.Primary(), to)
+				}
+			}
+		case 4: // kill a host
+			h, _ := r.fleet.Host(hosts[rnd.Intn(len(hosts))])
+			if h.State() == cluster.Up {
+				h.SetState(cluster.Down)
+			}
+		case 5: // revive a host (and rejoin if its session lapsed)
+			h, _ := r.fleet.Host(hosts[rnd.Intn(len(hosts))])
+			if h.State() == cluster.Down {
+				h.SetState(cluster.Up)
+			}
+		case 6: // time passes; heartbeats and sweeps run
+			for i := 0; i < 8; i++ {
+				r.clk.Advance(5 * time.Second)
+				heartbeatAll()
+				r.sm.Sweep()
+			}
+			// Dead-then-revived servers re-register empty, as the agent
+			// would after repair.
+			for name, app := range r.apps {
+				h, _ := r.fleet.Host(name)
+				if !h.Available() {
+					continue
+				}
+				if srvs, _ := r.sm.Servers("svc"); !containsStr(srvs, name) {
+					app.mu.Lock()
+					app.shards = make(map[int64]Role)
+					app.loads = make(map[int64]float64)
+					app.mu.Unlock()
+					r.sm.RegisterServer("svc", name, app)
+				}
+			}
+		case 7: // balance
+			r.sm.CollectMetrics("svc")
+			r.sm.BalanceOnce("svc")
+		}
+		r.clk.Advance(time.Second) // flush scheduled drops
+		r.checkInvariants(t)
+	}
+}
+
+func containsStr(v []string, s string) bool {
+	for _, x := range v {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

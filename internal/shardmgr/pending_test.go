@@ -1,0 +1,168 @@
+package shardmgr
+
+import (
+	"testing"
+	"time"
+
+	"cubrick/internal/cluster"
+)
+
+// TestFailoverRetriesWhenNoCapacity exercises the pending-placement path:
+// a shard whose failover finds no eligible server is parked and placed
+// once capacity returns — queries recover without operator action.
+func TestFailoverRetriesWhenNoCapacity(t *testing.T) {
+	cfg := defaultCfg()
+	r := newRig(t, 2, cfg) // two servers: one dies, the other rejects
+	a, err := r.sm.AssignShard("svc", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimName := a.Primary()
+	var survivorName string
+	for name := range r.apps {
+		if name != victimName {
+			survivorName = name
+		}
+	}
+	// The survivor rejects the shard (collision), so failover has nowhere
+	// to go.
+	r.apps[survivorName].reject[7] = true
+
+	victim, _ := r.fleet.Host(victimName)
+	victim.SetState(cluster.Down)
+	sessions := r.sessions(t)
+	expire := func() {
+		for i := 0; i < 14; i++ {
+			r.clk.Advance(5 * time.Second)
+			for name, sess := range sessions {
+				h, _ := r.fleet.Host(name)
+				if h.Available() {
+					sess.Heartbeat()
+				}
+			}
+			r.sm.Sweep()
+		}
+	}
+	expire()
+
+	// Shard is unplaced but parked.
+	if _, err := r.sm.Assignment("svc", 7); err == nil {
+		t.Fatal("shard still assigned despite failed failover")
+	}
+
+	// Capacity returns: the survivor stops rejecting; the next sweep
+	// places the shard.
+	r.apps[survivorName].mu.Lock()
+	delete(r.apps[survivorName].reject, 7)
+	r.apps[survivorName].mu.Unlock()
+	r.sm.Sweep()
+
+	got, err := r.sm.Assignment("svc", 7)
+	if err != nil {
+		t.Fatalf("shard not placed after capacity returned: %v", err)
+	}
+	if got.Primary() != survivorName {
+		t.Fatalf("placed on %s, want %s", got.Primary(), survivorName)
+	}
+	if !r.apps[survivorName].has(7) {
+		t.Fatal("survivor does not hold the shard")
+	}
+}
+
+func TestUnassignClearsPending(t *testing.T) {
+	cfg := defaultCfg()
+	r := newRig(t, 2, cfg)
+	r.sm.AssignShard("svc", 3)
+	// Force the shard into pending by faking: mark assignment's host dead
+	// with the other host rejecting.
+	a, _ := r.sm.Assignment("svc", 3)
+	victim := a.Primary()
+	var other string
+	for name := range r.apps {
+		if name != victim {
+			other = name
+		}
+	}
+	r.apps[other].reject[3] = true
+	h, _ := r.fleet.Host(victim)
+	h.SetState(cluster.Down)
+	sessions := r.sessions(t)
+	for i := 0; i < 14; i++ {
+		r.clk.Advance(5 * time.Second)
+		for name, sess := range sessions {
+			hh, _ := r.fleet.Host(name)
+			if hh.Available() {
+				sess.Heartbeat()
+			}
+		}
+		r.sm.Sweep()
+	}
+	// Table dropped while shard is pending: clears the parked replica.
+	if err := r.sm.UnassignShard("svc", 3); err == nil {
+		t.Log("unassign of pending shard returned nil (assignment already empty)")
+	}
+	r.apps[other].mu.Lock()
+	delete(r.apps[other].reject, 3)
+	r.apps[other].mu.Unlock()
+	r.sm.Sweep()
+	if _, err := r.sm.Assignment("svc", 3); err == nil {
+		t.Fatal("dropped shard resurrected from pending queue")
+	}
+}
+
+func TestAssignmentsSnapshot(t *testing.T) {
+	r := newRig(t, 3, defaultCfg())
+	for i := int64(0); i < 5; i++ {
+		r.sm.AssignShard("svc", i)
+	}
+	all, err := r.sm.Assignments("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("assignments = %d", len(all))
+	}
+	for id, a := range all {
+		if a.Shard != id || len(a.Replicas) != 1 {
+			t.Fatalf("assignment %d = %+v", id, a)
+		}
+	}
+	if _, err := r.sm.Assignments("nope"); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+// TestMigrationBackAndForthKeepsData replays the chaos-found bug: a shard
+// migrated A→B and back B→A before A's delayed drop fired must survive —
+// the drop re-checks ownership (§IV-E's zero-request-rate condition).
+func TestMigrationBackAndForthKeepsData(t *testing.T) {
+	r := newRig(t, 2, defaultCfg())
+	a, _ := r.sm.AssignShard("svc", 9)
+	hostA := a.Primary()
+	var hostB string
+	for name := range r.apps {
+		if name != hostA {
+			hostB = name
+		}
+	}
+	if err := r.sm.MigrateShard("svc", 9, hostA, hostB); err != nil {
+		t.Fatal(err)
+	}
+	// Migrate back before the propagation wait elapses.
+	r.clk.Advance(2 * time.Second)
+	if err := r.sm.MigrateShard("svc", 9, hostB, hostA); err != nil {
+		t.Fatal(err)
+	}
+	// Let both delayed drops fire.
+	r.clk.Advance(time.Minute)
+	if !r.apps[hostA].has(9) {
+		t.Fatal("delayed drop destroyed the shard after it migrated back")
+	}
+	if r.apps[hostB].has(9) {
+		t.Fatal("intermediate host still owns the shard")
+	}
+	got, _ := r.sm.Assignment("svc", 9)
+	if got.Primary() != hostA {
+		t.Fatalf("assignment = %s, want %s", got.Primary(), hostA)
+	}
+}

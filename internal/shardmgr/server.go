@@ -1,0 +1,632 @@
+package shardmgr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cubrick/internal/cluster"
+	"cubrick/internal/discovery"
+	"cubrick/internal/simclock"
+	"cubrick/internal/zk"
+)
+
+// Server is the central SM scheduler (§III-A, "SM Server"): it tracks
+// application servers, collects their per-shard metrics, decides shard
+// placement, runs load balancing, and coordinates migrations and failovers.
+// Persistent state and heartbeats live in the zk store; shard↔server
+// mappings are published through the discovery directory.
+//
+// The SM server is deliberately outside the data path: moving shard data is
+// the application's job, triggered through the AppServer endpoints.
+type Server struct {
+	clock simclock.Scheduler
+	store *zk.Store
+	dir   *discovery.Directory
+	fleet *cluster.Fleet
+
+	mu        sync.Mutex
+	services  map[string]*service
+	listeners []func(MigrationEvent)
+}
+
+type service struct {
+	cfg ServiceConfig
+	// servers maps hostname to the registered application server handle.
+	servers map[string]*serverHandle
+	// assignments maps shard id to its current replica set.
+	assignments map[int64]*Assignment
+	// loads is the latest per-shard load metric collected from servers.
+	loads map[int64]float64
+	// hostShards indexes shard replicas by hostname.
+	hostShards map[string]map[int64]Role
+	// pending holds replicas whose failover placement failed (e.g. every
+	// candidate was down or collided); Sweep retries them until capacity
+	// returns.
+	pending map[int64]Role
+	// loadCache maintains each host's total load incrementally, so
+	// placement scans are O(hosts) instead of O(hosts × shards/host).
+	loadCache map[string]float64
+}
+
+type serverHandle struct {
+	host    *cluster.Host
+	app     AppServer
+	session *zk.Session
+}
+
+// NewServer constructs an SM server. All dependencies are required.
+func NewServer(clock simclock.Scheduler, store *zk.Store, dir *discovery.Directory, fleet *cluster.Fleet) *Server {
+	return &Server{
+		clock:    clock,
+		store:    store,
+		dir:      dir,
+		fleet:    fleet,
+		services: make(map[string]*service),
+	}
+}
+
+// OnMigration registers a listener invoked after every completed shard
+// movement (used to build the Fig 4d series).
+func (s *Server) OnMigration(fn func(MigrationEvent)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.listeners = append(s.listeners, fn)
+}
+
+func (s *Server) emit(ev MigrationEvent) {
+	s.mu.Lock()
+	ls := append([]func(MigrationEvent){}, s.listeners...)
+	s.mu.Unlock()
+	for _, fn := range ls {
+		fn(ev)
+	}
+}
+
+// RegisterService creates a service (application) in SM. "The server also
+// exposes APIs to allow users to register new applications" (§III-A).
+func (s *Server) RegisterService(cfg ServiceConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.services[cfg.Name]; ok {
+		return fmt.Errorf("%w: service %s", ErrAlreadyExists, cfg.Name)
+	}
+	s.services[cfg.Name] = &service{
+		cfg:         cfg,
+		servers:     make(map[string]*serverHandle),
+		assignments: make(map[int64]*Assignment),
+		loads:       make(map[int64]float64),
+		hostShards:  make(map[string]map[int64]Role),
+		pending:     make(map[int64]Role),
+		loadCache:   make(map[string]float64),
+	}
+	return s.store.CreateAll("/sm/"+cfg.Name+"/servers", nil)
+}
+
+// Service returns the configuration of a registered service.
+func (s *Server) Service(name string) (ServiceConfig, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.services[name]
+	if !ok {
+		return ServiceConfig{}, fmt.Errorf("%w: %s", ErrUnknownService, name)
+	}
+	return svc.cfg, nil
+}
+
+// RegisterServer attaches an application server running on hostName to the
+// service. It opens a zk session whose ephemeral node is the server's
+// heartbeat; the returned session must be heartbeated (the Agent in this
+// package does so) or Sweep will declare the server dead.
+func (s *Server) RegisterServer(serviceName, hostName string, app AppServer) (*zk.Session, error) {
+	host, err := s.fleet.Host(hostName)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	svc, ok := s.services[serviceName]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	if _, dup := svc.servers[hostName]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: server %s", ErrAlreadyExists, hostName)
+	}
+	ttl := svc.cfg.HeartbeatTTL
+	s.mu.Unlock()
+
+	sess := s.store.NewSession(ttl)
+	if _, err := sess.Create("/sm/"+serviceName+"/servers/"+hostName, nil, zk.Ephemeral); err != nil {
+		sess.Close()
+		return nil, err
+	}
+
+	s.mu.Lock()
+	svc.servers[hostName] = &serverHandle{host: host, app: app, session: sess}
+	if svc.hostShards[hostName] == nil {
+		svc.hostShards[hostName] = make(map[int64]Role)
+	}
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// Servers returns the hostnames currently registered for a service, sorted.
+func (s *Server) Servers(serviceName string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.services[serviceName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	names := make([]string, 0, len(svc.servers))
+	for n := range svc.servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Assignment returns the current placement of a shard.
+func (s *Server) Assignment(serviceName string, shard int64) (Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.services[serviceName]
+	if !ok {
+		return Assignment{}, fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	a, ok := svc.assignments[shard]
+	if !ok {
+		return Assignment{}, fmt.Errorf("%w: %s/%d", ErrNotAssigned, serviceName, shard)
+	}
+	return *a, nil
+}
+
+// Assignments returns a copy of all shard placements for a service.
+func (s *Server) Assignments(serviceName string) (map[int64]Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.services[serviceName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	out := make(map[int64]Assignment, len(svc.assignments))
+	for id, a := range svc.assignments {
+		out[id] = *a
+	}
+	return out, nil
+}
+
+// domainOf returns the failure-domain key of a host for a spread setting.
+func domainOf(h *cluster.Host, spread SpreadDomain) string {
+	switch spread {
+	case SpreadRack:
+		return h.Rack
+	case SpreadRegion:
+		return h.Region
+	default:
+		return h.Name
+	}
+}
+
+// shardLoad returns the recorded load of a shard, defaulting to one unit
+// when no metric has been collected yet so that freshly created shards
+// still spread across servers instead of piling onto one host.
+func (svc *service) shardLoad(shard int64) float64 {
+	if l, ok := svc.loads[shard]; ok && l > 0 {
+		return l
+	}
+	return 1
+}
+
+// hostLoad returns the total load of all shards placed on the host, from
+// the incrementally maintained cache. Caller holds s.mu.
+func (svc *service) hostLoad(host string) float64 {
+	l := svc.loadCache[host]
+	if l < 0 {
+		// Floating-point drift from many +=/-= pairs; clamp.
+		return 0
+	}
+	return l
+}
+
+// setLoadValue updates a shard's recorded load and adjusts the cached
+// totals of every host holding a replica. Caller holds s.mu.
+func (svc *service) setLoadValue(shard int64, raw float64) {
+	old := svc.shardLoad(shard)
+	svc.loads[shard] = raw
+	delta := svc.shardLoad(shard) - old
+	if delta == 0 {
+		return
+	}
+	if a, ok := svc.assignments[shard]; ok {
+		for _, rep := range a.Replicas {
+			svc.loadCache[rep.Host] += delta
+		}
+	}
+}
+
+// candidates returns registered, available servers able to take the shard,
+// sorted by ascending projected load, excluding hosts already carrying the
+// shard or sharing a failure domain with an existing replica, and excluding
+// hosts whose capacity the shard would exceed. Caller holds s.mu.
+func (svc *service) candidates(shard int64, exclude map[string]bool) []*serverHandle {
+	usedDomains := make(map[string]bool)
+	if a, ok := svc.assignments[shard]; ok {
+		for _, r := range a.Replicas {
+			// A replica on a dead/unregistered host still occupies its
+			// failure domain if we can resolve it; if not, skip.
+			if h, ok := svc.servers[r.Host]; ok {
+				usedDomains[domainOf(h.host, svc.cfg.Spread)] = true
+			}
+		}
+	}
+	var out []*serverHandle
+	for name, h := range svc.servers {
+		if exclude[name] || !h.host.Available() {
+			continue
+		}
+		if _, has := svc.hostShards[name][shard]; has {
+			continue
+		}
+		if usedDomains[domainOf(h.host, svc.cfg.Spread)] {
+			continue
+		}
+		load := svc.hostLoad(name) + svc.shardLoad(shard)
+		if cap := h.app.Capacity(); cap > 0 && load > cap {
+			continue
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := svc.hostLoad(out[i].host.Name), svc.hostLoad(out[j].host.Name)
+		if li != lj {
+			return li < lj
+		}
+		return out[i].host.Name < out[j].host.Name
+	})
+	return out
+}
+
+// placeReplica finds a server for one replica of the shard and calls
+// AddShard on it, honouring non-retryable rejections by moving on to the
+// next candidate. Caller holds s.mu; the lock is released around the
+// application call. Returns the chosen host.
+func (s *Server) placeReplica(svc *service, shard int64, role Role, exclude map[string]bool) (string, error) {
+	for {
+		cands := svc.candidates(shard, exclude)
+		if len(cands) == 0 {
+			return "", fmt.Errorf("%w: %s/%d", ErrNoPlacement, svc.cfg.Name, shard)
+		}
+		h := cands[0]
+		name := h.host.Name
+		s.mu.Unlock()
+		err := h.app.AddShard(shard, role)
+		s.mu.Lock()
+		if err != nil {
+			if errors.Is(err, ErrNonRetryable) {
+				// Try elsewhere (§IV-A).
+				if exclude == nil {
+					exclude = make(map[string]bool)
+				}
+				exclude[name] = true
+				continue
+			}
+			return "", err
+		}
+		s.recordReplica(svc, shard, name, role)
+		return name, nil
+	}
+}
+
+// recordReplica updates the assignment tables. Caller holds s.mu.
+func (s *Server) recordReplica(svc *service, shard int64, host string, role Role) {
+	a, ok := svc.assignments[shard]
+	if !ok {
+		a = &Assignment{Shard: shard}
+		svc.assignments[shard] = a
+	}
+	a.Replicas = append(a.Replicas, Replica{Host: host, Role: role})
+	if svc.hostShards[host] == nil {
+		svc.hostShards[host] = make(map[int64]Role)
+	}
+	svc.hostShards[host][shard] = role
+	svc.loadCache[host] += svc.shardLoad(shard)
+}
+
+// removeReplica deletes a replica from the assignment tables. Caller holds
+// s.mu.
+func (s *Server) removeReplica(svc *service, shard int64, host string) {
+	if _, held := svc.hostShards[host][shard]; held {
+		svc.loadCache[host] -= svc.shardLoad(shard)
+	}
+	if a, ok := svc.assignments[shard]; ok {
+		out := a.Replicas[:0]
+		for _, r := range a.Replicas {
+			if r.Host != host {
+				out = append(out, r)
+			}
+		}
+		a.Replicas = out
+		if len(a.Replicas) == 0 {
+			delete(svc.assignments, shard)
+		}
+	}
+	delete(svc.hostShards[host], shard)
+}
+
+// publish pushes the shard's current primary to discovery. Caller holds
+// s.mu; the publish itself happens outside the lock.
+func (s *Server) publishLocked(svc *service, shard int64) func() {
+	server := ""
+	if a, ok := svc.assignments[shard]; ok {
+		server = a.Primary()
+	}
+	name := svc.cfg.Name
+	return func() { s.dir.Publish(discovery.ShardKey{Service: name, Shard: shard}, server) }
+}
+
+// AssignShard performs initial placement of every replica of a shard (used
+// when the application creates a table whose partitions map to this shard).
+func (s *Server) AssignShard(serviceName string, shard int64) (Assignment, error) {
+	s.mu.Lock()
+	svc, ok := s.services[serviceName]
+	if !ok {
+		s.mu.Unlock()
+		return Assignment{}, fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	if shard < 0 || shard >= svc.cfg.MaxShards {
+		s.mu.Unlock()
+		return Assignment{}, fmt.Errorf("%w: %d not in [0,%d)", ErrShardRange, shard, svc.cfg.MaxShards)
+	}
+	if _, dup := svc.assignments[shard]; dup {
+		s.mu.Unlock()
+		return Assignment{}, fmt.Errorf("%w: shard %d", ErrAlreadyExists, shard)
+	}
+	want := svc.cfg.replicasPerShard()
+	for i := 0; i < want; i++ {
+		role := Secondary
+		switch svc.cfg.Model {
+		case PrimaryOnly:
+			role = Primary
+		case PrimarySecondary:
+			if i == 0 {
+				role = Primary
+			}
+		case SecondaryOnly:
+			role = Secondary
+		}
+		if _, err := s.placeReplica(svc, shard, role, nil); err != nil {
+			// Roll back any replicas placed so far.
+			if a, ok := svc.assignments[shard]; ok {
+				for _, r := range a.Replicas {
+					if h, ok := svc.servers[r.Host]; ok {
+						app := h.app
+						s.mu.Unlock()
+						_ = app.DropShard(shard)
+						s.mu.Lock()
+					}
+					s.removeReplica(svc, shard, r.Host)
+				}
+			}
+			s.mu.Unlock()
+			return Assignment{}, err
+		}
+	}
+	a := *svc.assignments[shard]
+	pub := s.publishLocked(svc, shard)
+	s.mu.Unlock()
+	pub()
+	return a, nil
+}
+
+// UnassignShard drops every replica of a shard (table deletion).
+func (s *Server) UnassignShard(serviceName string, shard int64) error {
+	s.mu.Lock()
+	svc, ok := s.services[serviceName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	delete(svc.pending, shard) // a dropped shard must not be resurrected
+	a, ok := svc.assignments[shard]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s/%d", ErrNotAssigned, serviceName, shard)
+	}
+	replicas := append([]Replica{}, a.Replicas...)
+	for _, r := range replicas {
+		if h, ok := svc.servers[r.Host]; ok {
+			app := h.app
+			s.mu.Unlock()
+			_ = app.DropShard(shard)
+			s.mu.Lock()
+		}
+		s.removeReplica(svc, shard, r.Host)
+	}
+	delete(svc.loads, shard)
+	pub := s.publishLocked(svc, shard)
+	s.mu.Unlock()
+	pub()
+	return nil
+}
+
+// SetShardLoad overrides the recorded load of a shard; tests and the
+// simulator use it between metric collections.
+func (s *Server) SetShardLoad(serviceName string, shard int64, load float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.services[serviceName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	svc.setLoadValue(shard, load)
+	return nil
+}
+
+// CollectMetrics polls every registered server's per-shard loads (§III-A3:
+// "SM server must periodically collect shard size metrics").
+func (s *Server) CollectMetrics(serviceName string) error {
+	s.mu.Lock()
+	svc, ok := s.services[serviceName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	handles := make([]*serverHandle, 0, len(svc.servers))
+	for _, h := range svc.servers {
+		handles = append(handles, h)
+	}
+	s.mu.Unlock()
+
+	merged := make(map[int64]float64)
+	for _, h := range handles {
+		if !h.host.Available() {
+			continue
+		}
+		for shard, load := range h.app.ShardLoads() {
+			merged[shard] = load
+		}
+	}
+	s.mu.Lock()
+	for shard, load := range merged {
+		svc.setLoadValue(shard, load)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// HostLoads returns the current per-host total load for a service.
+func (s *Server) HostLoads(serviceName string) (map[string]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.services[serviceName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	out := make(map[string]float64, len(svc.servers))
+	for name := range svc.servers {
+		out[name] = svc.hostLoad(name)
+	}
+	return out, nil
+}
+
+// Sweep expires stale heartbeat sessions and fails over the shards of dead
+// servers. The simulator (or a real deployment's timer) calls this
+// periodically. It returns the number of servers failed over.
+func (s *Server) Sweep() int {
+	s.store.ExpireSessions()
+	type dead struct {
+		svc  *service
+		name string
+	}
+	var deads []dead
+	s.mu.Lock()
+	for _, svc := range s.services {
+		for name, h := range svc.servers {
+			select {
+			case <-h.session.Expired():
+				deads = append(deads, dead{svc, name})
+			default:
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, d := range deads {
+		s.failoverServer(d.svc, d.name)
+	}
+	s.retryPending()
+	return len(deads)
+}
+
+// failoverServer removes a dead server and re-places all its shards.
+func (s *Server) failoverServer(svc *service, name string) {
+	s.mu.Lock()
+	delete(svc.servers, name)
+	shards := make([]int64, 0, len(svc.hostShards[name]))
+	roles := make(map[int64]Role, len(svc.hostShards[name]))
+	for shard, role := range svc.hostShards[name] {
+		shards = append(shards, shard)
+		roles[shard] = role
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
+	s.mu.Unlock()
+
+	for _, shard := range shards {
+		s.failoverShard(svc, shard, name, roles[shard])
+	}
+}
+
+// failoverShard moves one shard off a dead server: remove the dead replica,
+// promote a secondary if the primary died (primary-secondary model), then
+// place a replacement replica with a bare AddShard (§III-A2: "failovers are
+// translated to a single addShard() call in the target server").
+func (s *Server) failoverShard(svc *service, shard int64, deadHost string, deadRole Role) {
+	s.mu.Lock()
+	s.removeReplica(svc, shard, deadHost)
+	role := deadRole
+	if svc.cfg.Model == PrimarySecondary && deadRole == Primary {
+		// Promote the first surviving secondary to primary; the
+		// replacement replica joins as a secondary.
+		if a, ok := svc.assignments[shard]; ok && len(a.Replicas) > 0 {
+			a.Replicas[0].Role = Primary
+			svc.hostShards[a.Replicas[0].Host][shard] = Primary
+			role = Secondary
+		}
+	}
+	newHost, err := s.placeReplica(svc, shard, role, map[string]bool{deadHost: true})
+	if err != nil {
+		// No eligible server right now (all down, at capacity, or every
+		// candidate collides); park the replica for Sweep to retry.
+		svc.pending[shard] = role
+	}
+	pub := s.publishLocked(svc, shard)
+	name := svc.cfg.Name
+	at := s.clock.Now()
+	s.mu.Unlock()
+	pub()
+	if err == nil {
+		s.emit(MigrationEvent{Service: name, Shard: shard, From: deadHost, To: newHost, Kind: Failover, At: at})
+	}
+}
+
+// retryPending re-attempts placement of parked replicas; it returns how
+// many were placed.
+func (s *Server) retryPending() int {
+	s.mu.Lock()
+	type job struct {
+		svc   *service
+		shard int64
+		role  Role
+	}
+	var jobs []job
+	for _, svc := range s.services {
+		for shard, role := range svc.pending {
+			jobs = append(jobs, job{svc, shard, role})
+		}
+	}
+	s.mu.Unlock()
+
+	placed := 0
+	for _, j := range jobs {
+		s.mu.Lock()
+		host, err := s.placeReplica(j.svc, j.shard, j.role, nil)
+		if err == nil {
+			delete(j.svc.pending, j.shard)
+		}
+		pub := s.publishLocked(j.svc, j.shard)
+		name := j.svc.cfg.Name
+		at := s.clock.Now()
+		s.mu.Unlock()
+		if err == nil {
+			pub()
+			placed++
+			s.emit(MigrationEvent{Service: name, Shard: j.shard, From: "", To: host, Kind: Failover, At: at})
+		}
+	}
+	return placed
+}

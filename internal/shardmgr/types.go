@@ -1,0 +1,262 @@
+// Package shardmgr implements Shard Manager (SM), the sharding-as-a-service
+// framework of the paper's §III: a central SM Server that collects per-shard
+// metrics and makes placement decisions, an Application Server interface
+// that services implement (addShard/dropShard plus the graceful-migration
+// prepare endpoints), and an SM Client that resolves (service, shard) pairs
+// to hostnames through the service discovery system.
+//
+// SM only controls shard roles and server assignments; replicating the data
+// inside shards, handling writes and choosing which replica serves which
+// traffic are application responsibilities (§III-A1) — Cubrick's side of
+// that contract lives in internal/cubrick.
+package shardmgr
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Role is a shard replica's role.
+type Role int
+
+const (
+	// Primary replicas handle writes and coordinate replication.
+	Primary Role = iota
+	// Secondary replicas receive replicated data and may serve reads.
+	Secondary
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Primary:
+		return "primary"
+	case Secondary:
+		return "secondary"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// ReplicationModel selects one of SM's three fault-tolerance modes
+// (§III-A1).
+type ReplicationModel int
+
+const (
+	// PrimaryOnly gives each shard a single replica and no redundancy.
+	PrimaryOnly ReplicationModel = iota
+	// PrimarySecondary gives each shard one primary and ReplicationFactor
+	// secondaries.
+	PrimarySecondary
+	// SecondaryOnly gives each shard ReplicationFactor+1 replicas that all
+	// play the same role.
+	SecondaryOnly
+)
+
+// String implements fmt.Stringer.
+func (m ReplicationModel) String() string {
+	switch m {
+	case PrimaryOnly:
+		return "primary-only"
+	case PrimarySecondary:
+		return "primary-secondary"
+	case SecondaryOnly:
+		return "secondary-only"
+	default:
+		return fmt.Sprintf("ReplicationModel(%d)", int(m))
+	}
+}
+
+// SpreadDomain is the failure domain replicas of one shard must not share
+// (§III-A1: "whether failure domains are composed of single servers, racks,
+// or entire regions").
+type SpreadDomain int
+
+const (
+	// SpreadHost only forbids two replicas on the same host.
+	SpreadHost SpreadDomain = iota
+	// SpreadRack forbids two replicas in the same rack.
+	SpreadRack
+	// SpreadRegion forbids two replicas in the same region.
+	SpreadRegion
+)
+
+// String implements fmt.Stringer.
+func (s SpreadDomain) String() string {
+	switch s {
+	case SpreadHost:
+		return "host"
+	case SpreadRack:
+		return "rack"
+	case SpreadRegion:
+		return "region"
+	default:
+		return fmt.Sprintf("SpreadDomain(%d)", int(s))
+	}
+}
+
+// ServiceConfig registers one application with SM.
+type ServiceConfig struct {
+	// Name identifies the service in discovery and zk paths.
+	Name string
+	// MaxShards fixes the flat shard key space [0, MaxShards). The paper
+	// reports usual deployments between 100k and 1M shards (§IV-A).
+	MaxShards int64
+	// Model selects the replication mode.
+	Model ReplicationModel
+	// ReplicationFactor is the number of secondary replicas (§III-A1).
+	ReplicationFactor int
+	// Spread is the failure domain constraint between replicas.
+	Spread SpreadDomain
+	// MaxMigrationsPerRun throttles load balancing (§III-A3: "throttle the
+	// maximum number of shard migrations allowed on a single load
+	// balancing run").
+	MaxMigrationsPerRun int
+	// ImbalanceRatio is the minimum relative gap between the most and
+	// least loaded server (as a fraction of mean load) before the
+	// balancer moves anything.
+	ImbalanceRatio float64
+	// HeartbeatTTL is how long a server may miss heartbeats before SM
+	// considers it dead and fails its shards over.
+	HeartbeatTTL time.Duration
+	// PropagationWait is how long graceful migrations wait after
+	// publishing the new mapping before dropping the shard from the old
+	// server, covering discovery propagation delay (§IV-E).
+	PropagationWait time.Duration
+}
+
+// Validate checks the configuration for internal consistency.
+func (c ServiceConfig) Validate() error {
+	if c.Name == "" {
+		return errors.New("shardmgr: service name required")
+	}
+	if c.MaxShards <= 0 {
+		return errors.New("shardmgr: MaxShards must be positive")
+	}
+	if c.ReplicationFactor < 0 {
+		return errors.New("shardmgr: negative ReplicationFactor")
+	}
+	if c.Model == PrimaryOnly && c.ReplicationFactor != 0 {
+		return errors.New("shardmgr: primary-only requires ReplicationFactor 0")
+	}
+	if c.Model != PrimaryOnly && c.ReplicationFactor == 0 {
+		return errors.New("shardmgr: replicated model requires ReplicationFactor > 0")
+	}
+	if c.MaxMigrationsPerRun < 0 {
+		return errors.New("shardmgr: negative MaxMigrationsPerRun")
+	}
+	return nil
+}
+
+// replicasPerShard returns the total replica count per shard for the model.
+func (c ServiceConfig) replicasPerShard() int {
+	switch c.Model {
+	case PrimaryOnly:
+		return 1
+	default:
+		return 1 + c.ReplicationFactor
+	}
+}
+
+// AppServer is the interface an application implements to host shards
+// (§III-A: "Application Servers are fully responsible for implementing the
+// business logic of addShard() and dropShard() endpoints").
+//
+// All methods are invoked by the SM server (or by the simulator on its
+// behalf); they must be safe for concurrent use.
+type AppServer interface {
+	// AddShard makes this server responsible for the shard with the given
+	// role. On a failover the implementation must recover the shard's data
+	// itself (e.g. from a replica in a healthy region). Returning an error
+	// wrapping ErrNonRetryable tells SM to place the shard elsewhere.
+	AddShard(shard int64, role Role) error
+	// DropShard deletes all data and metadata for the shard.
+	DropShard(shard int64) error
+	// PrepareAddShard begins a graceful migration on the receiving side:
+	// the server copies the shard's data from `from` and must be ready to
+	// answer forwarded requests when it returns (§IV-E).
+	PrepareAddShard(shard int64, from string) error
+	// PrepareDropShard begins a graceful migration on the releasing side:
+	// the server starts forwarding requests for the shard to `to`.
+	PrepareDropShard(shard int64, to string) error
+	// ShardLoads reports the per-shard load metric used for balancing
+	// (§III-A3: metrics are exported per-shard to support asymmetric
+	// shards). Units are application-defined but must match Capacity.
+	ShardLoads() map[int64]float64
+	// Capacity reports the server's total capacity in the same units
+	// (§III-A3, "Heterogeneous servers").
+	Capacity() float64
+}
+
+// ErrNonRetryable marks an AddShard rejection that SM must not retry on the
+// same server — the paper's mechanism for refusing migrations that would
+// create shard collisions (§IV-A: "Cubrick server throws a non-retryable
+// exception ... it should try migrating it somewhere else").
+var ErrNonRetryable = errors.New("shardmgr: non-retryable")
+
+// Errors returned by SM server operations.
+var (
+	ErrUnknownService = errors.New("shardmgr: unknown service")
+	ErrUnknownServer  = errors.New("shardmgr: unknown server")
+	ErrShardRange     = errors.New("shardmgr: shard outside key space")
+	ErrNoPlacement    = errors.New("shardmgr: no eligible server for shard")
+	ErrAlreadyExists  = errors.New("shardmgr: already exists")
+	ErrNotAssigned    = errors.New("shardmgr: shard not assigned")
+)
+
+// Replica is one placement of a shard on a server.
+type Replica struct {
+	Host string
+	Role Role
+}
+
+// Assignment is the current placement of one shard.
+type Assignment struct {
+	Shard    int64
+	Replicas []Replica
+}
+
+// Primary returns the host of the primary replica, or the first replica
+// for secondary-only services, or "" when unassigned.
+func (a Assignment) Primary() string {
+	for _, r := range a.Replicas {
+		if r.Role == Primary {
+			return r.Host
+		}
+	}
+	if len(a.Replicas) > 0 {
+		return a.Replicas[0].Host
+	}
+	return ""
+}
+
+// MigrationKind distinguishes the two shard movement flows (§III-A2).
+type MigrationKind int
+
+const (
+	// LiveMigration moves a shard off a healthy server (load balancing,
+	// drains) using the graceful protocol.
+	LiveMigration MigrationKind = iota
+	// Failover moves a shard off a dead server with a bare addShard call.
+	Failover
+)
+
+// String implements fmt.Stringer.
+func (k MigrationKind) String() string {
+	if k == Failover {
+		return "failover"
+	}
+	return "live"
+}
+
+// MigrationEvent records one completed shard movement, for the Fig 4d
+// migrations-per-day series.
+type MigrationEvent struct {
+	Service string
+	Shard   int64
+	From    string
+	To      string
+	Kind    MigrationKind
+	At      time.Time
+}

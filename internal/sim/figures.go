@@ -1,0 +1,218 @@
+// Package sim glues the substrates together into the experiments of the
+// paper's evaluation: the operational-stats panels of Fig 4, the fan-out
+// latency experiment of Fig 5, and a full simulated production week that
+// produces the per-day series. Each experiment is a plain function so the
+// cmd/experiments binary and the root benchmarks share one implementation.
+package sim
+
+import (
+	"sort"
+
+	"cubrick/internal/cluster"
+	"cubrick/internal/core"
+	"cubrick/internal/discovery"
+	"cubrick/internal/metrics"
+	"cubrick/internal/randutil"
+	"cubrick/internal/simclock"
+	"cubrick/internal/workload"
+
+	"time"
+)
+
+// CollisionConfig parameterizes the Fig 4a collision study: a multi-tenant
+// deployment's tables are mapped to shards and shards placed on hosts the
+// way SM does at table-creation time (least-loaded, no collision check —
+// the paper notes creation-time collisions are not prevented, §IV-A).
+type CollisionConfig struct {
+	Tables    int
+	Hosts     int
+	MaxShards int64
+	Seed      int64
+}
+
+// DefaultCollisionConfig mirrors the scale ratios of the production
+// deployment closely enough to land in Fig 4a's regime (~7% shard
+// collisions, ~3% cross-table partition collisions, 0% same-table). The
+// 1M-shard key space is the upper end of the paper's usual deployments
+// (§IV-A); cross-table collision rates scale with occupied/total shards.
+func DefaultCollisionConfig() CollisionConfig {
+	return CollisionConfig{Tables: 2000, Hosts: 800, MaxShards: 1000000, Seed: 1}
+}
+
+// Collisions runs the Fig 4a study and returns the collision report.
+func Collisions(cfg CollisionConfig) core.CollisionReport {
+	rnd := randutil.New(cfg.Seed)
+	specs := workload.GenerateTables(workload.DefaultPopulation(cfg.Tables), rnd)
+	policy := core.DefaultPartitionPolicy()
+	mapper := core.MonotonicMapper{MaxShards: cfg.MaxShards}
+
+	layouts := make([]core.TableLayout, len(specs))
+	for i, s := range specs {
+		layouts[i] = core.Layout(mapper, s.Name, policy.PartitionsFor(s.SizeBytes))
+	}
+
+	// Creation-time placement by power-of-two-choices: each shard goes to
+	// the less loaded of two random hosts. This balances load nearly as
+	// well as a global argmin while keeping the per-placement randomness
+	// a large production fleet exhibits — and, because placement does not
+	// check collisions at table-creation time (§IV-A), it reproduces
+	// Fig 4a's ~7% of tables with shard collisions.
+	hostLoad := make([]float64, cfg.Hosts)
+	hostOf := make(map[int64]int)
+	for i, l := range layouts {
+		perPart := float64(specs[i].SizeBytes) / float64(len(l.ShardOf))
+		for _, sh := range l.ShardOf {
+			if _, placed := hostOf[sh]; placed {
+				continue // cross-table collision: shard already placed
+			}
+			a, b := rnd.Intn(cfg.Hosts), rnd.Intn(cfg.Hosts)
+			best := a
+			if hostLoad[b] < hostLoad[a] {
+				best = b
+			}
+			hostOf[sh] = best
+			hostLoad[best] += perPart
+		}
+	}
+	hostNames := func(sh int64) string {
+		h, ok := hostOf[sh]
+		if !ok {
+			return ""
+		}
+		return hostName(h)
+	}
+	return core.AnalyzeCollisions(layouts, hostNames)
+}
+
+func hostName(i int) string {
+	return "host-" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// PartitionsHistogram runs the Fig 4b study: the distribution of
+// partitions-per-table across a generated population under the default
+// policy. The returned map is partition count -> number of tables.
+func PartitionsHistogram(tables int, seed int64) map[int]int {
+	rnd := randutil.New(seed)
+	specs := workload.GenerateTables(workload.DefaultPopulation(tables), rnd)
+	policy := core.DefaultPartitionPolicy()
+	hist := make(map[int]int)
+	for _, s := range specs {
+		hist[policy.PartitionsFor(s.SizeBytes)]++
+	}
+	return hist
+}
+
+// SortedKeys returns a histogram's keys in ascending order.
+func SortedKeys(hist map[int]int) []int {
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// PropagationDelays runs the Fig 4c study: drive n publishes through an
+// SMC-like propagation tree and return the distribution of leaf-visible
+// delays in seconds.
+func PropagationDelays(publishes int, seed int64) *metrics.Distribution {
+	clk := simclock.NewSim(time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC))
+	dir := discovery.NewDirectory(clk)
+	rnd := randutil.New(seed)
+	tree := discovery.NewTree(clk, dir, discovery.DefaultTreeConfig(), rnd.Float64)
+	for i := 0; i < publishes; i++ {
+		dir.Publish(discovery.ShardKey{Service: "cubrick", Shard: int64(i)}, "host")
+		clk.Advance(time.Second)
+	}
+	clk.Advance(time.Minute)
+	return tree.DelayStats()
+}
+
+// FanoutConfig parameterizes the Fig 5 experiment: the same query executed
+// repeatedly against tables with different fan-out levels on a production
+// cluster, measuring the latency distribution per level.
+type FanoutConfig struct {
+	// Levels are the fan-out levels (hosts per query) to measure.
+	Levels []int
+	// QueriesPerLevel is how many samples each level gets; the paper ran
+	// >1M per table over a week.
+	QueriesPerLevel int
+	// Hosts is the cluster size (must cover the largest level).
+	Hosts int
+	// Transport shapes per-request latency/failures.
+	Transport cluster.TransportConfig
+	Seed      int64
+}
+
+// DefaultFanoutConfig returns the paper-like setup at a sample count that
+// runs in seconds.
+func DefaultFanoutConfig() FanoutConfig {
+	return FanoutConfig{
+		Levels:          []int{1, 2, 4, 8, 16, 32, 64},
+		QueriesPerLevel: 200000,
+		Hosts:           64,
+		Transport:       cluster.DefaultTransportConfig(),
+		Seed:            1,
+	}
+}
+
+// FanoutSeries is one fan-out level's measured distribution.
+type FanoutSeries struct {
+	Fanout  int
+	Latency metrics.Snapshot
+	// SuccessRatio is the fraction of queries that completed (failed
+	// hosts or requests fail the whole fan-out, §II-B).
+	SuccessRatio float64
+}
+
+// FanoutExperiment runs the Fig 5 study.
+func FanoutExperiment(cfg FanoutConfig) []FanoutSeries {
+	fleet := cluster.Build(cluster.BuildConfig{
+		Regions:        []string{"prod"},
+		RacksPerRegion: (cfg.Hosts + 15) / 16,
+		HostsPerRack:   16,
+	})
+	tr := cluster.NewTransport(fleet, cfg.Transport)
+	rnd := randutil.New(cfg.Seed)
+	var names []string
+	for _, h := range fleet.Hosts() {
+		names = append(names, h.Name)
+	}
+
+	out := make([]FanoutSeries, 0, len(cfg.Levels))
+	for _, level := range cfg.Levels {
+		if level > len(names) {
+			level = len(names)
+		}
+		hist := metrics.NewLatencyHistogram()
+		ok := 0
+		for i := 0; i < cfg.QueriesPerLevel; i++ {
+			lat, err := tr.FanOut(names[:level], 0, rnd)
+			if err != nil {
+				continue
+			}
+			ok++
+			hist.Observe(lat.Seconds())
+		}
+		out = append(out, FanoutSeries{
+			Fanout:       level,
+			Latency:      hist.Snapshot(),
+			SuccessRatio: float64(ok) / float64(cfg.QueriesPerLevel),
+		})
+	}
+	return out
+}

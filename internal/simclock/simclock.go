@@ -1,0 +1,210 @@
+// Package simclock provides virtual time for the deployment simulator.
+//
+// The paper's operational figures (Fig 4d, 4e, 4f) report events per day over
+// a week of production time. To regenerate them in seconds, every component
+// in this repository takes its notion of time from a Clock; the simulator
+// drives a SimClock that advances only when all scheduled work at the current
+// instant has run, while networked binaries use the real clock.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so components can run under either wall-clock or
+// simulated time.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d. Under simulated time the
+	// block lasts until the simulation advances past Now()+d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the fire time once d elapses.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Scheduler is a Clock that can also run callbacks at future instants.
+// SimClock runs them when the simulation reaches the deadline; Real runs
+// them on a timer goroutine.
+type Scheduler interface {
+	Clock
+	// Schedule runs fn once, d from now.
+	Schedule(d time.Duration, fn func())
+}
+
+// Real is the wall-clock implementation of Clock and Scheduler.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Schedule implements Scheduler using a timer goroutine.
+func (Real) Schedule(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// event is a scheduled callback or timer expiry in a SimClock.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  func() // nil for pure timer channels
+	ch  chan time.Time
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// SimClock is a deterministic discrete-event simulated clock. Components
+// schedule callbacks with Schedule/ScheduleAt, and the driver advances time
+// with Advance or RunUntil. SimClock is safe for concurrent use, but the
+// simulation itself is single-threaded: callbacks run on the goroutine that
+// calls Advance.
+type SimClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewSim returns a simulated clock starting at the given instant.
+func NewSim(start time.Time) *SimClock {
+	c := &SimClock{now: start}
+	heap.Init(&c.events)
+	return c
+}
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock. Under a SimClock, Sleep blocks until the
+// simulation advances past the deadline; it must only be called from
+// goroutines other than the one driving Advance, or it will deadlock.
+func (c *SimClock) Sleep(d time.Duration) { <-c.After(d) }
+
+// After implements Clock.
+func (c *SimClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	heap.Push(&c.events, &event{at: c.now.Add(d), seq: c.seq, ch: ch})
+	return ch
+}
+
+// Schedule runs fn at Now()+d during a future Advance call.
+func (c *SimClock) Schedule(d time.Duration, fn func()) {
+	c.ScheduleAt(c.Now().Add(d), fn)
+}
+
+// ScheduleAt runs fn at the given instant during a future Advance call.
+// Instants in the past run at the next Advance.
+func (c *SimClock) ScheduleAt(at time.Time, fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	heap.Push(&c.events, &event{at: at, seq: c.seq, fn: fn})
+}
+
+// Pending returns the number of scheduled events not yet fired.
+func (c *SimClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// next pops the earliest event at or before deadline, or returns nil.
+func (c *SimClock) next(deadline time.Time) *event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) == 0 || c.events[0].at.After(deadline) {
+		return nil
+	}
+	e := heap.Pop(&c.events).(*event)
+	if e.at.After(c.now) {
+		c.now = e.at
+	}
+	return e
+}
+
+// Advance moves simulated time forward by d, firing every event scheduled in
+// the window in timestamp order. Events scheduled by callbacks within the
+// window also fire. It returns the number of events fired.
+func (c *SimClock) Advance(d time.Duration) int {
+	return c.RunUntil(c.Now().Add(d))
+}
+
+// RunUntil fires events in timestamp order until the given instant, then
+// sets the clock to exactly that instant. It returns the number of events
+// fired.
+func (c *SimClock) RunUntil(deadline time.Time) int {
+	fired := 0
+	for {
+		e := c.next(deadline)
+		if e == nil {
+			break
+		}
+		fired++
+		if e.fn != nil {
+			e.fn()
+		} else {
+			e.ch <- e.at
+		}
+	}
+	c.mu.Lock()
+	if deadline.After(c.now) {
+		c.now = deadline
+	}
+	c.mu.Unlock()
+	return fired
+}
+
+// Ticker invokes fn every period until the returned stop function is called.
+// The first invocation happens one period after Ticker is called.
+func (c *SimClock) Ticker(period time.Duration, fn func()) (stop func()) {
+	var mu sync.Mutex
+	stopped := false
+	var tick func()
+	tick = func() {
+		mu.Lock()
+		if stopped {
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+		fn()
+		c.Schedule(period, tick)
+	}
+	c.Schedule(period, tick)
+	return func() {
+		mu.Lock()
+		stopped = true
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,185 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRealClockMonotone(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if !b.After(a) {
+		t.Fatalf("real clock did not advance: %v -> %v", a, b)
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestSimNowStartsAtEpoch(t *testing.T) {
+	c := NewSim(epoch)
+	if !c.Now().Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), epoch)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	c := NewSim(epoch)
+	var order []int
+	c.Schedule(3*time.Second, func() { order = append(order, 3) })
+	c.Schedule(1*time.Second, func() { order = append(order, 1) })
+	c.Schedule(2*time.Second, func() { order = append(order, 2) })
+	fired := c.Advance(10 * time.Second)
+	if fired != 3 {
+		t.Fatalf("fired %d events, want 3", fired)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v, want [1 2 3]", order)
+		}
+	}
+	if got := c.Now(); !got.Equal(epoch.Add(10 * time.Second)) {
+		t.Fatalf("Now() = %v, want epoch+10s", got)
+	}
+}
+
+func TestEqualTimeEventsFireInScheduleOrder(t *testing.T) {
+	c := NewSim(epoch)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(2 * time.Second)
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestCallbackSchedulesWithinWindow(t *testing.T) {
+	c := NewSim(epoch)
+	var hits []time.Time
+	c.Schedule(time.Second, func() {
+		hits = append(hits, c.Now())
+		c.Schedule(time.Second, func() { hits = append(hits, c.Now()) })
+	})
+	c.Advance(5 * time.Second)
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2 (nested event must fire in same window)", len(hits))
+	}
+	if !hits[1].Equal(epoch.Add(2 * time.Second)) {
+		t.Fatalf("nested event at %v, want epoch+2s", hits[1])
+	}
+}
+
+func TestEventsBeyondWindowDoNotFire(t *testing.T) {
+	c := NewSim(epoch)
+	fired := false
+	c.Schedule(10*time.Second, func() { fired = true })
+	c.Advance(5 * time.Second)
+	if fired {
+		t.Fatal("event beyond the advance window fired early")
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", c.Pending())
+	}
+	c.Advance(5 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire after reaching its time")
+	}
+}
+
+func TestAfterDeliversFireTime(t *testing.T) {
+	c := NewSim(epoch)
+	ch := c.After(3 * time.Second)
+	c.Advance(5 * time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(epoch.Add(3 * time.Second)) {
+			t.Fatalf("After fired at %v, want epoch+3s", at)
+		}
+	default:
+		t.Fatal("After channel empty after Advance")
+	}
+}
+
+func TestSleepUnblocksOnAdvance(t *testing.T) {
+	c := NewSim(epoch)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(2 * time.Second)
+		close(done)
+	}()
+	// Wait until the sleeper has registered its timer.
+	for c.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(3 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not unblock after Advance")
+	}
+}
+
+func TestScheduleAtPastRunsNext(t *testing.T) {
+	c := NewSim(epoch)
+	c.Advance(10 * time.Second)
+	ran := false
+	c.ScheduleAt(epoch, func() { ran = true }) // already in the past
+	c.Advance(time.Nanosecond)
+	if !ran {
+		t.Fatal("past-scheduled event did not run at next Advance")
+	}
+	if c.Now().Before(epoch.Add(10 * time.Second)) {
+		t.Fatal("clock moved backwards")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	c := NewSim(epoch)
+	n := 0
+	stop := c.Ticker(time.Second, func() { n++ })
+	c.Advance(5500 * time.Millisecond)
+	if n != 5 {
+		t.Fatalf("ticker fired %d times in 5.5s, want 5", n)
+	}
+	stop()
+	c.Advance(10 * time.Second)
+	if n != 5 {
+		t.Fatalf("ticker fired after stop: %d", n)
+	}
+}
+
+func TestRunUntilExactDeadline(t *testing.T) {
+	c := NewSim(epoch)
+	deadline := epoch.Add(time.Hour)
+	ran := false
+	c.ScheduleAt(deadline, func() { ran = true })
+	c.RunUntil(deadline)
+	if !ran {
+		t.Fatal("event exactly at the deadline did not fire")
+	}
+	if !c.Now().Equal(deadline) {
+		t.Fatalf("Now() = %v, want deadline", c.Now())
+	}
+}
+
+func TestRealSchedule(t *testing.T) {
+	var c Real
+	done := make(chan struct{})
+	c.Schedule(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Real.Schedule never fired")
+	}
+}

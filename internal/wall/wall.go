@@ -1,0 +1,107 @@
+// Package wall implements the paper's analytic scalability-wall model
+// (§II-B, Figs 1 and 2): if each server is unavailable with probability p
+// at any instant and a query must visit n servers, the query succeeds with
+// probability (1-p)^n. The scalability wall is the fan-out n* at which the
+// success ratio drops below the system's SLA; beyond it, adding servers to
+// a fully-sharded system makes success rates worse.
+package wall
+
+import (
+	"errors"
+	"math"
+
+	"cubrick/internal/randutil"
+)
+
+// SuccessRatio returns the probability that a query visiting n servers
+// succeeds, given per-server failure probability p.
+func SuccessRatio(p float64, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	return math.Pow(1-p, float64(n))
+}
+
+// Crossing returns the smallest fan-out n at which the success ratio drops
+// below sla — the scalability wall. It returns an error when the inputs
+// make the wall unreachable (p = 0 or sla ≤ 0).
+func Crossing(p, sla float64) (int, error) {
+	if sla <= 0 || sla >= 1 {
+		return 0, errors.New("wall: SLA must be in (0,1)")
+	}
+	if p <= 0 {
+		return 0, errors.New("wall: zero failure probability never crosses")
+	}
+	if p >= 1 {
+		return 1, nil
+	}
+	// (1-p)^n < sla  =>  n > ln(sla)/ln(1-p)
+	n := math.Log(sla) / math.Log(1-p)
+	return int(math.Floor(n)) + 1, nil
+}
+
+// Point is one (fan-out, success-ratio) sample of a curve.
+type Point struct {
+	Nodes   int
+	Success float64
+}
+
+// Curve samples SuccessRatio over fan-outs 1..maxNodes with the given
+// step (≥1), producing the series plotted in Fig 1 (one p) and Fig 2
+// (several p values).
+func Curve(p float64, maxNodes, step int) []Point {
+	if step < 1 {
+		step = 1
+	}
+	var pts []Point
+	for n := 1; n <= maxNodes; n += step {
+		pts = append(pts, Point{Nodes: n, Success: SuccessRatio(p, n)})
+	}
+	return pts
+}
+
+// Simulate estimates the success ratio empirically: trials queries each
+// visit n servers, every server independently down with probability p.
+// It validates the analytic model (and is the same process the full
+// deployment simulator embeds).
+func Simulate(p float64, n, trials int, rnd *randutil.Source) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	ok := 0
+	for t := 0; t < trials; t++ {
+		success := true
+		for i := 0; i < n; i++ {
+			if rnd.Bernoulli(p) {
+				success = false
+				break
+			}
+		}
+		if success {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+// PaperFig1 reproduces Fig 1's headline: p = 0.01% and a 99% success SLA
+// put the wall at about 100 servers.
+func PaperFig1() (curve []Point, wallAt int) {
+	const p = 1e-4
+	const sla = 0.99
+	n, err := Crossing(p, sla)
+	if err != nil {
+		panic(err) // constants are valid
+	}
+	return Curve(p, 1000, 1), n
+}
+
+// PaperFig2Probabilities are the per-server failure probabilities whose
+// curves Fig 2 overlays.
+var PaperFig2Probabilities = []float64{1e-5, 1e-4, 5e-4, 1e-3}

@@ -1,0 +1,136 @@
+package wall
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cubrick/internal/randutil"
+)
+
+func TestSuccessRatioEdges(t *testing.T) {
+	if SuccessRatio(0.5, 0) != 1 {
+		t.Fatal("n=0 should always succeed")
+	}
+	if SuccessRatio(0, 100) != 1 {
+		t.Fatal("p=0 should always succeed")
+	}
+	if SuccessRatio(1, 1) != 0 {
+		t.Fatal("p=1 should always fail")
+	}
+	if got := SuccessRatio(0.5, 1); got != 0.5 {
+		t.Fatalf("SuccessRatio(0.5,1) = %v", got)
+	}
+}
+
+// Property: success ratio is non-increasing in n and in p.
+func TestSuccessMonotoneProperty(t *testing.T) {
+	f := func(rawP uint16, n uint8) bool {
+		p := float64(rawP) / 70000
+		nn := int(n)%500 + 1
+		if SuccessRatio(p, nn+1) > SuccessRatio(p, nn) {
+			return false
+		}
+		return SuccessRatio(p+0.001, nn) <= SuccessRatio(p, nn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossingHeadlineNumber(t *testing.T) {
+	// Paper: p=0.01%, 99% SLA => wall at ~100 servers.
+	n, err := Crossing(1e-4, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 95 || n > 106 {
+		t.Fatalf("wall at %d servers, paper says ~100", n)
+	}
+	// The crossing is exact: success at n-1 meets SLA, at n it does not.
+	if SuccessRatio(1e-4, n-1) < 0.99 {
+		t.Fatalf("success at n-1 = %v already below SLA", SuccessRatio(1e-4, n-1))
+	}
+	if SuccessRatio(1e-4, n) >= 0.99 {
+		t.Fatalf("success at n = %v still meets SLA", SuccessRatio(1e-4, n))
+	}
+}
+
+func TestCrossingErrors(t *testing.T) {
+	if _, err := Crossing(0, 0.99); err == nil {
+		t.Fatal("p=0 crossing accepted")
+	}
+	if _, err := Crossing(0.1, 0); err == nil {
+		t.Fatal("sla=0 accepted")
+	}
+	if _, err := Crossing(0.1, 1); err == nil {
+		t.Fatal("sla=1 accepted")
+	}
+	if n, err := Crossing(1, 0.99); err != nil || n != 1 {
+		t.Fatalf("p=1 crossing = %d, %v; want 1", n, err)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	pts := Curve(1e-4, 1000, 1)
+	if len(pts) != 1000 {
+		t.Fatalf("curve has %d points", len(pts))
+	}
+	if pts[0].Nodes != 1 || pts[999].Nodes != 1000 {
+		t.Fatalf("curve range wrong: %v..%v", pts[0].Nodes, pts[999].Nodes)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Success > pts[i-1].Success {
+			t.Fatal("curve not non-increasing")
+		}
+	}
+	// Step parameter.
+	pts = Curve(1e-4, 100, 10)
+	if len(pts) != 10 {
+		t.Fatalf("stepped curve has %d points", len(pts))
+	}
+	if len(Curve(1e-4, 10, 0)) != 10 {
+		t.Fatal("step<1 not clamped")
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	rnd := randutil.New(42)
+	for _, tc := range []struct {
+		p float64
+		n int
+	}{{0.01, 10}, {0.001, 100}, {0.05, 5}} {
+		got := Simulate(tc.p, tc.n, 200000, rnd)
+		want := SuccessRatio(tc.p, tc.n)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Simulate(p=%v,n=%d) = %v, analytic %v", tc.p, tc.n, got, want)
+		}
+	}
+	if Simulate(0.5, 1, 0, rnd) != 0 {
+		t.Fatal("zero trials should return 0")
+	}
+}
+
+func TestPaperFig1(t *testing.T) {
+	curve, wallAt := PaperFig1()
+	if len(curve) != 1000 {
+		t.Fatalf("Fig 1 curve has %d points", len(curve))
+	}
+	if wallAt < 95 || wallAt > 106 {
+		t.Fatalf("Fig 1 wall at %d, want ~100", wallAt)
+	}
+}
+
+func TestPaperFig2CurvesOrdered(t *testing.T) {
+	// At any fan-out, higher failure probability gives lower success.
+	for n := 10; n <= 10000; n *= 10 {
+		prev := 2.0
+		for _, p := range PaperFig2Probabilities {
+			s := SuccessRatio(p, n)
+			if s >= prev {
+				t.Fatalf("Fig 2 curves not ordered at n=%d", n)
+			}
+			prev = s
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package workload generates the multi-tenant datasets and query traffic
+// the paper's evaluation rests on: lognormal table sizes (many small
+// tables, a heavy tail of big ones — the population behind Fig 4b), zipf
+// query skew across tables and bricks (behind Fig 4e's hot/cold split),
+// and synthetic dimensional rows for loading Cubrick tables.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/randutil"
+)
+
+// TableSpec describes one generated tenant table.
+type TableSpec struct {
+	Name string
+	// SizeBytes is the table's total (uncompressed) data size.
+	SizeBytes int64
+	// Rows derived from SizeBytes and the schema's row width.
+	Rows int64
+	// Schema is the dimensional schema used for generated rows.
+	Schema brick.Schema
+}
+
+// PopulationConfig parameterizes a multi-tenant table population.
+type PopulationConfig struct {
+	// Tables is how many tables to generate.
+	Tables int
+	// MedianBytes is the median table size (lognormal median = exp(mu)).
+	MedianBytes float64
+	// Sigma is the lognormal shape; larger means heavier upper tail.
+	Sigma float64
+	// MaxBytes caps individual table sizes (the paper's ~1TB dataset cap,
+	// §IV-B). Zero disables.
+	MaxBytes int64
+}
+
+// DefaultPopulation mirrors the qualitative shape of the paper's
+// deployment: thousands of tables, most far below the re-partition
+// threshold, with roughly 10% big enough to have re-partitioned.
+func DefaultPopulation(tables int) PopulationConfig {
+	// With the default partition policy (8 × 64 MiB before the first
+	// re-partition), a 64 MiB median and sigma 1.7 put ~11% of tables
+	// above the re-partition threshold — Fig 4b's "about 10%". The size
+	// cap is the production ~1 TB limit scaled to the simulation's
+	// 64 MiB partition threshold, so the largest tables settle at ~64
+	// partitions, matching Fig 4b's maximum of about 60.
+	return PopulationConfig{
+		Tables:      tables,
+		MedianBytes: 64 << 20,
+		Sigma:       1.7,
+		MaxBytes:    4 << 30,
+	}
+}
+
+// StandardSchema returns the dimensional schema the generated tables use:
+// enough dimensions for realistic granular partitioning without blowing up
+// the brick space.
+func StandardSchema() brick.Schema {
+	return brick.Schema{
+		Dimensions: []brick.Dimension{
+			{Name: "ds", Max: 365, Buckets: 73},   // date stamp
+			{Name: "region", Max: 64, Buckets: 8}, // deployment region
+			{Name: "app", Max: 1024, Buckets: 16}, // application id
+			{Name: "metric_id", Max: 256, Buckets: 8},
+		},
+		Metrics: []brick.Metric{{Name: "value"}, {Name: "samples"}},
+	}
+}
+
+// GenerateTables draws a table population from the config.
+func GenerateTables(cfg PopulationConfig, rnd *randutil.Source) []TableSpec {
+	schema := StandardSchema()
+	rowBytes := schema.RowBytes()
+	mu := math.Log(cfg.MedianBytes)
+	specs := make([]TableSpec, cfg.Tables)
+	for i := range specs {
+		size := int64(rnd.LogNormal(mu, cfg.Sigma))
+		if size < rowBytes {
+			size = rowBytes
+		}
+		if cfg.MaxBytes > 0 && size > cfg.MaxBytes {
+			size = cfg.MaxBytes
+		}
+		specs[i] = TableSpec{
+			Name:      fmt.Sprintf("tenant_%04d", i),
+			SizeBytes: size,
+			Rows:      size / rowBytes,
+			Schema:    schema,
+		}
+	}
+	return specs
+}
+
+// RowGenerator produces synthetic rows for a schema, with zipf skew on the
+// first dimension (recent data queried and loaded more often).
+type RowGenerator struct {
+	schema brick.Schema
+	rnd    *randutil.Source
+	zipfs  []*randutil.Zipf
+}
+
+// NewRowGenerator builds a generator; dimension 0 is zipf-skewed, the rest
+// uniform.
+func NewRowGenerator(schema brick.Schema, rnd *randutil.Source) *RowGenerator {
+	g := &RowGenerator{schema: schema, rnd: rnd}
+	for i, d := range schema.Dimensions {
+		if i == 0 {
+			g.zipfs = append(g.zipfs, rnd.NewZipf(1.2, uint64(d.Max)))
+		} else {
+			g.zipfs = append(g.zipfs, nil)
+		}
+	}
+	return g
+}
+
+// Next returns one synthetic row.
+func (g *RowGenerator) Next() (dims []uint32, metrics []float64) {
+	dims = make([]uint32, len(g.schema.Dimensions))
+	for i, d := range g.schema.Dimensions {
+		if g.zipfs[i] != nil {
+			dims[i] = uint32(g.zipfs[i].Next())
+		} else {
+			dims[i] = uint32(g.rnd.Intn(int(d.Max)))
+		}
+	}
+	metrics = make([]float64, len(g.schema.Metrics))
+	for i := range metrics {
+		metrics[i] = g.rnd.Float64() * 100
+	}
+	return dims, metrics
+}
+
+// QueryMix selects tables for queries with zipf skew: a few hot tenants
+// dominate traffic.
+type QueryMix struct {
+	tables []TableSpec
+	zipf   *randutil.Zipf
+}
+
+// NewQueryMix builds a traffic mix over the table population.
+func NewQueryMix(tables []TableSpec, rnd *randutil.Source) *QueryMix {
+	if len(tables) == 0 {
+		panic("workload: empty table population")
+	}
+	return &QueryMix{tables: tables, zipf: rnd.NewZipf(1.1, uint64(len(tables)))}
+}
+
+// Next returns the table the next query targets.
+func (m *QueryMix) Next() TableSpec {
+	return m.tables[m.zipf.Next()]
+}

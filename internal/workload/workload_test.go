@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"cubrick/internal/core"
+	"cubrick/internal/randutil"
+)
+
+func TestGenerateTablesPopulation(t *testing.T) {
+	rnd := randutil.New(42)
+	cfg := DefaultPopulation(2000)
+	specs := GenerateTables(cfg, rnd)
+	if len(specs) != 2000 {
+		t.Fatalf("generated %d tables", len(specs))
+	}
+	names := make(map[string]bool)
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate table name %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.SizeBytes <= 0 || s.Rows <= 0 {
+			t.Fatalf("non-positive table: %+v", s)
+		}
+		if cfg.MaxBytes > 0 && s.SizeBytes > cfg.MaxBytes {
+			t.Fatalf("table over cap: %d", s.SizeBytes)
+		}
+	}
+}
+
+// The population must reproduce Fig 4b's shape: under the default
+// partition policy the "vast majority" of tables keep 8 partitions and
+// roughly 10% re-partition.
+func TestPopulationMatchesFig4bShape(t *testing.T) {
+	rnd := randutil.New(7)
+	specs := GenerateTables(DefaultPopulation(5000), rnd)
+	policy := core.DefaultPartitionPolicy()
+	at8, more := 0, 0
+	maxParts := 0
+	for _, s := range specs {
+		n := policy.PartitionsFor(s.SizeBytes)
+		if n == 8 {
+			at8++
+		} else {
+			more++
+		}
+		if n > maxParts {
+			maxParts = n
+		}
+	}
+	frac8 := float64(at8) / float64(len(specs))
+	if frac8 < 0.75 || frac8 > 0.97 {
+		t.Fatalf("fraction at 8 partitions = %v, want vast majority (~0.9)", frac8)
+	}
+	fracMore := float64(more) / float64(len(specs))
+	if fracMore < 0.03 || fracMore > 0.25 {
+		t.Fatalf("fraction re-partitioned = %v, want ~0.1", fracMore)
+	}
+	if maxParts < 16 || maxParts > 128 {
+		t.Fatalf("max partitions = %d, want tail reaching ~64", maxParts)
+	}
+}
+
+func TestRowGeneratorRespectsDomains(t *testing.T) {
+	rnd := randutil.New(3)
+	schema := StandardSchema()
+	g := NewRowGenerator(schema, rnd)
+	counts := make(map[uint32]int)
+	for i := 0; i < 5000; i++ {
+		dims, metrics := g.Next()
+		if len(dims) != len(schema.Dimensions) || len(metrics) != len(schema.Metrics) {
+			t.Fatal("arity mismatch")
+		}
+		for j, d := range dims {
+			if d >= schema.Dimensions[j].Max {
+				t.Fatalf("dim %d value %d out of domain", j, d)
+			}
+		}
+		counts[dims[0]]++
+	}
+	// Zipf skew: value 0 of dimension 0 must dominate.
+	if counts[0] < counts[50] {
+		t.Fatalf("dimension 0 not skewed: c0=%d c50=%d", counts[0], counts[50])
+	}
+}
+
+func TestQueryMixSkew(t *testing.T) {
+	rnd := randutil.New(5)
+	specs := GenerateTables(DefaultPopulation(100), rnd)
+	mix := NewQueryMix(specs, rnd)
+	counts := make(map[string]int)
+	for i := 0; i < 20000; i++ {
+		counts[mix.Next().Name]++
+	}
+	if counts[specs[0].Name] <= counts[specs[50].Name] {
+		t.Fatalf("traffic not skewed: hot=%d mid=%d", counts[specs[0].Name], counts[specs[50].Name])
+	}
+}
+
+func TestQueryMixEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewQueryMix(nil) did not panic")
+		}
+	}()
+	NewQueryMix(nil, randutil.New(1))
+}
+
+func TestStandardSchemaValid(t *testing.T) {
+	if err := StandardSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package zk
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cubrick/internal/simclock"
+)
+
+// TestConcurrentSessionsAndWatches exercises the store from parallel
+// sessions creating ephemerals, watchers, and an expiry sweeper; run with
+// -race.
+func TestConcurrentSessionsAndWatches(t *testing.T) {
+	store := NewStore(simclock.Real{})
+	if err := store.CreateAll("/svc/servers", nil); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := store.NewSession(time.Minute)
+			path := fmt.Sprintf("/svc/servers/host%d", w)
+			if _, err := sess.Create(path, []byte("hb"), Ephemeral); err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			for i := 0; i < 100; i++ {
+				if err := sess.Heartbeat(); err != nil {
+					t.Errorf("heartbeat: %v", err)
+					return
+				}
+				if _, _, err := store.Get(path); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+			sess.Close()
+		}(w)
+	}
+	// Watchers churn on the children list.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, _, err := store.ChildrenW("/svc/servers"); err != nil {
+					t.Errorf("childrenW: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Sweeper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			store.ExpireSessions()
+		}
+	}()
+	wg.Wait()
+
+	kids, err := store.Children("/svc/servers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 0 {
+		t.Fatalf("ephemerals leaked after all sessions closed: %v", kids)
+	}
+	if store.LiveSessions() != 0 {
+		t.Fatalf("sessions leaked: %d", store.LiveSessions())
+	}
+}
+
+// TestConcurrentSequenceNodes verifies sequence numbers stay unique under
+// parallel creation.
+func TestConcurrentSequenceNodes(t *testing.T) {
+	store := NewStore(simclock.Real{})
+	store.CreateAll("/q", nil)
+	const workers = 8
+	const perWorker = 50
+	paths := make(chan string, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p, err := store.Create("/q/item-", nil, PersistentSequential, 0)
+				if err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				paths <- p
+			}
+		}()
+	}
+	wg.Wait()
+	close(paths)
+	seen := make(map[string]bool)
+	for p := range paths {
+		if seen[p] {
+			t.Fatalf("duplicate sequential path %s", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("created %d unique nodes, want %d", len(seen), workers*perWorker)
+	}
+}

@@ -1,0 +1,131 @@
+package zk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Session is a client session with a TTL kept alive by heartbeats. When the
+// TTL lapses (or Close is called) every ephemeral node the session owns is
+// deleted, firing watches — this is the mechanism by which SM server learns
+// that an application server died (paper §III-A, "Datastore").
+type Session struct {
+	store      *Store
+	id         int64
+	ttl        time.Duration
+	mu         sync.Mutex
+	lastBeat   time.Time
+	closed     bool
+	ephemerals map[string]struct{}
+	expiryCh   chan struct{}
+}
+
+// NewSession opens a session with the given TTL. The caller must call
+// Heartbeat more often than the TTL or the session expires at the next
+// ExpireSessions sweep.
+func (s *Store) NewSession(ttl time.Duration) *Session {
+	if ttl <= 0 {
+		panic("zk: non-positive session TTL")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSess++
+	sess := &Session{
+		store:      s,
+		id:         s.nextSess,
+		ttl:        ttl,
+		lastBeat:   s.clock.Now(),
+		ephemerals: make(map[string]struct{}),
+		expiryCh:   make(chan struct{}),
+	}
+	s.sessions[sess.id] = sess
+	return sess
+}
+
+// ID returns the session's unique identifier.
+func (sess *Session) ID() int64 { return sess.id }
+
+// Expired returns a channel closed when the session expires or is closed.
+func (sess *Session) Expired() <-chan struct{} { return sess.expiryCh }
+
+// Heartbeat refreshes the session's liveness. It returns ErrSessionClosed
+// if the session has already expired.
+func (sess *Session) Heartbeat() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return ErrSessionClosed
+	}
+	sess.lastBeat = sess.store.clock.Now()
+	return nil
+}
+
+// Create creates a znode owned by this session. Ephemeral modes tie the
+// node's lifetime to the session.
+func (sess *Session) Create(path string, data []byte, mode CreateMode) (string, error) {
+	sess.mu.Lock()
+	closed := sess.closed
+	sess.mu.Unlock()
+	if closed {
+		return "", fmt.Errorf("%w: session %d", ErrSessionClosed, sess.id)
+	}
+	return sess.store.Create(path, data, mode, sess.id)
+}
+
+// Close expires the session immediately, deleting its ephemeral nodes.
+func (sess *Session) Close() {
+	sess.store.expireSession(sess)
+}
+
+// expireSession removes a session and its ephemeral nodes, firing watches.
+func (s *Store) expireSession(sess *Session) {
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return
+	}
+	sess.closed = true
+	paths := make([]string, 0, len(sess.ephemerals))
+	for p := range sess.ephemerals {
+		paths = append(paths, p)
+	}
+	sess.mu.Unlock()
+
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	for _, p := range paths {
+		// Ignore errors: the node may have been deleted explicitly.
+		_ = s.deleteLocked(p, -1)
+	}
+	s.mu.Unlock()
+	close(sess.expiryCh)
+}
+
+// ExpireSessions sweeps all sessions and expires any whose last heartbeat
+// is older than its TTL. It returns the number of sessions expired. The SM
+// server (or the simulator) calls this periodically.
+func (s *Store) ExpireSessions() int {
+	now := s.clock.Now()
+	s.mu.Lock()
+	var stale []*Session
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if now.Sub(sess.lastBeat) > sess.ttl {
+			stale = append(stale, sess)
+		}
+		sess.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, sess := range stale {
+		s.expireSession(sess)
+	}
+	return len(stale)
+}
+
+// LiveSessions returns the number of open sessions.
+func (s *Store) LiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

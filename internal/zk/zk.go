@@ -1,0 +1,463 @@
+// Package zk implements an in-memory hierarchical coordination store with
+// the subset of Zookeeper semantics Shard Manager depends on: persistent and
+// ephemeral znodes, sequence nodes, versioned updates, watches, and sessions
+// whose expiry deletes their ephemeral nodes.
+//
+// The paper's SM architecture (§III-A) uses Zookeeper (Facebook's Zeus) for
+// two things: storing SM server's persistent state, and collecting
+// heartbeats from application-server libraries — "If heartbeats stop, SM
+// Server gets notified by zookeeper and a shard failover operation might be
+// triggered." Ephemeral nodes plus watches provide exactly that
+// notification path.
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cubrick/internal/simclock"
+)
+
+// Errors returned by Store operations.
+var (
+	ErrNoNode        = errors.New("zk: node does not exist")
+	ErrNodeExists    = errors.New("zk: node already exists")
+	ErrNotEmpty      = errors.New("zk: node has children")
+	ErrBadVersion    = errors.New("zk: version conflict")
+	ErrNoParent      = errors.New("zk: parent node does not exist")
+	ErrSessionClosed = errors.New("zk: session closed")
+	ErrEphemeralKids = errors.New("zk: ephemeral nodes cannot have children")
+	ErrBadPath       = errors.New("zk: invalid path")
+)
+
+// CreateMode controls the lifetime and naming of a created znode.
+type CreateMode int
+
+const (
+	// Persistent nodes survive until explicitly deleted.
+	Persistent CreateMode = iota
+	// Ephemeral nodes are deleted when their owning session expires.
+	Ephemeral
+	// PersistentSequential appends a monotonically increasing counter to
+	// the node name.
+	PersistentSequential
+	// EphemeralSequential combines both behaviours.
+	EphemeralSequential
+)
+
+func (m CreateMode) ephemeral() bool {
+	return m == Ephemeral || m == EphemeralSequential
+}
+
+func (m CreateMode) sequential() bool {
+	return m == PersistentSequential || m == EphemeralSequential
+}
+
+// EventType identifies what changed about a watched path.
+type EventType int
+
+const (
+	// EventCreated fires when the watched path is created.
+	EventCreated EventType = iota
+	// EventDeleted fires when the watched path is deleted.
+	EventDeleted
+	// EventDataChanged fires when the watched path's data changes.
+	EventDataChanged
+	// EventChildrenChanged fires when a child is added to or removed from
+	// the watched path.
+	EventChildrenChanged
+)
+
+// String implements fmt.Stringer.
+func (e EventType) String() string {
+	switch e {
+	case EventCreated:
+		return "created"
+	case EventDeleted:
+		return "deleted"
+	case EventDataChanged:
+		return "dataChanged"
+	case EventChildrenChanged:
+		return "childrenChanged"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(e))
+	}
+}
+
+// Event describes a change to a watched znode. Like Zookeeper watches, a
+// watch fires at most once and must be re-armed by re-reading.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// Stat carries znode metadata.
+type Stat struct {
+	Version     int64 // data version, incremented on Set
+	NumChildren int
+	Ephemeral   bool
+	SessionID   int64 // owner session for ephemeral nodes, else 0
+}
+
+type node struct {
+	data      []byte
+	version   int64
+	children  map[string]*node
+	ephemeral bool
+	sessionID int64
+	seq       int64 // next sequence number for sequential children
+
+	dataWatches  []chan Event
+	childWatches []chan Event
+	existWatches []chan Event // armed on paths that do not exist yet
+}
+
+func newNode() *node {
+	return &node{children: make(map[string]*node)}
+}
+
+// Store is the coordination service. The zero value is not usable; call
+// NewStore. All methods are safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	clock    simclock.Clock
+	root     *node
+	sessions map[int64]*Session
+	nextSess int64
+	// pendingWatches holds exist-watches for paths that do not exist.
+	pendingWatches map[string][]chan Event
+}
+
+// NewStore returns an empty store using the given clock for session expiry.
+func NewStore(clock simclock.Clock) *Store {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Store{
+		clock:          clock,
+		root:           newNode(),
+		sessions:       make(map[int64]*Session),
+		pendingWatches: make(map[string][]chan Event),
+	}
+}
+
+// splitPath validates and splits an absolute path like /a/b/c.
+func splitPath(path string) ([]string, error) {
+	if path == "/" {
+		return nil, nil
+	}
+	if len(path) == 0 || path[0] != '/' || strings.HasSuffix(path, "/") {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// lookup walks to the node at path. Caller holds s.mu.
+func (s *Store) lookup(path string) (*node, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	n := s.root
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoNode, path)
+		}
+		n = child
+	}
+	return n, nil
+}
+
+func notify(chans []chan Event, ev Event) {
+	for _, ch := range chans {
+		// Watch channels are buffered (cap 1) and single-shot, so this
+		// never blocks.
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Create adds a znode at path with the given data and mode. For sequential
+// modes, the stored path has a 10-digit counter appended and is returned.
+// sessionID must identify a live session for ephemeral modes (use
+// Session.Create instead of calling this directly).
+func (s *Store) Create(path string, data []byte, mode CreateMode, sessionID int64) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.createLocked(path, data, mode, sessionID)
+}
+
+func (s *Store) createLocked(path string, data []byte, mode CreateMode, sessionID int64) (string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return "", err
+	}
+	if len(parts) == 0 {
+		return "", fmt.Errorf("%w: cannot create root", ErrNodeExists)
+	}
+	if mode.ephemeral() {
+		if _, ok := s.sessions[sessionID]; !ok {
+			return "", fmt.Errorf("%w: session %d", ErrSessionClosed, sessionID)
+		}
+	}
+	parent := s.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := parent.children[p]
+		if !ok {
+			return "", fmt.Errorf("%w: %s", ErrNoParent, path)
+		}
+		parent = child
+	}
+	if parent.ephemeral {
+		return "", fmt.Errorf("%w: %s", ErrEphemeralKids, path)
+	}
+	name := parts[len(parts)-1]
+	if mode.sequential() {
+		name = fmt.Sprintf("%s%010d", name, parent.seq)
+		parent.seq++
+	} else if _, ok := parent.children[name]; ok {
+		return "", fmt.Errorf("%w: %s", ErrNodeExists, path)
+	}
+	n := newNode()
+	n.data = append([]byte(nil), data...)
+	n.ephemeral = mode.ephemeral()
+	n.sessionID = 0
+	if n.ephemeral {
+		n.sessionID = sessionID
+		s.sessions[sessionID].ephemerals[dirJoin(path, name, parts)] = struct{}{}
+	}
+	parent.children[name] = n
+
+	full := dirJoin(path, name, parts)
+	notify(parent.childWatches, Event{Type: EventChildrenChanged, Path: parentPath(full)})
+	parent.childWatches = nil
+	if pw := s.pendingWatches[full]; pw != nil {
+		notify(pw, Event{Type: EventCreated, Path: full})
+		delete(s.pendingWatches, full)
+	}
+	return full, nil
+}
+
+// dirJoin rebuilds the full path with the (possibly sequential) final name.
+func dirJoin(orig, finalName string, parts []string) string {
+	if len(parts) == 1 {
+		return "/" + finalName
+	}
+	return "/" + strings.Join(parts[:len(parts)-1], "/") + "/" + finalName
+}
+
+func parentPath(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// Get returns the data and stat of the znode at path.
+func (s *Store) Get(path string) ([]byte, Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if err != nil {
+		return nil, Stat{}, err
+	}
+	return append([]byte(nil), n.data...), statOf(n), nil
+}
+
+// GetW is Get plus a single-shot watch on data changes and deletion.
+func (s *Store) GetW(path string) ([]byte, Stat, <-chan Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if err != nil {
+		return nil, Stat{}, nil, err
+	}
+	ch := make(chan Event, 1)
+	n.dataWatches = append(n.dataWatches, ch)
+	return append([]byte(nil), n.data...), statOf(n), ch, nil
+}
+
+func statOf(n *node) Stat {
+	return Stat{
+		Version:     n.version,
+		NumChildren: len(n.children),
+		Ephemeral:   n.ephemeral,
+		SessionID:   n.sessionID,
+	}
+}
+
+// Set replaces the data at path. version must match the current data
+// version, or be -1 to force.
+func (s *Store) Set(path string, data []byte, version int64) (Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	if version != -1 && version != n.version {
+		return Stat{}, fmt.Errorf("%w: %s have=%d want=%d", ErrBadVersion, path, n.version, version)
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	notify(n.dataWatches, Event{Type: EventDataChanged, Path: path})
+	n.dataWatches = nil
+	return statOf(n), nil
+}
+
+// Delete removes the znode at path. version semantics match Set. Nodes with
+// children cannot be deleted.
+func (s *Store) Delete(path string, version int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deleteLocked(path, version)
+}
+
+func (s *Store) deleteLocked(path string, version int64) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot delete root", ErrBadPath)
+	}
+	parent := s.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := parent.children[p]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoNode, path)
+		}
+		parent = child
+	}
+	name := parts[len(parts)-1]
+	n, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	if version != -1 && version != n.version {
+		return fmt.Errorf("%w: %s have=%d want=%d", ErrBadVersion, path, n.version, version)
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	delete(parent.children, name)
+	if n.ephemeral {
+		if sess, ok := s.sessions[n.sessionID]; ok {
+			delete(sess.ephemerals, path)
+		}
+	}
+	notify(n.dataWatches, Event{Type: EventDeleted, Path: path})
+	notify(n.childWatches, Event{Type: EventDeleted, Path: path})
+	notify(parent.childWatches, Event{Type: EventChildrenChanged, Path: parentPath(path)})
+	parent.childWatches = nil
+	return nil
+}
+
+// Children returns the sorted child names of the znode at path.
+func (s *Store) Children(path string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	return sortedChildren(n), nil
+}
+
+// ChildrenW is Children plus a single-shot watch on membership changes.
+func (s *Store) ChildrenW(path string) ([]string, <-chan Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := make(chan Event, 1)
+	n.childWatches = append(n.childWatches, ch)
+	return sortedChildren(n), ch, nil
+}
+
+func sortedChildren(n *node) []string {
+	kids := make([]string, 0, len(n.children))
+	for name := range n.children {
+		kids = append(kids, name)
+	}
+	sort.Strings(kids)
+	return kids
+}
+
+// Exists reports whether a znode exists at path.
+func (s *Store) Exists(path string) (bool, Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.lookup(path)
+	if errors.Is(err, ErrNoNode) {
+		return false, Stat{}, nil
+	}
+	if err != nil {
+		return false, Stat{}, err
+	}
+	return true, statOf(n), nil
+}
+
+// ExistsW is Exists plus a single-shot watch: if the node exists the watch
+// fires on data change or delete; if not, it fires on creation.
+func (s *Store) ExistsW(path string) (bool, Stat, <-chan Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan Event, 1)
+	n, err := s.lookup(path)
+	if errors.Is(err, ErrNoNode) {
+		if _, perr := splitPath(path); perr != nil {
+			return false, Stat{}, nil, perr
+		}
+		s.pendingWatches[path] = append(s.pendingWatches[path], ch)
+		return false, Stat{}, ch, nil
+	}
+	if err != nil {
+		return false, Stat{}, nil, err
+	}
+	n.dataWatches = append(n.dataWatches, ch)
+	return true, statOf(n), ch, nil
+}
+
+// CreateAll creates every missing persistent node along path (mkdir -p).
+// Existing nodes are left untouched; the final node's data is only written
+// if the node is created.
+func (s *Store) CreateAll(path string, data []byte) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := "/"
+	for i, p := range parts {
+		if cur == "/" {
+			cur = "/" + p
+		} else {
+			cur = cur + "/" + p
+		}
+		var d []byte
+		if i == len(parts)-1 {
+			d = data
+		}
+		if _, err := s.createLocked(cur, d, Persistent, 0); err != nil && !errors.Is(err, ErrNodeExists) {
+			return err
+		}
+	}
+	return nil
+}

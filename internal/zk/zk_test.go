@@ -1,0 +1,424 @@
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cubrick/internal/simclock"
+)
+
+var epoch = time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestStore() (*Store, *simclock.SimClock) {
+	clk := simclock.NewSim(epoch)
+	return NewStore(clk), clk
+}
+
+func TestCreateGetSetDelete(t *testing.T) {
+	s, _ := newTestStore()
+	p, err := s.Create("/a", []byte("one"), Persistent, 0)
+	if err != nil || p != "/a" {
+		t.Fatalf("Create = %q, %v", p, err)
+	}
+	data, st, err := s.Get("/a")
+	if err != nil || string(data) != "one" || st.Version != 0 {
+		t.Fatalf("Get = %q v%d, %v", data, st.Version, err)
+	}
+	if _, err := s.Set("/a", []byte("two"), 0); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	data, st, _ = s.Get("/a")
+	if string(data) != "two" || st.Version != 1 {
+		t.Fatalf("after Set: %q v%d", data, st.Version)
+	}
+	if err := s.Delete("/a", 1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, _, err := s.Get("/a"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Get after delete = %v, want ErrNoNode", err)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	s, _ := newTestStore()
+	if _, err := s.Create("/a/b", nil, Persistent, 0); !errors.Is(err, ErrNoParent) {
+		t.Fatalf("create without parent = %v, want ErrNoParent", err)
+	}
+	mustCreate(t, s, "/a")
+	if _, err := s.Create("/a", nil, Persistent, 0); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate create = %v, want ErrNodeExists", err)
+	}
+	for _, bad := range []string{"", "a", "/a/", "//", "/a//b"} {
+		if _, err := s.Create(bad, nil, Persistent, 0); !errors.Is(err, ErrBadPath) {
+			t.Fatalf("Create(%q) = %v, want ErrBadPath", bad, err)
+		}
+	}
+}
+
+func mustCreate(t *testing.T, s *Store, path string) string {
+	t.Helper()
+	p, err := s.Create(path, nil, Persistent, 0)
+	if err != nil {
+		t.Fatalf("Create(%q): %v", path, err)
+	}
+	return p
+}
+
+func TestVersionConflicts(t *testing.T) {
+	s, _ := newTestStore()
+	mustCreate(t, s, "/a")
+	if _, err := s.Set("/a", nil, 5); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("Set with wrong version = %v, want ErrBadVersion", err)
+	}
+	if err := s.Delete("/a", 3); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("Delete with wrong version = %v, want ErrBadVersion", err)
+	}
+	if _, err := s.Set("/a", nil, -1); err != nil {
+		t.Fatalf("Set force: %v", err)
+	}
+	if err := s.Delete("/a", -1); err != nil {
+		t.Fatalf("Delete force: %v", err)
+	}
+}
+
+func TestDeleteNonEmpty(t *testing.T) {
+	s, _ := newTestStore()
+	mustCreate(t, s, "/a")
+	mustCreate(t, s, "/a/b")
+	if err := s.Delete("/a", -1); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("Delete non-empty = %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	s, _ := newTestStore()
+	mustCreate(t, s, "/a")
+	for _, c := range []string{"zeta", "alpha", "mid"} {
+		mustCreate(t, s, "/a/"+c)
+	}
+	kids, err := s.Children("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if kids[i] != want[i] {
+			t.Fatalf("Children = %v, want %v", kids, want)
+		}
+	}
+	// Root listing.
+	rootKids, err := s.Children("/")
+	if err != nil || len(rootKids) != 1 || rootKids[0] != "a" {
+		t.Fatalf("Children(/) = %v, %v", rootKids, err)
+	}
+}
+
+func TestSequentialNodes(t *testing.T) {
+	s, _ := newTestStore()
+	mustCreate(t, s, "/q")
+	p1, err := s.Create("/q/item-", nil, PersistentSequential, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s.Create("/q/item-", nil, PersistentSequential, 0)
+	if p1 != "/q/item-0000000000" || p2 != "/q/item-0000000001" {
+		t.Fatalf("sequential names = %q, %q", p1, p2)
+	}
+}
+
+func TestDataWatch(t *testing.T) {
+	s, _ := newTestStore()
+	mustCreate(t, s, "/a")
+	_, _, ch, err := s.GetW("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Set("/a", []byte("x"), -1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDataChanged || ev.Path != "/a" {
+			t.Fatalf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("data watch did not fire")
+	}
+	// Single-shot: second Set must not fire again.
+	s.Set("/a", []byte("y"), -1)
+	select {
+	case ev := <-ch:
+		t.Fatalf("watch fired twice: %+v", ev)
+	default:
+	}
+}
+
+func TestDeleteFiresDataWatch(t *testing.T) {
+	s, _ := newTestStore()
+	mustCreate(t, s, "/a")
+	_, _, ch, _ := s.GetW("/a")
+	s.Delete("/a", -1)
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDeleted {
+			t.Fatalf("event = %+v, want deleted", ev)
+		}
+	default:
+		t.Fatal("delete did not fire data watch")
+	}
+}
+
+func TestChildWatch(t *testing.T) {
+	s, _ := newTestStore()
+	mustCreate(t, s, "/a")
+	_, ch, err := s.ChildrenW("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s, "/a/b")
+	select {
+	case ev := <-ch:
+		if ev.Type != EventChildrenChanged || ev.Path != "/a" {
+			t.Fatalf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("child watch did not fire on create")
+	}
+	// Re-arm and test delete.
+	_, ch, _ = s.ChildrenW("/a")
+	s.Delete("/a/b", -1)
+	select {
+	case ev := <-ch:
+		if ev.Type != EventChildrenChanged {
+			t.Fatalf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("child watch did not fire on delete")
+	}
+}
+
+func TestExistsWatchOnMissingNode(t *testing.T) {
+	s, _ := newTestStore()
+	ok, _, ch, err := s.ExistsW("/ghost")
+	if err != nil || ok {
+		t.Fatalf("ExistsW = %v, %v", ok, err)
+	}
+	mustCreate(t, s, "/ghost")
+	select {
+	case ev := <-ch:
+		if ev.Type != EventCreated || ev.Path != "/ghost" {
+			t.Fatalf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("exist watch did not fire on creation")
+	}
+}
+
+func TestExists(t *testing.T) {
+	s, _ := newTestStore()
+	ok, _, err := s.Exists("/nope")
+	if err != nil || ok {
+		t.Fatalf("Exists(missing) = %v, %v", ok, err)
+	}
+	mustCreate(t, s, "/yes")
+	ok, st, err := s.Exists("/yes")
+	if err != nil || !ok || st.Version != 0 {
+		t.Fatalf("Exists = %v %+v %v", ok, st, err)
+	}
+}
+
+func TestCreateAll(t *testing.T) {
+	s, _ := newTestStore()
+	if err := s.CreateAll("/a/b/c", []byte("leaf")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := s.Get("/a/b/c")
+	if err != nil || string(data) != "leaf" {
+		t.Fatalf("Get leaf = %q, %v", data, err)
+	}
+	// Idempotent, does not clobber existing leaf data.
+	if err := s.CreateAll("/a/b/c", []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ = s.Get("/a/b/c")
+	if string(data) != "leaf" {
+		t.Fatalf("CreateAll clobbered existing data: %q", data)
+	}
+}
+
+func TestEphemeralLifecycle(t *testing.T) {
+	s, clk := newTestStore()
+	sess := s.NewSession(10 * time.Second)
+	if _, err := sess.Create("/live", []byte("hb"), Ephemeral); err != nil {
+		t.Fatal(err)
+	}
+	ok, st, _ := s.Exists("/live")
+	if !ok || !st.Ephemeral || st.SessionID != sess.ID() {
+		t.Fatalf("ephemeral stat = %v %+v", ok, st)
+	}
+	// Heartbeats keep it alive.
+	for i := 0; i < 5; i++ {
+		clk.Advance(5 * time.Second)
+		if err := sess.Heartbeat(); err != nil {
+			t.Fatal(err)
+		}
+		if n := s.ExpireSessions(); n != 0 {
+			t.Fatalf("session expired despite heartbeats")
+		}
+	}
+	// Stop heartbeating; node disappears after TTL.
+	clk.Advance(11 * time.Second)
+	if n := s.ExpireSessions(); n != 1 {
+		t.Fatalf("ExpireSessions = %d, want 1", n)
+	}
+	if ok, _, _ := s.Exists("/live"); ok {
+		t.Fatal("ephemeral node survived session expiry")
+	}
+	select {
+	case <-sess.Expired():
+	default:
+		t.Fatal("Expired channel not closed")
+	}
+	if err := sess.Heartbeat(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Heartbeat after expiry = %v, want ErrSessionClosed", err)
+	}
+}
+
+func TestSessionCloseDeletesEphemerals(t *testing.T) {
+	s, _ := newTestStore()
+	sess := s.NewSession(time.Minute)
+	sess.Create("/e1", nil, Ephemeral)
+	sess.Create("/e2", nil, Ephemeral)
+	mustCreate(t, s, "/p1")
+	sess.Close()
+	for _, p := range []string{"/e1", "/e2"} {
+		if ok, _, _ := s.Exists(p); ok {
+			t.Fatalf("%s survived session close", p)
+		}
+	}
+	if ok, _, _ := s.Exists("/p1"); !ok {
+		t.Fatal("persistent node deleted by session close")
+	}
+	if s.LiveSessions() != 0 {
+		t.Fatalf("LiveSessions = %d, want 0", s.LiveSessions())
+	}
+}
+
+func TestEphemeralExpiryFiresWatches(t *testing.T) {
+	s, clk := newTestStore()
+	sess := s.NewSession(time.Second)
+	sess.Create("/hb", nil, Ephemeral)
+	_, _, ch, _ := s.GetW("/hb")
+	clk.Advance(2 * time.Second)
+	s.ExpireSessions()
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDeleted {
+			t.Fatalf("event = %+v, want deleted", ev)
+		}
+	default:
+		t.Fatal("session expiry did not fire watch — failover signal lost")
+	}
+}
+
+func TestEphemeralCannotHaveChildren(t *testing.T) {
+	s, _ := newTestStore()
+	sess := s.NewSession(time.Minute)
+	sess.Create("/e", nil, Ephemeral)
+	if _, err := s.Create("/e/child", nil, Persistent, 0); !errors.Is(err, ErrEphemeralKids) {
+		t.Fatalf("create under ephemeral = %v, want ErrEphemeralKids", err)
+	}
+}
+
+func TestEphemeralRequiresLiveSession(t *testing.T) {
+	s, _ := newTestStore()
+	if _, err := s.Create("/e", nil, Ephemeral, 999); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("ephemeral with bogus session = %v, want ErrSessionClosed", err)
+	}
+	sess := s.NewSession(time.Minute)
+	sess.Close()
+	if _, err := sess.Create("/e", nil, Ephemeral); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("create on closed session = %v, want ErrSessionClosed", err)
+	}
+}
+
+func TestExplicitDeleteOfEphemeralUnregisters(t *testing.T) {
+	s, _ := newTestStore()
+	sess := s.NewSession(time.Minute)
+	sess.Create("/e", nil, Ephemeral)
+	if err := s.Delete("/e", -1); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the session afterwards must not error or double-delete.
+	sess.Close()
+	if ok, _, _ := s.Exists("/e"); ok {
+		t.Fatal("node exists after delete+close")
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	for ev, want := range map[EventType]string{
+		EventCreated:         "created",
+		EventDeleted:         "deleted",
+		EventDataChanged:     "dataChanged",
+		EventChildrenChanged: "childrenChanged",
+		EventType(99):        "EventType(99)",
+	} {
+		if got := ev.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(ev), got, want)
+		}
+	}
+}
+
+// Property: a created path can always be read back with the same data, and
+// Children of its parent contains it.
+func TestCreateReadbackProperty(t *testing.T) {
+	s, _ := newTestStore()
+	mustCreate(t, s, "/t")
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		path := fmt.Sprintf("/t/n%d", i)
+		if _, err := s.Create(path, data, Persistent, 0); err != nil {
+			return false
+		}
+		got, _, err := s.Get(path)
+		if err != nil || string(got) != string(data) {
+			return false
+		}
+		kids, _ := s.Children("/t")
+		for _, k := range kids {
+			if k == fmt.Sprintf("n%d", i) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExistsWBadPathAndExisting(t *testing.T) {
+	s, _ := newTestStore()
+	if _, _, _, err := s.ExistsW("not-absolute"); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	mustCreate(t, s, "/live")
+	ok, st, ch, err := s.ExistsW("/live")
+	if err != nil || !ok || st.Version != 0 {
+		t.Fatalf("ExistsW existing = %v %+v %v", ok, st, err)
+	}
+	s.Set("/live", []byte("x"), -1)
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDataChanged {
+			t.Fatalf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("ExistsW watch on existing node did not fire")
+	}
+}
