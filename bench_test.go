@@ -8,8 +8,11 @@ import (
 	"testing"
 	"time"
 
+	cubrick "cubrick"
+	"cubrick/internal/brick"
 	"cubrick/internal/cluster"
 	"cubrick/internal/core"
+	"cubrick/internal/engine"
 	"cubrick/internal/randutil"
 	"cubrick/internal/sim"
 	"cubrick/internal/simclock"
@@ -177,6 +180,101 @@ func BenchmarkFig4fHostRepairs(b *testing.B) {
 		repairsPerDay = float64(inj.Repairs()) / float64(days)
 	}
 	b.ReportMetric(repairsPerDay, "repairs_per_day")
+}
+
+// BenchmarkScanParallelism compares the serial row-at-a-time reference
+// against brick-parallel vectorized execution on a single partition's
+// store: one morsel per brick, worker pool sized by GOMAXPROCS,
+// thread-local kernels merged in brick order. Both paths finalize to the
+// same result; the interesting quantity is the speedup.
+func BenchmarkScanParallelism(b *testing.B) {
+	schema := brick.Schema{
+		Dimensions: []brick.Dimension{
+			{Name: "ds", Max: 64, Buckets: 16},
+			{Name: "app", Max: 256, Buckets: 8},
+			{Name: "country", Max: 32, Buckets: 1},
+		},
+		Metrics: []brick.Metric{{Name: "value"}},
+	}
+	s, err := brick.NewStore(schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rnd := randutil.New(11)
+	for i := 0; i < 200000; i++ {
+		s.Insert(
+			[]uint32{uint32(rnd.Intn(64)), uint32(rnd.Intn(256)), uint32(rnd.Intn(32))},
+			[]float64{float64(rnd.Intn(1000))},
+		)
+	}
+	q := &engine.Query{
+		Aggregates: []engine.Aggregate{{Func: engine.Sum, Metric: "value"}, {Func: engine.Avg, Metric: "value"}},
+		GroupBy:    []string{"ds", "app"},
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Execute(s, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(s.BrickCount()), "bricks")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.ExecuteParallel(s, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(s.BrickCount()), "bricks")
+	})
+}
+
+// BenchmarkEndToEndGroupBy runs a grouped aggregation through the public
+// facade: partitions execute concurrently and each partition's scan is
+// brick-parallel, so the whole single-region path is exercised.
+func BenchmarkEndToEndGroupBy(b *testing.B) {
+	cfg := cubrick.Defaults()
+	cfg.Deployment.Policy.InitialPartitions = 4
+	cfg.Deployment.Transport.RequestFailureProb = 0
+	db, err := cubrick.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := cubrick.Schema{
+		Dimensions: []cubrick.Dimension{
+			{Name: "ds", Max: 64, Buckets: 16},
+			{Name: "app", Max: 256, Buckets: 8},
+		},
+		Metrics: []cubrick.Metric{{Name: "value"}},
+	}
+	if err := db.CreateTable("events", schema); err != nil {
+		b.Fatal(err)
+	}
+	rnd := randutil.New(13)
+	n := 100000
+	dims := make([][]uint32, n)
+	mets := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		dims[i] = []uint32{uint32(rnd.Intn(64)), uint32(rnd.Intn(256))}
+		mets[i] = []float64{float64(rnd.Intn(1000))}
+	}
+	if err := db.Load("events", dims, mets); err != nil {
+		b.Fatal(err)
+	}
+	q := &engine.Query{
+		Aggregates: []engine.Aggregate{{Func: engine.Sum, Metric: "value"}},
+		GroupBy:    []string{"ds"},
+	}
+	b.ResetTimer()
+	var res *cubrick.Result
+	for i := 0; i < b.N; i++ {
+		res, err = db.QueryStruct("events", q)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Rows)), "groups")
+	b.ReportMetric(float64(res.BricksVisited), "bricks_visited")
 }
 
 // BenchmarkFig5FanoutLatency regenerates Fig 5: the query latency

@@ -28,6 +28,21 @@ func (f *Filter) Matches(dims []uint32) bool {
 	return true
 }
 
+// MatchesAt reports whether row r of a columnar batch passes the filter,
+// without materializing the row.
+func (f *Filter) MatchesAt(dims [][]uint32, r int) bool {
+	if f == nil {
+		return true
+	}
+	for i, rng := range f.Ranges {
+		v := dims[i][r]
+		if v < rng[0] || v > rng[1] {
+			return false
+		}
+	}
+	return true
+}
+
 // overlaps reports whether a brick's bounds intersect the filter.
 func (f *Filter) overlaps(bounds [][2]uint32) bool {
 	if f == nil {
@@ -149,37 +164,103 @@ func (s *Store) snapshotBricks() []struct {
 	return out
 }
 
+// ScanTask is one brick's worth of scan work — the morsel unit of
+// parallel query execution. Tasks over distinct bricks are independent
+// and safe to run concurrently; heat and decompression accounting happen
+// when the task is visited, exactly as under Store.Scan.
+type ScanTask struct {
+	store *Store
+	brick *Brick
+	// BrickID identifies the brick within the partitioned space.
+	BrickID uint64
+	// Bounds are the brick's inclusive per-dimension value ranges; every
+	// row in the brick falls inside them, which lets kernels size dense
+	// per-brick accumulators.
+	Bounds [][2]uint32
+	// Full reports that the scan filter fully covers the brick's bounds,
+	// so per-row filter checks can be skipped.
+	Full bool
+}
+
+// Rows returns the task's row count.
+func (t *ScanTask) Rows() int { return t.brick.Rows() }
+
+// Compressed reports whether visiting the task will pay a transient
+// decompression.
+func (t *ScanTask) Compressed() bool { return t.brick.IsCompressed() }
+
+// Visit streams the brick's columnar batch to fn, adding heat and
+// counting decompressions/SSD reads on the store. The column slices are
+// valid only for the duration of the call.
+func (t *ScanTask) Visit(fn func(dims [][]uint32, metrics [][]float64, rows int) error) error {
+	t.brick.Touch(1)
+	if t.brick.IsCompressed() {
+		t.store.mu.Lock()
+		t.store.decompressions++
+		if t.brick.IsEvicted() {
+			t.store.ssdReads++
+		}
+		t.store.mu.Unlock()
+	}
+	return t.brick.visit(fn)
+}
+
+// ScanPlan is a stable snapshot of the bricks a filtered scan must visit,
+// with index-free pruning already applied.
+type ScanPlan struct {
+	// Tasks are the surviving bricks in ascending brick-id order.
+	Tasks []ScanTask
+	// Pruned counts bricks skipped because their bounds do not intersect
+	// the filter.
+	Pruned int
+}
+
+// PlanScan snapshots the store and prunes bricks whose bounds do not
+// intersect the filter (the index-free pruning Granular Partitioning
+// provides), returning one task per surviving brick. Callers may execute
+// the tasks in any order, including concurrently.
+func (s *Store) PlanScan(f *Filter) (*ScanPlan, error) {
+	entries := s.snapshotBricks()
+	plan := &ScanPlan{Tasks: make([]ScanTask, 0, len(entries))}
+	for _, e := range entries {
+		bounds, err := s.schema.BrickBounds(e.id)
+		if err != nil {
+			return nil, err
+		}
+		if !f.overlaps(bounds) {
+			plan.Pruned++
+			continue
+		}
+		plan.Tasks = append(plan.Tasks, ScanTask{
+			store:   s,
+			brick:   e.b,
+			BrickID: e.id,
+			Bounds:  bounds,
+			Full:    f.covers(bounds),
+		})
+	}
+	return plan, nil
+}
+
 // Scan streams matching rows to visit. Bricks whose bounds do not
 // intersect the filter are pruned without being touched (the index-free
 // pruning Granular Partitioning provides); visited bricks gain heat.
 func (s *Store) Scan(f *Filter, visit func(dims []uint32, metrics []float64) error) error {
-	for _, e := range s.snapshotBricks() {
-		bounds, err := s.schema.BrickBounds(e.id)
-		if err != nil {
-			return err
-		}
-		if !f.overlaps(bounds) {
-			continue
-		}
-		e.b.Touch(1)
-		if e.b.IsCompressed() {
-			s.mu.Lock()
-			s.decompressions++
-			if e.b.IsEvicted() {
-				s.ssdReads++
-			}
-			s.mu.Unlock()
-		}
-		full := f.covers(bounds)
-		rowDims := make([]uint32, len(s.schema.Dimensions))
-		rowMetrics := make([]float64, len(s.schema.Metrics))
-		err = e.b.visit(func(dims [][]uint32, metrics [][]float64, rows int) error {
+	plan, err := s.PlanScan(f)
+	if err != nil {
+		return err
+	}
+	rowDims := make([]uint32, len(s.schema.Dimensions))
+	rowMetrics := make([]float64, len(s.schema.Metrics))
+	for i := range plan.Tasks {
+		t := &plan.Tasks[i]
+		err := t.Visit(func(dims [][]uint32, metrics [][]float64, rows int) error {
 			for r := 0; r < rows; r++ {
+				if !t.Full && !f.MatchesAt(dims, r) {
+					continue
+				}
 				for i := range rowDims {
 					rowDims[i] = dims[i][r]
-				}
-				if !full && !f.Matches(rowDims) {
-					continue
 				}
 				for i := range rowMetrics {
 					rowMetrics[i] = metrics[i][r]

@@ -395,13 +395,15 @@ func (n *Node) Insert(shard int64, partName string, dims []uint32, metrics []flo
 }
 
 // ExecutePartial runs a query over one partition and returns the partial
-// result (the per-worker step of scatter-gather).
+// result (the per-worker step of scatter-gather). Execution is
+// brick-parallel: the partition's bricks are morsels consumed by a worker
+// pool sized by GOMAXPROCS.
 func (n *Node) ExecutePartial(shard int64, partName string, q *engine.Query) (*engine.Partial, error) {
 	st, err := n.store(shard, partName)
 	if err != nil {
 		return nil, err
 	}
-	return engine.Execute(st, q)
+	return engine.ExecuteParallel(st, q)
 }
 
 // enforceBudget runs the memory monitor when a budget is configured:

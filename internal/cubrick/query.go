@@ -3,6 +3,7 @@ package cubrick
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"cubrick/internal/cluster"
@@ -97,23 +98,38 @@ func (d *Deployment) Query(region, table string, q *engine.Query, coordinatorPar
 		return nil, fmt.Errorf("%w: %v", ErrRegionUnavailable, err)
 	}
 
-	merged := engine.NewPartial(q)
-	for _, t := range targets {
-		node := t.node
-		// Follow one graceful-migration forward if the shard moved after
-		// resolution (§IV-E).
-		partial, err := node.ExecutePartial(t.shard, t.part, q)
-		if errors.Is(err, ErrNotServing) {
-			if fwd, ok := node.ForwardTarget(t.shard); ok {
-				if fnode, ferr := d.Node(fwd); ferr == nil {
-					partial, err = fnode.ExecutePartial(t.shard, t.part, q)
+	// Execute all partitions concurrently — each node's ExecutePartial is
+	// itself brick-parallel — and merge in partition order so the combined
+	// partial is deterministic.
+	partials := make([]*engine.Partial, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i := range targets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t := targets[i]
+			// Follow one graceful-migration forward if the shard moved
+			// after resolution (§IV-E).
+			partial, err := t.node.ExecutePartial(t.shard, t.part, q)
+			if errors.Is(err, ErrNotServing) {
+				if fwd, ok := t.node.ForwardTarget(t.shard); ok {
+					if fnode, ferr := d.Node(fwd); ferr == nil {
+						partial, err = fnode.ExecutePartial(t.shard, t.part, q)
+					}
 				}
 			}
+			partials[i], errs[i] = partial, err
+		}(i)
+	}
+	wg.Wait()
+
+	merged := engine.NewPartial(q)
+	for i := range targets {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRegionUnavailable, errs[i])
 		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrRegionUnavailable, err)
-		}
-		if err := merged.Merge(partial); err != nil {
+		if err := merged.Merge(partials[i]); err != nil {
 			return nil, err
 		}
 	}

@@ -280,13 +280,30 @@ type group struct {
 	cells []cell
 }
 
+// newGroup allocates a group with initialized cells for a copied key.
+func newGroup(key []uint32, nCells int) *group {
+	g := &group{key: append([]uint32{}, key...), cells: make([]cell, nCells)}
+	for i := range g.cells {
+		g.cells[i] = newCell()
+	}
+	return g
+}
+
 // Partial is an unfinalised grouped aggregation from one partition. It can
 // be merged with other partials of the same query and then finalized.
 type Partial struct {
 	query  *Query
 	groups map[string]*group
-	// RowsScanned counts rows visited, for instrumentation.
+	// RowsScanned counts rows visited (post-filter), for instrumentation.
 	RowsScanned int64
+	// BricksVisited and BricksPruned count the bricks the scan touched vs
+	// skipped via bound pruning, so fan-out experiments can attribute
+	// latency to data actually read.
+	BricksVisited int64
+	BricksPruned  int64
+	// Decompressions counts bricks that paid a transient decode because
+	// they were resident in the compressed tier when scanned.
+	Decompressions int64
 }
 
 // groupKey serializes group-by values into a map key.
@@ -298,67 +315,123 @@ func groupKey(vals []uint32) string {
 	return string(buf)
 }
 
-// Execute runs the query over one partition's store, returning a partial.
-func Execute(store *brick.Store, q *Query) (*Partial, error) {
-	schema := store.Schema()
+// compiled is a query plan: the schema-resolved column indexes every
+// kernel needs, computed once per execution.
+type compiled struct {
+	q *Query
+	// groupIdx are the dimension indexes of the GROUP BY columns.
+	groupIdx []int
+	// metricIdx[i] is the metric column of aggregate i, or -1.
+	metricIdx []int
+	// distinctIdx[i] is the dimension column of a CountDistinct aggregate
+	// i, or -1.
+	distinctIdx []int
+	filter      *brick.Filter
+}
+
+// compile validates the query against the schema and resolves columns.
+func compile(schema brick.Schema, q *Query) (*compiled, error) {
 	if err := q.Validate(schema); err != nil {
 		return nil, err
 	}
-	groupIdx := make([]int, len(q.GroupBy))
-	for i, g := range q.GroupBy {
-		groupIdx[i] = schema.DimIndex(g)
+	c := &compiled{
+		q:           q,
+		groupIdx:    make([]int, len(q.GroupBy)),
+		metricIdx:   make([]int, len(q.Aggregates)),
+		distinctIdx: make([]int, len(q.Aggregates)),
 	}
-	metricIdx := make([]int, len(q.Aggregates))
-	distinctIdx := make([]int, len(q.Aggregates))
+	for i, g := range q.GroupBy {
+		c.groupIdx[i] = schema.DimIndex(g)
+	}
 	for i, a := range q.Aggregates {
-		metricIdx[i], distinctIdx[i] = -1, -1
+		c.metricIdx[i], c.distinctIdx[i] = -1, -1
 		switch a.Func {
 		case Count:
 		case CountDistinct:
-			distinctIdx[i] = schema.DimIndex(a.Metric)
+			c.distinctIdx[i] = schema.DimIndex(a.Metric)
 		default:
-			metricIdx[i] = schema.MetricIndex(a.Metric)
+			c.metricIdx[i] = schema.MetricIndex(a.Metric)
 		}
 	}
-	var filter *brick.Filter
 	if len(q.Filter) > 0 {
-		filter = &brick.Filter{Ranges: make(map[int][2]uint32, len(q.Filter))}
+		c.filter = &brick.Filter{Ranges: make(map[int][2]uint32, len(q.Filter))}
 		for name, r := range q.Filter {
-			filter.Ranges[schema.DimIndex(name)] = r
+			c.filter.Ranges[schema.DimIndex(name)] = r
 		}
 	}
+	return c, nil
+}
 
-	p := &Partial{query: q, groups: make(map[string]*group)}
-	keyVals := make([]uint32, len(groupIdx))
-	err := store.Scan(filter, func(dims []uint32, metrics []float64) error {
-		p.RowsScanned++
-		for i, gi := range groupIdx {
-			keyVals[i] = dims[gi]
+// observeRow folds row r of a columnar batch into the group's cells.
+func (c *compiled) observeRow(g *group, dims [][]uint32, metrics [][]float64, r int) {
+	for i := range c.q.Aggregates {
+		if di := c.distinctIdx[i]; di >= 0 {
+			g.cells[i].observeDistinct(dims[di][r])
+			continue
 		}
-		k := groupKey(keyVals)
-		g, ok := p.groups[k]
-		if !ok {
-			g = &group{key: append([]uint32(nil), keyVals...), cells: make([]cell, len(q.Aggregates))}
-			for i := range g.cells {
-				g.cells[i] = newCell()
-			}
-			p.groups[k] = g
+		v := 1.0 // Count observes 1 per row via count field anyway
+		if mi := c.metricIdx[i]; mi >= 0 {
+			v = metrics[mi][r]
 		}
-		for i := range q.Aggregates {
-			if distinctIdx[i] >= 0 {
-				g.cells[i].observeDistinct(dims[distinctIdx[i]])
-				continue
-			}
-			v := 1.0 // Count observes 1 per row via count field anyway
-			if metricIdx[i] >= 0 {
-				v = metrics[metricIdx[i]]
-			}
-			g.cells[i].observe(v)
-		}
-		return nil
-	})
+		g.cells[i].observe(v)
+	}
+}
+
+// Execute runs the query over one partition's store, returning a partial.
+// It is the serial, row-at-a-time reference implementation; production
+// paths use ExecuteParallel, which produces identical results.
+func Execute(store *brick.Store, q *Query) (*Partial, error) {
+	c, err := compile(store.Schema(), q)
 	if err != nil {
 		return nil, err
+	}
+	plan, err := store.PlanScan(c.filter)
+	if err != nil {
+		return nil, err
+	}
+	p := NewPartial(q)
+	p.BricksPruned = int64(plan.Pruned)
+	keyVals := make([]uint32, len(c.groupIdx))
+	// Global aggregates accumulate into one group with no per-row map
+	// lookup or key materialization.
+	var global *group
+	for ti := range plan.Tasks {
+		t := &plan.Tasks[ti]
+		p.BricksVisited++
+		if t.Compressed() {
+			p.Decompressions++
+		}
+		err := t.Visit(func(dims [][]uint32, metrics [][]float64, rows int) error {
+			for r := 0; r < rows; r++ {
+				if !t.Full && !c.filter.MatchesAt(dims, r) {
+					continue
+				}
+				p.RowsScanned++
+				var g *group
+				if len(c.groupIdx) == 0 {
+					if global == nil {
+						global = newGroup(nil, len(q.Aggregates))
+						p.groups[groupKey(nil)] = global
+					}
+					g = global
+				} else {
+					for i, gi := range c.groupIdx {
+						keyVals[i] = dims[gi][r]
+					}
+					k := groupKey(keyVals)
+					var ok bool
+					if g, ok = p.groups[k]; !ok {
+						g = newGroup(keyVals, len(q.Aggregates))
+						p.groups[k] = g
+					}
+				}
+				c.observeRow(g, dims, metrics, r)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }
@@ -369,13 +442,43 @@ func NewPartial(q *Query) *Partial {
 	return &Partial{query: q, groups: make(map[string]*group)}
 }
 
+// compatible reports whether two queries produce structurally and
+// semantically mergeable partials: same GROUP BY columns and the same
+// aggregate functions over the same inputs, position by position.
+// Comparing only aggregate *counts* would silently merge different
+// queries into garbage. Cosmetic fields (aliases, order, limit, having)
+// do not affect accumulator state and are ignored.
+func compatible(a, b *Query) bool {
+	if a == nil || b == nil || a == b {
+		return true
+	}
+	if len(a.Aggregates) != len(b.Aggregates) || len(a.GroupBy) != len(b.GroupBy) {
+		return false
+	}
+	for i := range a.Aggregates {
+		x, y := a.Aggregates[i], b.Aggregates[i]
+		if x.Func != y.Func {
+			return false
+		}
+		// Count ignores its metric; any metric name merges fine.
+		if x.Func != Count && x.Metric != y.Metric {
+			return false
+		}
+	}
+	for i := range a.GroupBy {
+		if a.GroupBy[i] != b.GroupBy[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Merge folds another partial of the same query into p.
 func (p *Partial) Merge(o *Partial) error {
 	if o == nil {
 		return nil
 	}
-	if len(o.groups) > 0 && p.query != nil && o.query != nil &&
-		len(p.query.Aggregates) != len(o.query.Aggregates) {
+	if !compatible(p.query, o.query) {
 		return errors.New("engine: merging partials of different queries")
 	}
 	for k, og := range o.groups {
@@ -394,6 +497,9 @@ func (p *Partial) Merge(o *Partial) error {
 		}
 	}
 	p.RowsScanned += o.RowsScanned
+	p.BricksVisited += o.BricksVisited
+	p.BricksPruned += o.BricksPruned
+	p.Decompressions += o.Decompressions
 	return nil
 }
 
@@ -409,12 +515,24 @@ type Result struct {
 	Rows [][]float64
 	// RowsScanned is the total rows visited across all partitions.
 	RowsScanned int64
+	// BricksVisited and BricksPruned report the scan's brick-level
+	// selectivity across all partitions: how much data was actually read
+	// vs skipped by granular-partitioning bound pruning.
+	BricksVisited int64
+	BricksPruned  int64
+	// Decompressions is how many visited bricks paid a transient decode.
+	Decompressions int64
 }
 
 // Finalize sorts, limits and materializes the partial into a Result.
 func (p *Partial) Finalize() *Result {
 	q := p.query
-	res := &Result{RowsScanned: p.RowsScanned}
+	res := &Result{
+		RowsScanned:    p.RowsScanned,
+		BricksVisited:  p.BricksVisited,
+		BricksPruned:   p.BricksPruned,
+		Decompressions: p.Decompressions,
+	}
 	for _, g := range q.GroupBy {
 		res.Columns = append(res.Columns, g)
 	}

@@ -1,0 +1,468 @@
+package engine
+
+import "encoding/binary"
+
+// Aggregation kernels for the vectorized execution path. Each kernel
+// consumes whole columnar batches (the dims/metrics views a ScanTask
+// yields) instead of materialized rows, and specializes the group-key
+// representation:
+//
+//   - globalAcc:  no GROUP BY — a single accumulator set, no map, no key
+//   - key1Acc:    one GROUP BY dimension — uint32-keyed map
+//   - key2Acc:    two GROUP BY dimensions — uint64-packed key
+//   - keyNAcc:    three or more dimensions — byte-string key (fallback)
+//
+// A kernel accumulates one brick's rows; per-brick kernels are merged in
+// ascending brick-id order and converted to the canonical string-keyed
+// Partial once at the end, so parallel execution is deterministic and
+// scheduling-independent.
+
+// accumulator is one kernel instance. sel selects the surviving row
+// indexes of the batch when the brick is not fully covered by the filter;
+// a nil sel means every row passes.
+type accumulator interface {
+	observeBatch(dims [][]uint32, metrics [][]float64, rows int, sel []int32)
+	// mergeFrom folds another accumulator of the same kernel type.
+	mergeFrom(o accumulator)
+	// addTo folds the kernel's groups into a canonical partial.
+	addTo(p *Partial)
+}
+
+// newAccumulator picks the combiner kernel for the compiled query's
+// GROUP BY arity. Combiners are map-based so they can absorb groups from
+// any brick.
+func newAccumulator(c *compiled) accumulator {
+	switch len(c.groupIdx) {
+	case 0:
+		return &globalAcc{c: c, cells: newCells(len(c.q.Aggregates))}
+	case 1:
+		return &key1Acc{c: c, groups: make(map[uint32]*group)}
+	case 2:
+		return &key2Acc{c: c, groups: make(map[uint64]*group)}
+	default:
+		return &keyNAcc{
+			c:       c,
+			groups:  make(map[string]*group),
+			keyVals: make([]uint32, len(c.groupIdx)),
+			keyBuf:  make([]byte, 4*len(c.groupIdx)),
+		}
+	}
+}
+
+// denseDomainLimit caps the slot count of a dense per-brick accumulator
+// (≤ 32 KiB of group pointers per task).
+const denseDomainLimit = 4096
+
+// newTaskAccumulator picks the kernel for one brick's scan task. Because
+// every dimension is range-partitioned, a brick's rows confine each
+// grouped dimension to the brick's bounds; when the per-brick group
+// domain is small the kernel uses a dense slot array — no hashing at all
+// on the hot path. Otherwise it falls back to the map kernels.
+func newTaskAccumulator(c *compiled, bounds [][2]uint32) accumulator {
+	nd := len(c.groupIdx)
+	if (nd == 1 || nd == 2) && bounds != nil {
+		domain := 1
+		var lo [2]uint32
+		var width [2]int
+		for i, gi := range c.groupIdx {
+			b := bounds[gi]
+			lo[i] = b[0]
+			width[i] = int(b[1]-b[0]) + 1
+			domain *= width[i]
+		}
+		if domain <= denseDomainLimit {
+			return &denseAcc{c: c, lo: lo, width: width, groups: make([]*group, domain)}
+		}
+	}
+	return newAccumulator(c)
+}
+
+func newCells(n int) []cell {
+	cells := make([]cell, n)
+	for i := range cells {
+		cells[i] = newCell()
+	}
+	return cells
+}
+
+// mergeGroup folds a finished kernel group into the partial, taking
+// ownership of the cells.
+func (p *Partial) mergeGroup(key []uint32, cells []cell) {
+	k := groupKey(key)
+	g, ok := p.groups[k]
+	if !ok {
+		p.groups[k] = &group{key: append([]uint32{}, key...), cells: cells}
+		return
+	}
+	for i := range g.cells {
+		g.cells[i].merge(cells[i])
+	}
+}
+
+// globalAcc is the scalar kernel for global aggregates: column-at-a-time
+// accumulation into per-aggregate registers, no map and no key
+// materialization on the hot path.
+type globalAcc struct {
+	c     *compiled
+	cells []cell
+	// touched distinguishes "no rows seen" from "all-zero accumulators",
+	// so empty scans produce zero groups exactly like the serial path.
+	touched bool
+}
+
+func (a *globalAcc) observeBatch(dims [][]uint32, metrics [][]float64, rows int, sel []int32) {
+	n := rows
+	if sel != nil {
+		n = len(sel)
+	}
+	if n == 0 {
+		return
+	}
+	a.touched = true
+	for i := range a.c.q.Aggregates {
+		cl := &a.cells[i]
+		if di := a.c.distinctIdx[i]; di >= 0 {
+			col := dims[di]
+			if sel == nil {
+				for r := 0; r < rows; r++ {
+					cl.observeDistinct(col[r])
+				}
+			} else {
+				for _, r := range sel {
+					cl.observeDistinct(col[r])
+				}
+			}
+			continue
+		}
+		if mi := a.c.metricIdx[i]; mi >= 0 {
+			col := metrics[mi]
+			// Keep the registers in locals so the tight loop stays free of
+			// pointer loads.
+			sum, cnt, mn, mx := cl.sum, cl.count, cl.min, cl.max
+			if sel == nil {
+				for r := 0; r < rows; r++ {
+					v := col[r]
+					sum += v
+					cnt++
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+			} else {
+				for _, r := range sel {
+					v := col[r]
+					sum += v
+					cnt++
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+			}
+			cl.sum, cl.count, cl.min, cl.max = sum, cnt, mn, mx
+			continue
+		}
+		// Count: exactly equivalent to n observe(1) calls, without the loop.
+		cl.sum += float64(n)
+		cl.count += int64(n)
+		if 1 < cl.min {
+			cl.min = 1
+		}
+		if 1 > cl.max {
+			cl.max = 1
+		}
+	}
+}
+
+func (a *globalAcc) mergeFrom(o accumulator) {
+	og := o.(*globalAcc)
+	if !og.touched {
+		return
+	}
+	a.touched = true
+	for i := range a.cells {
+		a.cells[i].merge(og.cells[i])
+	}
+}
+
+func (a *globalAcc) addTo(p *Partial) {
+	if !a.touched {
+		return
+	}
+	p.mergeGroup(nil, a.cells)
+}
+
+// denseAcc is the per-brick fast path for 1- and 2-dimension GROUP BY:
+// group slots are addressed directly by (value − brick lower bound), so
+// the hot loop does array indexing instead of map lookups.
+type denseAcc struct {
+	c     *compiled
+	lo    [2]uint32
+	width [2]int
+	// groups has one slot per point of the brick's group domain
+	// (row-major over the two grouped dimensions); nil until a row lands.
+	groups []*group
+}
+
+func (a *denseAcc) observeBatch(dims [][]uint32, metrics [][]float64, rows int, sel []int32) {
+	nAggs := len(a.c.q.Aggregates)
+	if len(a.c.groupIdx) == 1 {
+		keys := dims[a.c.groupIdx[0]]
+		lo := a.lo[0]
+		if sel == nil {
+			for r := 0; r < rows; r++ {
+				k := keys[r]
+				g := a.groups[k-lo]
+				if g == nil {
+					g = newGroup([]uint32{k}, nAggs)
+					a.groups[k-lo] = g
+				}
+				a.c.observeRow(g, dims, metrics, r)
+			}
+		} else {
+			for _, r := range sel {
+				k := keys[r]
+				g := a.groups[k-lo]
+				if g == nil {
+					g = newGroup([]uint32{k}, nAggs)
+					a.groups[k-lo] = g
+				}
+				a.c.observeRow(g, dims, metrics, int(r))
+			}
+		}
+		return
+	}
+	k0 := dims[a.c.groupIdx[0]]
+	k1 := dims[a.c.groupIdx[1]]
+	lo0, lo1, w1 := a.lo[0], a.lo[1], a.width[1]
+	if sel == nil {
+		for r := 0; r < rows; r++ {
+			idx := int(k0[r]-lo0)*w1 + int(k1[r]-lo1)
+			g := a.groups[idx]
+			if g == nil {
+				g = newGroup([]uint32{k0[r], k1[r]}, nAggs)
+				a.groups[idx] = g
+			}
+			a.c.observeRow(g, dims, metrics, r)
+		}
+	} else {
+		for _, r := range sel {
+			idx := int(k0[r]-lo0)*w1 + int(k1[r]-lo1)
+			g := a.groups[idx]
+			if g == nil {
+				g = newGroup([]uint32{k0[r], k1[r]}, nAggs)
+				a.groups[idx] = g
+			}
+			a.c.observeRow(g, dims, metrics, int(r))
+		}
+	}
+}
+
+// each yields the occupied slots in ascending domain order.
+func (a *denseAcc) each(fn func(g *group)) {
+	for _, g := range a.groups {
+		if g != nil {
+			fn(g)
+		}
+	}
+}
+
+// mergeFrom is never used on denseAcc: dense kernels are per-brick only;
+// map-based combiners absorb them via each.
+func (a *denseAcc) mergeFrom(accumulator) {
+	panic("engine: denseAcc cannot combine across bricks")
+}
+
+func (a *denseAcc) addTo(p *Partial) {
+	a.each(func(g *group) { p.mergeGroup(g.key, g.cells) })
+}
+
+// key1Acc groups by a single dimension: the raw uint32 value is the map
+// key, so the hot path allocates nothing per row beyond new groups.
+type key1Acc struct {
+	c      *compiled
+	groups map[uint32]*group
+}
+
+func (a *key1Acc) observeBatch(dims [][]uint32, metrics [][]float64, rows int, sel []int32) {
+	keys := dims[a.c.groupIdx[0]]
+	if sel == nil {
+		for r := 0; r < rows; r++ {
+			a.observeRow(keys[r], dims, metrics, r)
+		}
+	} else {
+		for _, r := range sel {
+			a.observeRow(keys[r], dims, metrics, int(r))
+		}
+	}
+}
+
+func (a *key1Acc) observeRow(k uint32, dims [][]uint32, metrics [][]float64, r int) {
+	g, ok := a.groups[k]
+	if !ok {
+		g = newGroup([]uint32{k}, len(a.c.q.Aggregates))
+		a.groups[k] = g
+	}
+	a.c.observeRow(g, dims, metrics, r)
+}
+
+func (a *key1Acc) insertGroup(og *group) {
+	k := og.key[0]
+	g, ok := a.groups[k]
+	if !ok {
+		a.groups[k] = og
+		return
+	}
+	for i := range g.cells {
+		g.cells[i].merge(og.cells[i])
+	}
+}
+
+func (a *key1Acc) mergeFrom(o accumulator) {
+	switch o := o.(type) {
+	case *denseAcc:
+		o.each(a.insertGroup)
+	case *key1Acc:
+		for _, og := range o.groups {
+			a.insertGroup(og)
+		}
+	}
+}
+
+func (a *key1Acc) addTo(p *Partial) {
+	for _, g := range a.groups {
+		p.mergeGroup(g.key, g.cells)
+	}
+}
+
+// key2Acc groups by two dimensions packed into one uint64 key.
+type key2Acc struct {
+	c      *compiled
+	groups map[uint64]*group
+}
+
+func (a *key2Acc) observeBatch(dims [][]uint32, metrics [][]float64, rows int, sel []int32) {
+	k0 := dims[a.c.groupIdx[0]]
+	k1 := dims[a.c.groupIdx[1]]
+	if sel == nil {
+		for r := 0; r < rows; r++ {
+			a.observeRow(uint64(k0[r])<<32|uint64(k1[r]), dims, metrics, r)
+		}
+	} else {
+		for _, r := range sel {
+			a.observeRow(uint64(k0[r])<<32|uint64(k1[r]), dims, metrics, int(r))
+		}
+	}
+}
+
+func (a *key2Acc) observeRow(k uint64, dims [][]uint32, metrics [][]float64, r int) {
+	g, ok := a.groups[k]
+	if !ok {
+		g = newGroup([]uint32{uint32(k >> 32), uint32(k)}, len(a.c.q.Aggregates))
+		a.groups[k] = g
+	}
+	a.c.observeRow(g, dims, metrics, r)
+}
+
+func (a *key2Acc) insertGroup(og *group) {
+	k := uint64(og.key[0])<<32 | uint64(og.key[1])
+	g, ok := a.groups[k]
+	if !ok {
+		a.groups[k] = og
+		return
+	}
+	for i := range g.cells {
+		g.cells[i].merge(og.cells[i])
+	}
+}
+
+func (a *key2Acc) mergeFrom(o accumulator) {
+	switch o := o.(type) {
+	case *denseAcc:
+		o.each(a.insertGroup)
+	case *key2Acc:
+		for _, og := range o.groups {
+			a.insertGroup(og)
+		}
+	}
+}
+
+func (a *key2Acc) addTo(p *Partial) {
+	for _, g := range a.groups {
+		p.mergeGroup(g.key, g.cells)
+	}
+}
+
+// keyNAcc is the fallback for three or more GROUP BY dimensions, keyed by
+// the canonical byte-string key. Lookups go through a reused byte buffer
+// (the compiler elides the string conversion in map reads), so only new
+// groups allocate a key.
+type keyNAcc struct {
+	c       *compiled
+	groups  map[string]*group
+	keyVals []uint32
+	keyBuf  []byte
+}
+
+func (a *keyNAcc) observeBatch(dims [][]uint32, metrics [][]float64, rows int, sel []int32) {
+	if sel == nil {
+		for r := 0; r < rows; r++ {
+			a.observeRow(dims, metrics, r)
+		}
+	} else {
+		for _, r := range sel {
+			a.observeRow(dims, metrics, int(r))
+		}
+	}
+}
+
+func (a *keyNAcc) observeRow(dims [][]uint32, metrics [][]float64, r int) {
+	for i, gi := range a.c.groupIdx {
+		v := dims[gi][r]
+		a.keyVals[i] = v
+		binary.LittleEndian.PutUint32(a.keyBuf[4*i:], v)
+	}
+	g, ok := a.groups[string(a.keyBuf)] // alloc-free lookup
+	if !ok {
+		g = newGroup(a.keyVals, len(a.c.q.Aggregates))
+		a.groups[string(a.keyBuf)] = g
+	}
+	a.c.observeRow(g, dims, metrics, r)
+}
+
+func (a *keyNAcc) mergeFrom(o accumulator) {
+	for k, og := range o.(*keyNAcc).groups {
+		g, ok := a.groups[k]
+		if !ok {
+			a.groups[k] = og
+			continue
+		}
+		for i := range g.cells {
+			g.cells[i].merge(og.cells[i])
+		}
+	}
+}
+
+func (a *keyNAcc) addTo(p *Partial) {
+	// The kernel's keys are already the canonical partial keys; when the
+	// partial is empty (the common case) the whole map transfers in O(1).
+	if len(p.groups) == 0 {
+		p.groups = a.groups
+		return
+	}
+	for k, g := range a.groups {
+		pg, ok := p.groups[k]
+		if !ok {
+			p.groups[k] = g
+			continue
+		}
+		for i := range pg.cells {
+			pg.cells[i].merge(g.cells[i])
+		}
+	}
+}

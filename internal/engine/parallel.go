@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cubrick/internal/brick"
+)
+
+// Parallel execution: one ScanTask per brick is the morsel. A worker pool
+// sized by GOMAXPROCS pulls tasks off a shared atomic counter; each task
+// accumulates into its own kernel, and the per-brick kernels are merged
+// in ascending brick-id order once all workers finish. Because every
+// brick's rows are folded in a fixed order and the per-brick results are
+// combined in a fixed order, the finalized result is deterministic and
+// independent of scheduling or worker count.
+
+// taskResult is one brick's accumulated output.
+type taskResult struct {
+	acc          accumulator
+	rowsScanned  int64
+	decompressed bool
+	err          error
+}
+
+// ExecuteParallel runs the query over one partition's store with
+// brick-level parallelism and vectorized aggregation kernels. It
+// finalizes to the same Result as the serial Execute.
+func ExecuteParallel(store *brick.Store, q *Query) (*Partial, error) {
+	return ExecuteParallelN(store, q, runtime.GOMAXPROCS(0))
+}
+
+// ExecuteParallelN is ExecuteParallel with an explicit worker count.
+func ExecuteParallelN(store *brick.Store, q *Query, parallelism int) (*Partial, error) {
+	c, err := compile(store.Schema(), q)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := store.PlanScan(c.filter)
+	if err != nil {
+		return nil, err
+	}
+	tasks := plan.Tasks
+	results := make([]taskResult, len(tasks))
+
+	workers := parallelism
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// sel is reused across this worker's tasks; non-nil so an
+			// empty selection is distinguishable from "all rows pass".
+			sel := make([]int32, 0, 1024)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := &tasks[i]
+				res := &results[i]
+				res.acc = newTaskAccumulator(c, t.Bounds)
+				res.decompressed = t.Compressed()
+				res.err = t.Visit(func(dims [][]uint32, metrics [][]float64, rows int) error {
+					if t.Full || c.filter == nil {
+						res.rowsScanned += int64(rows)
+						res.acc.observeBatch(dims, metrics, rows, nil)
+						return nil
+					}
+					sel = sel[:0]
+					for r := 0; r < rows; r++ {
+						if c.filter.MatchesAt(dims, r) {
+							sel = append(sel, int32(r))
+						}
+					}
+					res.rowsScanned += int64(len(sel))
+					res.acc.observeBatch(dims, metrics, rows, sel)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	p := NewPartial(q)
+	p.BricksVisited = int64(len(tasks))
+	p.BricksPruned = int64(plan.Pruned)
+	if len(tasks) == 0 {
+		return p, nil
+	}
+	// Deterministic combine: fold per-brick kernels in brick-id order into
+	// a fresh map-based accumulator (dense per-brick kernels cannot absorb
+	// other bricks — their slot arrays are sized to one brick's bounds).
+	base := newAccumulator(c)
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			return nil, res.err
+		}
+		base.mergeFrom(res.acc)
+		p.RowsScanned += res.rowsScanned
+		if res.decompressed {
+			p.Decompressions++
+		}
+	}
+	base.addTo(p)
+	return p, nil
+}

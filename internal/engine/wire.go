@@ -15,6 +15,9 @@ import (
 //
 //	u32 magic "CBPR"
 //	uvarint rowsScanned
+//	uvarint bricksVisited
+//	uvarint bricksPruned
+//	uvarint decompressions
 //	uvarint groupKeyLen (uint32 count per group)
 //	uvarint cellCount (aggregates per group)
 //	uvarint groupCount
@@ -47,6 +50,9 @@ func (p *Partial) MarshalBinary() ([]byte, error) {
 
 	putU32(partialMagic)
 	putUvarint(uint64(p.RowsScanned))
+	putUvarint(uint64(p.BricksVisited))
+	putUvarint(uint64(p.BricksPruned))
+	putUvarint(uint64(p.Decompressions))
 	keyLen := 0
 	cells := 0
 	if p.query != nil {
@@ -117,6 +123,18 @@ func UnmarshalPartial(q *Query, data []byte) (*Partial, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
 	}
+	bricksVisited, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+	}
+	bricksPruned, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+	}
+	decompressions, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+	}
 	keyLen, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
@@ -134,7 +152,14 @@ func UnmarshalPartial(q *Query, data []byte) (*Partial, error) {
 		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
 	}
 
-	p := &Partial{query: q, groups: make(map[string]*group, nGroups), RowsScanned: int64(rowsScanned)}
+	p := &Partial{
+		query:          q,
+		groups:         make(map[string]*group, nGroups),
+		RowsScanned:    int64(rowsScanned),
+		BricksVisited:  int64(bricksVisited),
+		BricksPruned:   int64(bricksPruned),
+		Decompressions: int64(decompressions),
+	}
 	for gi := uint64(0); gi < nGroups; gi++ {
 		g := &group{key: make([]uint32, keyLen), cells: make([]cell, cells)}
 		for i := range g.key {

@@ -195,7 +195,7 @@ func (w *Worker) Handler() http.Handler {
 			http.Error(rw, err.Error(), http.StatusNotFound)
 			return
 		}
-		partial, err := engine.Execute(st, &req.Query)
+		partial, err := engine.ExecuteParallel(st, &req.Query)
 		if err != nil {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repo check: build, vet, full test suite, and the race detector over the
+# concurrency-bearing packages (brick-parallel execution, coordinator
+# fan-out, HTTP executors). Run from the repo root: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrency-bearing packages)"
+go test -race ./internal/engine ./internal/brick ./internal/cubrick ./internal/netexec
+
+echo "OK"
