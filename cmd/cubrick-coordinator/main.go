@@ -41,7 +41,12 @@ func main() {
 			clean = append(clean, u)
 		}
 	}
-	cluster, err := netexec.NewCluster(clean, *maxShards, &http.Client{Timeout: 30 * time.Second})
+	cluster, err := netexec.NewCluster(clean, *maxShards, &http.Client{
+		Timeout: 30 * time.Second,
+		// Pool keep-alive connections sized to the fan-out so every query
+		// doesn't re-dial each worker.
+		Transport: netexec.NewTransport(len(clean)),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
 		os.Exit(1)

@@ -4,7 +4,8 @@
 //
 //	cubrick-worker -addr :9001
 //
-// API: POST /partition, POST /load, POST /partial, GET /health.
+// API: POST /partition, POST /load, POST /loadbin, POST /partial,
+// GET /health.
 package main
 
 import (

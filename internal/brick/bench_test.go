@@ -37,6 +37,54 @@ func BenchmarkInsert(b *testing.B) {
 	b.ReportMetric(float64(s.Rows())/float64(b.N), "rows_per_op")
 }
 
+// benchBatch builds one column-major batch of n rows over testSchema.
+func benchBatch(n int) (dimCols [][]uint32, metricCols [][]float64) {
+	rnd := randutil.New(1)
+	dimCols = [][]uint32{make([]uint32, n), make([]uint32, n), make([]uint32, n)}
+	metricCols = [][]float64{make([]float64, n), make([]float64, n)}
+	for i := 0; i < n; i++ {
+		dimCols[0][i] = uint32(rnd.Intn(16))
+		dimCols[1][i] = uint32(rnd.Intn(100))
+		dimCols[2][i] = uint32(rnd.Intn(365))
+		metricCols[0][i], metricCols[1][i] = 1, 2
+	}
+	return dimCols, metricCols
+}
+
+// BenchmarkInsertRowLoop vs BenchmarkInsertBatch: per-row locking vs the
+// single-lock batched ingest path over the same 8192-row batch.
+func BenchmarkInsertRowLoop(b *testing.B) {
+	const n = 8192
+	dimCols, metricCols := benchBatch(n)
+	s, _ := NewStore(testSchema())
+	row := make([]uint32, 3)
+	met := make([]float64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < n; r++ {
+			row[0], row[1], row[2] = dimCols[0][r], dimCols[1][r], dimCols[2][r]
+			met[0], met[1] = metricCols[0][r], metricCols[1][r]
+			if err := s.Insert(row, met); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(n, "rows_per_op")
+}
+
+func BenchmarkInsertBatch(b *testing.B) {
+	const n = 8192
+	dimCols, metricCols := benchBatch(n)
+	s, _ := NewStore(testSchema())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.InsertBatch(dimCols, metricCols); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(n, "rows_per_op")
+}
+
 func BenchmarkScanUncompressed(b *testing.B) {
 	s := benchStore(b, 100000)
 	b.ResetTimer()

@@ -113,6 +113,50 @@ func (b *Brick) append(dims []uint32, metrics []float64) {
 	b.rows++
 }
 
+// appendColumns adds the rows selected by idx from a column-major batch
+// (src[col][row]), taking the brick lock once for the whole batch. The
+// brick must be uncompressed (the store guarantees it by decompressing
+// before ingest).
+func (b *Brick) appendColumns(dimCols [][]uint32, metricCols [][]float64, idx []int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.dims {
+		col := b.dims[i]
+		// Grow once for the whole batch, keeping at least doubling so a
+		// sequence of batches stays amortized-linear.
+		if need := len(col) + len(idx); cap(col) < need {
+			if c := 2 * cap(col); c > need {
+				need = c
+			}
+			grown := make([]uint32, len(col), need)
+			copy(grown, col)
+			col = grown
+		}
+		src := dimCols[i]
+		for _, r := range idx {
+			col = append(col, src[r])
+		}
+		b.dims[i] = col
+	}
+	for i := range b.metrics {
+		col := b.metrics[i]
+		if need := len(col) + len(idx); cap(col) < need {
+			if c := 2 * cap(col); c > need {
+				need = c
+			}
+			grown := make([]float64, len(col), need)
+			copy(grown, col)
+			col = grown
+		}
+		src := metricCols[i]
+		for _, r := range idx {
+			col = append(col, src[r])
+		}
+		b.metrics[i] = col
+	}
+	b.rows += len(idx)
+}
+
 // encodeColumns serializes the columns: row count, then each dimension
 // column delta-encoded as varints, then each metric column as raw bits.
 func (b *Brick) encodeColumns() []byte {

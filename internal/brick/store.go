@@ -143,6 +143,114 @@ func (s *Store) Insert(dims []uint32, metrics []float64) error {
 	return nil
 }
 
+// InsertBatch ingests a column-major batch (dimCols[d][r], metricCols[m][r])
+// in one pass: rows are routed to their bricks up front, the store lock is
+// taken once to resolve/create every target brick and bump the row count,
+// and each brick absorbs its rows under a single brick lock. This replaces
+// per-row Insert locking on the bulk-ingest path.
+//
+// The whole batch is validated (arity, column lengths, dimension domains)
+// before any row is written, so a bad batch is rejected atomically — unlike
+// a per-row Insert loop, which leaves a prefix behind.
+func (s *Store) InsertBatch(dimCols [][]uint32, metricCols [][]float64) error {
+	if len(dimCols) != len(s.schema.Dimensions) {
+		return fmt.Errorf("brick: batch has %d dim columns, schema has %d", len(dimCols), len(s.schema.Dimensions))
+	}
+	if len(metricCols) != len(s.schema.Metrics) {
+		return fmt.Errorf("brick: batch has %d metric columns, schema has %d", len(metricCols), len(s.schema.Metrics))
+	}
+	rows := 0
+	if len(dimCols) > 0 {
+		rows = len(dimCols[0])
+	}
+	for _, col := range dimCols {
+		if len(col) != rows {
+			return fmt.Errorf("brick: ragged batch: dim column has %d rows, want %d", len(col), rows)
+		}
+	}
+	for _, col := range metricCols {
+		if len(col) != rows {
+			return fmt.Errorf("brick: ragged batch: metric column has %d rows, want %d", len(col), rows)
+		}
+	}
+	if rows == 0 {
+		return nil
+	}
+
+	// Route every row to its brick; BrickID also validates domains, so the
+	// routing pass doubles as whole-batch validation before any mutation.
+	byBrick := make(map[uint64][]int)
+	rowScratch := make([]uint32, len(dimCols))
+	for r := 0; r < rows; r++ {
+		for d := range dimCols {
+			rowScratch[d] = dimCols[d][r]
+		}
+		id, err := s.schema.BrickID(rowScratch)
+		if err != nil {
+			return err
+		}
+		byBrick[id] = append(byBrick[id], r)
+	}
+
+	type target struct {
+		b   *Brick
+		idx []int
+	}
+	targets := make([]target, 0, len(byBrick))
+	s.mu.Lock()
+	for id, idx := range byBrick {
+		b, ok := s.bricks[id]
+		if !ok {
+			b = newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
+			s.bricks[id] = b
+		}
+		targets = append(targets, target{b, idx})
+	}
+	s.rows += int64(rows)
+	s.mu.Unlock()
+
+	for _, t := range targets {
+		if err := t.b.Decompress(); err != nil {
+			return err
+		}
+		t.b.appendColumns(dimCols, metricCols, t.idx)
+		t.b.Touch(float64(len(t.idx))) // ingest heats data, one unit per row
+	}
+	return nil
+}
+
+// InsertBatchRows is InsertBatch for row-major input (dims[r][d]); it
+// transposes once and shares the single-lock batch path.
+func (s *Store) InsertBatchRows(dims [][]uint32, metrics [][]float64) error {
+	if len(dims) != len(metrics) {
+		return fmt.Errorf("brick: batch has %d dim rows but %d metric rows", len(dims), len(metrics))
+	}
+	rows := len(dims)
+	dimCols := make([][]uint32, len(s.schema.Dimensions))
+	for d := range dimCols {
+		dimCols[d] = make([]uint32, rows)
+	}
+	metricCols := make([][]float64, len(s.schema.Metrics))
+	for m := range metricCols {
+		metricCols[m] = make([]float64, rows)
+	}
+	for r := 0; r < rows; r++ {
+		if len(dims[r]) != len(dimCols) {
+			return fmt.Errorf("brick: row %d has %d dims, schema has %d", r, len(dims[r]), len(dimCols))
+		}
+		if len(metrics[r]) != len(metricCols) {
+			return fmt.Errorf("brick: row %d has %d metrics, schema has %d", r, len(metrics[r]), len(metricCols))
+		}
+		for d := range dimCols {
+			dimCols[d][r] = dims[r][d]
+		}
+		for m := range metricCols {
+			metricCols[m][r] = metrics[r][m]
+		}
+	}
+	return s.InsertBatch(dimCols, metricCols)
+}
+
 // snapshotBricks returns a stable view of (id, brick) pairs.
 func (s *Store) snapshotBricks() []struct {
 	id uint64

@@ -394,6 +394,28 @@ func (n *Node) Insert(shard int64, partName string, dims []uint32, metrics []flo
 	return nil
 }
 
+// InsertBatch adds a row-major batch to a partition in one pass (single
+// store lock, one brick append per touched brick). The memory monitor runs
+// at the same amortized cadence as per-row Insert: once per 64 rows
+// crossed.
+func (n *Node) InsertBatch(shard int64, partName string, dims [][]uint32, metrics [][]float64) error {
+	if len(dims) == 0 {
+		return nil
+	}
+	st, err := n.store(shard, partName)
+	if err != nil {
+		return err
+	}
+	if err := st.InsertBatchRows(dims, metrics); err != nil {
+		return err
+	}
+	after := n.insertsSinceSweep.Add(int64(len(dims)))
+	if after/64 != (after-int64(len(dims)))/64 {
+		n.enforceBudget()
+	}
+	return nil
+}
+
 // ExecutePartial runs a query over one partition and returns the partial
 // result (the per-worker step of scatter-gather). Execution is
 // brick-parallel: the partition's bricks are morsels consumed by a worker

@@ -20,7 +20,7 @@ func testSchema() brick.Schema {
 
 // loadStore builds a store with one row per (region, app) combination:
 // events = region*10 + app, latency = app.
-func loadStore(t *testing.T) *brick.Store {
+func loadStore(t testing.TB) *brick.Store {
 	t.Helper()
 	s, err := brick.NewStore(testSchema())
 	if err != nil {

@@ -3,8 +3,8 @@ package engine
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"io"
 	"math"
 
 	"cubrick/internal/hll"
@@ -25,7 +25,10 @@ import (
 //	           cellCount × (f64 sum, varint count, f64 min, f64 max,
 //	                        uvarint sketchLen, sketchLen sketch bytes)
 //
-// sketchLen is zero for cells without a distinct-count sketch.
+// sketchLen is zero for cells without a distinct-count sketch. The group
+// key bytes are laid out exactly as the in-memory map key (concatenated
+// little-endian u32s), which is what lets MergeWire probe the accumulator
+// map with a subslice of the wire blob instead of materialized keys.
 const partialMagic = 0x43425052 // "CBPR"
 
 // MarshalBinary serializes the partial's accumulators (not finalized
@@ -95,118 +98,194 @@ func (p *Partial) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalPartial parses a wire partial for the given query. The query
-// must structurally match the one the partial was produced with (same
-// group-by arity and aggregate count).
-func UnmarshalPartial(q *Query, data []byte) (*Partial, error) {
-	r := bytes.NewReader(data)
-	var u32buf [4]byte
-	readU32 := func() (uint32, error) {
-		if _, err := io.ReadFull(r, u32buf[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(u32buf[:]), nil
-	}
-	var f64buf [8]byte
-	readF64 := func() (float64, error) {
-		if _, err := io.ReadFull(r, f64buf[:]); err != nil {
-			return 0, err
-		}
-		return math.Float64frombits(binary.LittleEndian.Uint64(f64buf[:])), nil
-	}
+var errTruncatedPartial = errors.New("engine: truncated partial")
 
-	magic, err := readU32()
+// wireCursor walks a wire blob in place: fixed-width fields are decoded at
+// an offset and variable-length regions are returned as subslices, so the
+// hot decode path never copies payload bytes.
+type wireCursor struct {
+	data []byte
+	off  int
+}
+
+func (c *wireCursor) remaining() int { return len(c.data) - c.off }
+
+func (c *wireCursor) u32() (uint32, error) {
+	if c.remaining() < 4 {
+		return 0, errTruncatedPartial
+	}
+	v := binary.LittleEndian.Uint32(c.data[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *wireCursor) f64() (float64, error) {
+	if c.remaining() < 8 {
+		return 0, errTruncatedPartial
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.data[c.off:]))
+	c.off += 8
+	return v, nil
+}
+
+func (c *wireCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		return 0, errTruncatedPartial
+	}
+	c.off += n
+	return v, nil
+}
+
+// slice returns the next n bytes of the blob without copying.
+func (c *wireCursor) slice(n int) ([]byte, error) {
+	if n < 0 || n > c.remaining() {
+		return nil, errTruncatedPartial
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+// MergeWire folds a wire-format partial directly into p's accumulators.
+// This is the coordinator's zero-copy decode path: group keys are probed
+// against the accumulator map as subslices of the blob (no throwaway
+// string keys), cells merge in place (no intermediate Partial or group
+// churn), and distinct-count sketches merge register-wise straight from
+// the wire bytes. The blob's shape must match p's query exactly.
+//
+// On a decode error p may have absorbed a prefix of the blob's groups;
+// callers treat any error as fatal for the whole merge (the coordinator
+// fails the query), so no rollback is attempted.
+func MergeWire(p *Partial, data []byte) error {
+	if p == nil || p.query == nil {
+		return errors.New("engine: MergeWire needs a query-bound partial")
+	}
+	q := p.query
+	cur := &wireCursor{data: data}
+
+	magic, err := cur.u32()
 	if err != nil || magic != partialMagic {
-		return nil, fmt.Errorf("engine: bad partial magic")
+		return fmt.Errorf("engine: bad partial magic")
 	}
-	rowsScanned, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+	var header [4]uint64 // rowsScanned, bricksVisited, bricksPruned, decompressions
+	for i := range header {
+		if header[i], err = cur.uvarint(); err != nil {
+			return fmt.Errorf("engine: corrupt partial header: %w", err)
+		}
 	}
-	bricksVisited, err := binary.ReadUvarint(r)
+	keyLen, err := cur.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+		return fmt.Errorf("engine: corrupt partial header: %w", err)
 	}
-	bricksPruned, err := binary.ReadUvarint(r)
+	cells, err := cur.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
-	}
-	decompressions, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
-	}
-	keyLen, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
-	}
-	cells, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+		return fmt.Errorf("engine: corrupt partial header: %w", err)
 	}
 	if int(keyLen) != len(q.GroupBy) || int(cells) != len(q.Aggregates) {
-		return nil, fmt.Errorf("engine: partial shape %d/%d does not match query %d/%d",
+		return fmt.Errorf("engine: partial shape %d/%d does not match query %d/%d",
 			keyLen, cells, len(q.GroupBy), len(q.Aggregates))
 	}
-	nGroups, err := binary.ReadUvarint(r)
+	nGroups, err := cur.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("engine: corrupt partial header: %w", err)
+		return fmt.Errorf("engine: corrupt partial header: %w", err)
+	}
+	// Every group occupies at least this many wire bytes (empty sketches),
+	// which bounds the believable group count before any allocation — an
+	// adversarial header cannot make the decoder reserve unbounded memory.
+	minGroupBytes := 4*int(keyLen) + int(cells)*(8+1+8+8+1)
+	if minGroupBytes < 1 {
+		minGroupBytes = 1
+	}
+	if nGroups > uint64(cur.remaining()/minGroupBytes) {
+		return fmt.Errorf("engine: group count %d exceeds payload", nGroups)
 	}
 
-	p := &Partial{
-		query:          q,
-		groups:         make(map[string]*group, nGroups),
-		RowsScanned:    int64(rowsScanned),
-		BricksVisited:  int64(bricksVisited),
-		BricksPruned:   int64(bricksPruned),
-		Decompressions: int64(decompressions),
-	}
+	keyBytes := 4 * int(keyLen)
 	for gi := uint64(0); gi < nGroups; gi++ {
-		g := &group{key: make([]uint32, keyLen), cells: make([]cell, cells)}
-		for i := range g.key {
-			v, err := readU32()
-			if err != nil {
-				return nil, fmt.Errorf("engine: corrupt group key: %w", err)
+		kb, err := cur.slice(keyBytes)
+		if err != nil {
+			return fmt.Errorf("engine: corrupt group key: %w", err)
+		}
+		// Alloc-free probe: the wire key bytes are laid out exactly like the
+		// map key, so string(kb) in the lookup does not allocate.
+		g, ok := p.groups[string(kb)]
+		if !ok {
+			g = &group{key: make([]uint32, keyLen), cells: make([]cell, cells)}
+			for i := range g.key {
+				g.key[i] = binary.LittleEndian.Uint32(kb[4*i:])
 			}
-			g.key[i] = v
+			for i := range g.cells {
+				g.cells[i] = newCell()
+			}
+			p.groups[string(kb)] = g
 		}
 		for i := range g.cells {
 			c := &g.cells[i]
-			if c.sum, err = readF64(); err != nil {
-				return nil, fmt.Errorf("engine: corrupt cell: %w", err)
-			}
-			cnt, err := binary.ReadUvarint(r)
+			sum, err := cur.f64()
 			if err != nil {
-				return nil, fmt.Errorf("engine: corrupt cell count: %w", err)
+				return fmt.Errorf("engine: corrupt cell: %w", err)
 			}
-			c.count = int64(cnt)
-			if c.min, err = readF64(); err != nil {
-				return nil, fmt.Errorf("engine: corrupt cell: %w", err)
-			}
-			if c.max, err = readF64(); err != nil {
-				return nil, fmt.Errorf("engine: corrupt cell: %w", err)
-			}
-			sketchLen, err := binary.ReadUvarint(r)
+			cnt, err := cur.uvarint()
 			if err != nil {
-				return nil, fmt.Errorf("engine: corrupt sketch header: %w", err)
+				return fmt.Errorf("engine: corrupt cell count: %w", err)
 			}
-			if sketchLen > 0 {
-				if sketchLen > uint64(r.Len()) {
-					return nil, fmt.Errorf("engine: sketch length %d exceeds payload", sketchLen)
-				}
-				blob := make([]byte, sketchLen)
-				if _, err := io.ReadFull(r, blob); err != nil {
-					return nil, fmt.Errorf("engine: corrupt sketch: %w", err)
-				}
+			mn, err := cur.f64()
+			if err != nil {
+				return fmt.Errorf("engine: corrupt cell: %w", err)
+			}
+			mx, err := cur.f64()
+			if err != nil {
+				return fmt.Errorf("engine: corrupt cell: %w", err)
+			}
+			c.sum += sum
+			c.count += int64(cnt)
+			if mn < c.min {
+				c.min = mn
+			}
+			if mx > c.max {
+				c.max = mx
+			}
+			sketchLen, err := cur.uvarint()
+			if err != nil {
+				return fmt.Errorf("engine: corrupt sketch header: %w", err)
+			}
+			if sketchLen == 0 {
+				continue
+			}
+			if sketchLen > uint64(cur.remaining()) {
+				return fmt.Errorf("engine: sketch length %d exceeds payload", sketchLen)
+			}
+			blob, err := cur.slice(int(sketchLen))
+			if err != nil {
+				return fmt.Errorf("engine: corrupt sketch: %w", err)
+			}
+			if c.sketch == nil {
 				c.sketch = hll.New()
-				if err := c.sketch.UnmarshalBinary(blob); err != nil {
-					return nil, err
-				}
+			}
+			if err := c.sketch.MergeBinary(blob); err != nil {
+				return err
 			}
 		}
-		p.groups[groupKey(g.key)] = g
 	}
-	if r.Len() != 0 {
-		return nil, fmt.Errorf("engine: %d trailing bytes in partial", r.Len())
+	if cur.remaining() != 0 {
+		return fmt.Errorf("engine: %d trailing bytes in partial", cur.remaining())
+	}
+	p.RowsScanned += int64(header[0])
+	p.BricksVisited += int64(header[1])
+	p.BricksPruned += int64(header[2])
+	p.Decompressions += int64(header[3])
+	return nil
+}
+
+// UnmarshalPartial parses a wire partial for the given query. The query
+// must structurally match the one the partial was produced with (same
+// group-by arity and aggregate count). It is a thin wrapper over
+// MergeWire: the wire blob folds into a fresh empty partial.
+func UnmarshalPartial(q *Query, data []byte) (*Partial, error) {
+	p := NewPartial(q)
+	if err := MergeWire(p, data); err != nil {
+		return nil, err
 	}
 	return p, nil
 }

@@ -78,6 +78,88 @@ func TestWireMergeEqualsLocalMerge(t *testing.T) {
 	}
 }
 
+// TestMergeWireEqualsUnmarshalMerge pins the zero-copy fast path against
+// the two-step reference (UnmarshalPartial then Merge): folding wire blobs
+// directly into an accumulator must produce an identical finalized result,
+// including CountDistinct sketches merged register-wise from the wire.
+func TestMergeWireEqualsUnmarshalMerge(t *testing.T) {
+	s := loadStore(t)
+	queries := []*Query{
+		{
+			Aggregates: []Aggregate{
+				{Func: Sum, Metric: "events"},
+				{Func: Avg, Metric: "latency"},
+				{Func: Min, Metric: "latency"},
+				{Func: Max, Metric: "latency"},
+				{Func: CountDistinct, Metric: "app"},
+			},
+			GroupBy: []string{"region"},
+		},
+		{Aggregates: []Aggregate{{Func: Count}, {Func: CountDistinct, Metric: "region"}}},
+		{
+			Aggregates: []Aggregate{{Func: Sum, Metric: "events"}},
+			GroupBy:    []string{"region", "app"},
+			Filter:     map[string][2]uint32{"app": {2, 7}},
+		},
+	}
+	for qi, q := range queries {
+		var blobs [][]byte
+		for i := 0; i < 3; i++ {
+			p, err := Execute(s, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := p.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, blob)
+		}
+		reference := NewPartial(q)
+		for _, blob := range blobs {
+			rp, err := UnmarshalPartial(q, blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reference.Merge(rp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		direct := NewPartial(q)
+		for _, blob := range blobs {
+			if err := MergeWire(direct, blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := resultsEqual(reference.Finalize(), direct.Finalize()); err != nil {
+			t.Fatalf("query %d: MergeWire diverged from reference: %v", qi, err)
+		}
+	}
+}
+
+func TestMergeWireErrors(t *testing.T) {
+	q := &Query{Aggregates: []Aggregate{{Func: Count}}}
+	if err := MergeWire(nil, nil); err == nil {
+		t.Fatal("nil partial accepted")
+	}
+	if err := MergeWire(&Partial{groups: map[string]*group{}}, nil); err == nil {
+		t.Fatal("query-less partial accepted")
+	}
+	if err := MergeWire(NewPartial(q), []byte("CBPRgarbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Forged group count: a header claiming billions of groups over a tiny
+	// payload must be rejected before any allocation.
+	q2 := &Query{Aggregates: []Aggregate{{Func: Count}}, GroupBy: []string{"app"}}
+	forged := []byte{0x52, 0x50, 0x42, 0x43}                                            // magic "CBPR" little-endian
+	forged = append(forged, 0, 0, 0, 0)                                                 // zero scan counters
+	forged = append(forged, 1, 1)                                                       // keyLen=1, cells=1
+	forged = append(forged, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01) // huge group count
+	if err := MergeWire(NewPartial(q2), forged); err == nil {
+		t.Fatal("forged group count accepted")
+	}
+}
+
 func TestUnmarshalPartialErrors(t *testing.T) {
 	q := &Query{Aggregates: []Aggregate{{Func: Count}}}
 	if _, err := UnmarshalPartial(q, nil); err == nil {

@@ -113,6 +113,30 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
+// MergeBinary folds wire-format registers (the MarshalBinary layout) into
+// s without allocating an intermediate sketch — the coordinator's
+// zero-copy decode path merges thousands of per-group sketches and a
+// 4 KiB temporary per merge dominates the cost. The blob is validated in
+// full before any register is touched, so a corrupt blob leaves s
+// unchanged.
+func (s *Sketch) MergeBinary(data []byte) error {
+	if len(data) != m {
+		return fmt.Errorf("%w: %d bytes, want %d", ErrCorrupt, len(data), m)
+	}
+	maxRank := uint8(64 - Precision + 1)
+	for _, r := range data {
+		if r > maxRank {
+			return fmt.Errorf("%w: register %d out of range", ErrCorrupt, r)
+		}
+	}
+	for i, r := range data {
+		if r > s.registers[i] {
+			s.registers[i] = r
+		}
+	}
+	return nil
+}
+
 // Hash64 is a splitmix64-style avalanche of a 64-bit value, suitable for
 // hashing small integer domains (dimension ids) into Add.
 func Hash64(x uint64) uint64 {

@@ -47,7 +47,9 @@ func NewCluster(workers []string, maxShards int64, client *http.Client) (*Cluste
 		maxShards = 100000
 	}
 	if client == nil {
-		client = http.DefaultClient
+		// Scatter-gather reuses a pooled keep-alive transport sized to the
+		// fan-out; a fresh dial per partial is pure coordinator overhead.
+		client = &http.Client{Transport: NewTransport(len(workers))}
 	}
 	return &Cluster{
 		mapper:  core.MonotonicMapper{MaxShards: maxShards},
@@ -122,7 +124,8 @@ func (c *Cluster) table(name string) (clusterTable, error) {
 }
 
 // Load routes rows to partitions by dimension hash (the same routing the
-// in-process deployment uses) and ships each batch to its worker.
+// in-process deployment uses) and ships each partition's batch to its
+// worker as one binary columnar blob (POST /loadbin).
 func (c *Cluster) Load(table string, dims [][]uint32, metrics [][]float64) error {
 	t, err := c.table(table)
 	if err != nil {
@@ -131,10 +134,10 @@ func (c *Cluster) Load(table string, dims [][]uint32, metrics [][]float64) error
 	if len(dims) != len(metrics) {
 		return errors.New("netexec: dims/metrics length mismatch")
 	}
-	byPart := make(map[int][][2]int) // partition -> row indexes (as pairs for reuse)
+	byPart := make(map[int][]int) // partition -> row indexes
 	for i := range dims {
 		p := cubrick.RouteRow(dims[i], t.partitions)
-		byPart[p] = append(byPart[p], [2]int{i, i})
+		byPart[p] = append(byPart[p], i)
 	}
 	parts := make([]int, 0, len(byPart))
 	for p := range byPart {
@@ -145,13 +148,13 @@ func (c *Cluster) Load(table string, dims [][]uint32, metrics [][]float64) error
 		idx := byPart[p]
 		bd := make([][]uint32, len(idx))
 		bm := make([][]float64, len(idx))
-		for j, pair := range idx {
-			bd[j] = dims[pair[0]]
-			bm[j] = metrics[pair[0]]
+		for j, i := range idx {
+			bd[j] = dims[i]
+			bm[j] = metrics[i]
 		}
 		shard := c.mapper.Shard(table, p)
 		cl := &Client{BaseURL: c.workerFor(shard), HTTP: c.client}
-		if err := cl.Load(core.PartitionName(table, p), bd, bm); err != nil {
+		if err := cl.LoadBin(core.PartitionName(table, p), bd, bm); err != nil {
 			return err
 		}
 	}

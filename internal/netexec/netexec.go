@@ -6,18 +6,29 @@
 // flow ("Each node eventually returns a partial result, which are merged
 // and materialized on a query coordinator node"), with partials crossing a
 // real network boundary.
+//
+// The data plane is built for fan-out: partials stream into the
+// coordinator's accumulator as they arrive (no barrier, first failure
+// cancels the peers), wire blobs fold in via engine.MergeWire without an
+// intermediate Partial, and bulk ingest ships packed columnar batches to
+// POST /loadbin instead of per-row JSON.
 package netexec
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"cubrick/internal/brick"
 	"cubrick/internal/engine"
@@ -65,14 +76,24 @@ func FromSchema(s brick.Schema) SchemaJSON {
 	return sj
 }
 
+// DefaultGzipMinBytes is the partial-response size above which workers
+// gzip the blob for clients that accept it. Small partials are cheaper to
+// send raw than to compress.
+const DefaultGzipMinBytes = 16 << 10
+
 // Worker hosts partition stores behind an HTTP API:
 //
 //	POST /partition  {"name": ..., "schema": {...}}     create a partition
-//	POST /load       {"partition": ..., "rows": [...]}  ingest
+//	POST /load       {"partition": ..., "rows": [...]}  ingest (JSON, row-at-a-time)
+//	POST /loadbin    binary columnar batch (see EncodeBatch)
 //	POST /partial    {"partition": ..., "query": {...}} execute, returns a
 //	                 binary engine partial (application/octet-stream)
 //	GET  /health     liveness
 type Worker struct {
+	// GzipMinBytes overrides the partial-response compression threshold:
+	// 0 means DefaultGzipMinBytes, negative disables compression.
+	GzipMinBytes int
+
 	mu     sync.Mutex
 	stores map[string]*brick.Store
 }
@@ -177,6 +198,34 @@ func (w *Worker) Handler() http.Handler {
 		}
 		fmt.Fprintf(rw, `{"loaded":%d}`, len(req.Rows))
 	})
+	mux.HandleFunc("/loadbin", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		partition, dimCols, metricCols, rows, err := DecodeBatch(data)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := w.Store(partition)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusNotFound)
+			return
+		}
+		if rows > 0 {
+			if err := st.InsertBatch(dimCols, metricCols); err != nil {
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		fmt.Fprintf(rw, `{"loaded":%d}`, rows)
+	})
 	mux.HandleFunc("/partial", func(rw http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
@@ -205,8 +254,26 @@ func (w *Worker) Handler() http.Handler {
 			http.Error(rw, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		payload := blob
+		gzMin := w.GzipMinBytes
+		if gzMin == 0 {
+			gzMin = DefaultGzipMinBytes
+		}
+		if gzMin > 0 && len(blob) >= gzMin && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			var zbuf bytes.Buffer
+			zw := gzip.NewWriter(&zbuf)
+			if _, err := zw.Write(blob); err == nil && zw.Close() == nil {
+				payload = zbuf.Bytes()
+				rw.Header().Set("Content-Encoding", "gzip")
+			}
+		}
 		rw.Header().Set("Content-Type", "application/octet-stream")
-		rw.Write(blob)
+		rw.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+		if _, err := rw.Write(payload); err != nil {
+			// The response is already committed; all we can do is log the
+			// broken pipe rather than silently truncate the partial.
+			log.Printf("netexec: partial response for %q aborted: %v", req.Partition, err)
+		}
 	})
 	return mux
 }
@@ -219,6 +286,29 @@ type Target struct {
 
 // ErrWorkerFailed wraps per-worker HTTP failures.
 var ErrWorkerFailed = errors.New("netexec: worker request failed")
+
+// NewTransport returns an http.Transport tuned for coordinator fan-out:
+// keep-alives with an idle pool sized so a scatter-gather over `fanout`
+// partitions reuses connections instead of paying a dial + TCP handshake
+// per partial on every query.
+func NewTransport(fanout int) *http.Transport {
+	if fanout < 4 {
+		fanout = 4
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	// All partitions of a table may live on one worker host; let the whole
+	// fan-out keep its connections warm.
+	tr.MaxIdleConnsPerHost = fanout
+	tr.MaxIdleConns = 4 * fanout
+	tr.IdleConnTimeout = 90 * time.Second
+	return tr
+}
+
+// NewCoordinator returns a coordinator with a pooled transport sized for
+// the expected fan-out.
+func NewCoordinator(fanout int) *Coordinator {
+	return &Coordinator{Client: &http.Client{Transport: NewTransport(fanout)}}
+}
 
 // Coordinator fans queries out to workers and merges their partials.
 type Coordinator struct {
@@ -237,39 +327,54 @@ func (c *Coordinator) client() *http.Client {
 // Query executes q over all targets in parallel and returns the merged,
 // finalized result. Any worker failure fails the query (exact semantics,
 // §II-C) with an error wrapping ErrWorkerFailed.
+//
+// The merge is streaming: each worker's wire partial folds into the
+// accumulator the moment it arrives (engine.MergeWire, no intermediate
+// Partial), overlapping coordinator-side merge work with the slower
+// workers' network time instead of idling at a barrier. Accumulator merge
+// is commutative — sums, counts, min/max and HLL register maxima are
+// order-independent — so results are bit-identical regardless of arrival
+// order. The first failure cancels the in-flight peer requests (fail
+// fast): there is no point finishing a scatter-gather whose result is
+// already lost.
 func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Query) (*engine.Result, error) {
 	if len(targets) == 0 {
 		return nil, errors.New("netexec: no targets")
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type outcome struct {
-		partial *engine.Partial
-		err     error
+		idx  int
+		blob []byte
+		err  error
 	}
-	results := make([]outcome, len(targets))
-	var wg sync.WaitGroup
+	// Buffered to the fan-out so late finishers never block: Query may
+	// return on the first error while peers are still draining.
+	ch := make(chan outcome, len(targets))
 	for i, t := range targets {
-		wg.Add(1)
 		go func(i int, t Target) {
-			defer wg.Done()
-			partial, err := c.fetchPartial(ctx, t, q)
-			results[i] = outcome{partial, err}
+			blob, err := c.fetchPartial(ctx, t, q)
+			ch <- outcome{i, blob, err}
 		}(i, t)
 	}
-	wg.Wait()
-
 	merged := engine.NewPartial(q)
-	for i, res := range results {
-		if res.err != nil {
-			return nil, fmt.Errorf("%w: %s %s: %v", ErrWorkerFailed, targets[i].URL, targets[i].Partition, res.err)
+	for n := 0; n < len(targets); n++ {
+		o := <-ch
+		t := targets[o.idx]
+		if o.err != nil {
+			return nil, fmt.Errorf("%w: %s %s: %v", ErrWorkerFailed, t.URL, t.Partition, o.err)
 		}
-		if err := merged.Merge(res.partial); err != nil {
-			return nil, err
+		if err := engine.MergeWire(merged, o.blob); err != nil {
+			return nil, fmt.Errorf("%w: %s %s: %v", ErrWorkerFailed, t.URL, t.Partition, err)
 		}
 	}
 	return merged.Finalize(), nil
 }
 
-func (c *Coordinator) fetchPartial(ctx context.Context, t Target, q *engine.Query) (*engine.Partial, error) {
+// fetchPartial returns the raw wire partial from one worker. The transport
+// advertises gzip and transparently decompresses, so large partials cross
+// the wire compressed without any handling here.
+func (c *Coordinator) fetchPartial(ctx context.Context, t Target, q *engine.Query) ([]byte, error) {
 	body, err := json.Marshal(struct {
 		Partition string        `json:"partition"`
 		Query     *engine.Query `json:"query"`
@@ -291,11 +396,7 @@ func (c *Coordinator) fetchPartial(ctx context.Context, t Target, q *engine.Quer
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
 	}
-	blob, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	return engine.UnmarshalPartial(q, blob)
+	return io.ReadAll(resp.Body)
 }
 
 // Client is a convenience HTTP client for worker admin operations.
@@ -311,12 +412,7 @@ func (cl *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-func (cl *Client) post(path string, v interface{}) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	resp, err := cl.http().Post(cl.BaseURL+path, "application/json", bytes.NewReader(body))
+func (cl *Client) checkResp(path string, resp *http.Response, err error) error {
 	if err != nil {
 		return err
 	}
@@ -328,6 +424,15 @@ func (cl *Client) post(path string, v interface{}) error {
 	return nil
 }
 
+func (cl *Client) post(path string, v interface{}) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.http().Post(cl.BaseURL+path, "application/json", bytes.NewReader(body))
+	return cl.checkResp(path, resp, err)
+}
+
 // CreatePartition creates a partition on the worker.
 func (cl *Client) CreatePartition(name string, schema brick.Schema) error {
 	return cl.post("/partition", struct {
@@ -336,7 +441,8 @@ func (cl *Client) CreatePartition(name string, schema brick.Schema) error {
 	}{name, FromSchema(schema)})
 }
 
-// Load ingests rows into a partition on the worker.
+// Load ingests rows into a partition on the worker via the JSON endpoint.
+// Bulk paths should prefer LoadBin.
 func (cl *Client) Load(partition string, dims [][]uint32, metrics [][]float64) error {
 	rows := make([]rowJSON, len(dims))
 	for i := range dims {
@@ -346,4 +452,15 @@ func (cl *Client) Load(partition string, dims [][]uint32, metrics [][]float64) e
 		Partition string    `json:"partition"`
 		Rows      []rowJSON `json:"rows"`
 	}{partition, rows})
+}
+
+// LoadBin ingests rows into a partition through the binary columnar batch
+// endpoint: one packed blob, one request, one store lock on the worker.
+func (cl *Client) LoadBin(partition string, dims [][]uint32, metrics [][]float64) error {
+	blob, err := EncodeBatch(partition, dims, metrics)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.http().Post(cl.BaseURL+"/loadbin", "application/octet-stream", bytes.NewReader(blob))
+	return cl.checkResp("/loadbin", resp, err)
 }

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Distributed data-plane benchmarks: runs the netexec suite (coordinator
+# merge old-vs-new, HTTP ingest old-vs-new, scatter-gather fan-out) plus
+# the brick-level batch-ingest pair, and records the results as JSON in
+# BENCH_netexec.json. Run from the repo root: ./scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT=BENCH_netexec.json
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench (netexec, benchtime=$BENCHTIME)"
+go test ./internal/netexec/ -run '^$' -bench 'Merge|Ingest|Fanout' \
+    -benchtime "$BENCHTIME" | tee "$RAW"
+
+echo "== go test -bench (brick batch ingest, benchtime=$BENCHTIME)"
+go test ./internal/brick/ -run '^$' -bench 'InsertRowLoop|InsertBatch$' \
+    -benchtime "$BENCHTIME" | tee -a "$RAW"
+
+# Parse "BenchmarkName  <iters>  <ns> ns/op ..." lines into JSON, then
+# derive the two headline speedups the data plane is judged on.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)           # strip -<GOMAXPROCS> suffix
+    ns[name] = $3
+    order[n++] = name
+}
+END {
+    printf "{\n  \"generated\": \"%s\",\n  \"benchtime\": \"'"$BENCHTIME"'\",\n", date
+    printf "  \"results_ns_per_op\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
+    }
+    printf "  },\n  \"speedups\": {\n"
+    printf "    \"merge_16_workers\": %.2f,\n", ns["BenchmarkMergeBarrier16"] / ns["BenchmarkMergeStream16"]
+    printf "    \"merge_64_workers\": %.2f,\n", ns["BenchmarkMergeBarrier64"] / ns["BenchmarkMergeStream64"]
+    printf "    \"http_ingest\": %.2f\n", ns["BenchmarkIngestJSON"] / ns["BenchmarkIngestBinary"]
+    printf "  }\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "== wrote $OUT"
+cat "$OUT"

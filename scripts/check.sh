@@ -6,6 +6,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed:"
+    echo "$UNFORMATTED"
+    exit 1
+fi
+
 echo "== go build ./..."
 go build ./...
 
@@ -17,5 +25,8 @@ go test ./...
 
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/engine ./internal/brick ./internal/cubrick ./internal/netexec
+
+echo "== fuzz smoke (wire decode, 10s)"
+go test -run '^$' -fuzz '^FuzzUnmarshalPartial$' -fuzztime 10s ./internal/engine
 
 echo "OK"
