@@ -12,6 +12,11 @@
 //	POST /query  {"cql": "SELECT ..."}
 //	GET  /tables
 //	GET  /health
+//	GET  /stats   resilience counters (retries, hedges, breaker trips, ...)
+//
+// The resilience layer is configured by flags: -retries, -hedge-quantile,
+// -per-try-timeout, -min-coverage, -breaker-failures, -breaker-open,
+// -replication, -max-partial-bytes, -deadline.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"cubrick/internal/cql"
+	"cubrick/internal/metrics"
 	"cubrick/internal/netexec"
 )
 
@@ -33,6 +39,16 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.String("workers", "", "comma-separated worker base URLs")
 	maxShards := flag.Int64("max-shards", 100000, "shard key space size")
+	deadline := flag.Duration("deadline", 30*time.Second, "per-query deadline")
+	retries := flag.Int("retries", 3, "attempts per partition (1 disables retries)")
+	perTryTimeout := flag.Duration("per-try-timeout", 10*time.Second, "deadline per attempt (0 = query deadline only)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0.95, "latency quantile before hedging to a replica (0 disables)")
+	hedgeMin := flag.Duration("hedge-min", netexec.DefaultHedgeMinDelay, "minimum hedge delay")
+	minCoverage := flag.Float64("min-coverage", 1, "minimum partition fraction for a degraded result (1 = exact)")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures that open a host's circuit breaker")
+	breakerOpen := flag.Duration("breaker-open", 5*time.Second, "how long an open breaker rejects before probing")
+	maxPartialBytes := flag.Int64("max-partial-bytes", netexec.DefaultMaxPartialBytes, "per-worker partial response size bound")
+	replication := flag.Int("replication", 0, "replica copies per partition beyond the primary")
 	flag.Parse()
 	urls := strings.Split(*workers, ",")
 	var clean []string
@@ -42,7 +58,7 @@ func main() {
 		}
 	}
 	cluster, err := netexec.NewCluster(clean, *maxShards, &http.Client{
-		Timeout: 30 * time.Second,
+		Timeout: *deadline,
 		// Pool keep-alive connections sized to the fan-out so every query
 		// doesn't re-dial each worker.
 		Transport: netexec.NewTransport(len(clean)),
@@ -51,18 +67,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
 		os.Exit(1)
 	}
-	s := &coordServer{cluster: cluster}
+	cluster.SetReplication(*replication)
+	reg := metrics.NewRegistry()
+	coord := cluster.Coordinator()
+	coord.Policy = netexec.QueryPolicy{
+		MaxAttempts:   *retries,
+		BaseBackoff:   netexec.DefaultBaseBackoff,
+		MaxBackoff:    netexec.DefaultMaxBackoff,
+		PerTryTimeout: *perTryTimeout,
+		HedgeQuantile: *hedgeQuantile,
+		HedgeMinDelay: *hedgeMin,
+		MinCoverage:   *minCoverage,
+	}
+	breakers := netexec.NewBreakerGroup(netexec.BreakerConfig{
+		FailureThreshold: *breakerFailures,
+		OpenTimeout:      *breakerOpen,
+	})
+	breakers.Metrics = reg
+	coord.Breakers = breakers
+	coord.Metrics = reg
+	coord.MaxPartialBytes = *maxPartialBytes
+	s := &coordServer{cluster: cluster, metrics: reg, deadline: *deadline}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/tables", s.tables)
 	mux.HandleFunc("/load", s.load)
 	mux.HandleFunc("/query", s.query)
 	mux.HandleFunc("/health", s.health)
-	log.Printf("cubrick-coordinator on %s over %d workers", *addr, len(clean))
+	mux.HandleFunc("/stats", s.stats)
+	log.Printf("cubrick-coordinator on %s over %d workers (replication=%d, retries=%d, min-coverage=%g)",
+		*addr, len(clean), *replication, *retries, *minCoverage)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
 type coordServer struct {
-	cluster *netexec.Cluster
+	cluster  *netexec.Cluster
+	metrics  *metrics.Registry
+	deadline time.Duration
+}
+
+// reqCtx derives a request context bounded by the server deadline
+// (defaulting when the struct was built without one, as tests do).
+func (s *coordServer) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.deadline
+	if d <= 0 {
+		d = 30 * time.Second
+	}
+	return context.WithTimeout(r.Context(), d)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -92,7 +142,9 @@ func (s *coordServer) tables(w http.ResponseWriter, r *http.Request) {
 		if req.Partitions == 0 {
 			req.Partitions = 8 // the paper's default (§IV-B)
 		}
-		if err := s.cluster.CreateTable(req.Name, req.Schema.ToSchema(), req.Partitions); err != nil {
+		ctx, cancel := s.reqCtx(r)
+		defer cancel()
+		if err := s.cluster.CreateTable(ctx, req.Name, req.Schema.ToSchema(), req.Partitions); err != nil {
 			writeErr(w, http.StatusConflict, err)
 			return
 		}
@@ -123,7 +175,9 @@ func (s *coordServer) load(w http.ResponseWriter, r *http.Request) {
 	for i, row := range req.Rows {
 		dims[i], mets[i] = row.Dims, row.Metrics
 	}
-	if err := s.cluster.Load(req.Table, dims, mets); err != nil {
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if err := s.cluster.Load(ctx, req.Table, dims, mets); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -153,7 +207,7 @@ func (s *coordServer) query(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("coordinator supports single-table SELECT only"))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	res, err := s.cluster.Query(ctx, sel.Table, sel.Query)
 	if err != nil {
@@ -161,12 +215,17 @@ func (s *coordServer) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fanout, _ := s.cluster.Fanout(sel.Table)
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"columns":     res.Columns,
 		"rows":        res.Rows,
 		"rowsScanned": res.RowsScanned,
 		"fanout":      fanout,
-	})
+		"coverage":    res.Coverage,
+	}
+	if len(res.MissingPartitions) > 0 {
+		resp["missingPartitions"] = res.MissingPartitions
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *coordServer) health(w http.ResponseWriter, r *http.Request) {
@@ -180,5 +239,15 @@ func (s *coordServer) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, map[string]interface{}{
 		"workers":   len(s.cluster.Workers()),
 		"unhealthy": bad,
+	})
+}
+
+func (s *coordServer) stats(w http.ResponseWriter, r *http.Request) {
+	counters := map[string]int64{}
+	if s.metrics != nil {
+		counters = s.metrics.CounterValues()
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"counters": counters,
 	})
 }

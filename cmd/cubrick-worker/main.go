@@ -6,6 +6,11 @@
 //
 // API: POST /partition, POST /load, POST /loadbin, POST /partial,
 // GET /health.
+//
+// For resilience demos, -chaos-fail-prob injects server-side faults: each
+// request fails with the given probability (HTTP 500) before reaching the
+// worker, reproducing the chaos tests across real processes. -chaos-seed
+// makes the failure stream deterministic.
 package main
 
 import (
@@ -18,8 +23,14 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9001", "listen address")
+	chaosFailProb := flag.Float64("chaos-fail-prob", 0, "probability each request fails with HTTP 500 (fault injection; 0 disables)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the injected failure stream")
 	flag.Parse()
 	w := netexec.NewWorker()
+	handler := netexec.ChaosHandler(*chaosFailProb, *chaosSeed, w.Handler())
+	if *chaosFailProb > 0 {
+		log.Printf("cubrick-worker chaos enabled: fail-prob=%g seed=%d", *chaosFailProb, *chaosSeed)
+	}
 	log.Printf("cubrick-worker listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, w.Handler()))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }

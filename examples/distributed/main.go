@@ -44,7 +44,7 @@ func main() {
 		url := "http://" + ln.Addr().String()
 		part := fmt.Sprintf("events#%d", i)
 		cl := &netexec.Client{BaseURL: url}
-		if err := cl.CreatePartition(part, schema); err != nil {
+		if err := cl.CreatePartition(context.Background(), part, schema); err != nil {
 			log.Fatal(err)
 		}
 		targets = append(targets, netexec.Target{URL: url, Partition: part})
@@ -61,7 +61,7 @@ func main() {
 	}
 	for i, t := range targets {
 		cl := &netexec.Client{BaseURL: t.URL}
-		if err := cl.Load(t.Partition, dims[i], mets[i]); err != nil {
+		if err := cl.Load(context.Background(), t.Partition, dims[i], mets[i]); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -187,7 +187,9 @@ func (s *Store) InsertBatch(dimCols [][]uint32, metricCols [][]float64) error {
 		}
 		id, err := s.schema.BrickID(rowScratch)
 		if err != nil {
-			return err
+			// Name the offending row: batch callers (HTTP ingest) surface
+			// this to clients who need to know which row to fix.
+			return fmt.Errorf("row %d: %w", r, err)
 		}
 		byBrick[id] = append(byBrick[id], r)
 	}

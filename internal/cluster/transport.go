@@ -45,6 +45,21 @@ func DefaultTransportConfig() TransportConfig {
 	}
 }
 
+// SampleOutcome samples one request against the fault/latency model alone,
+// with no fleet lookup: with probability RequestFailureProb the request
+// fails (ErrRequestFailed), otherwise the returned duration is the
+// round-trip latency (two network hops plus a heavy-tailed service time).
+// It is the reusable core of Transport.Call, exported so components that
+// inject the same model elsewhere — netexec.FaultRoundTripper drives it
+// into real HTTP calls — stay calibrated with the simulator.
+func (cfg TransportConfig) SampleOutcome(rnd *randutil.Source) (time.Duration, error) {
+	if rnd.Bernoulli(cfg.RequestFailureProb) {
+		return 0, ErrRequestFailed
+	}
+	service := time.Duration(cfg.Latency.Sample(rnd) * float64(time.Second))
+	return 2*cfg.NetworkHop + service, nil
+}
+
 // Transport samples the outcome of requests against fleet hosts. It does
 // not move bytes — the simulator composes outcomes analytically — but its
 // distributions are the ground truth for every latency/failure figure.
@@ -77,11 +92,11 @@ func (t *Transport) Call(host string, rnd *randutil.Source) Outcome {
 	if !h.Available() {
 		return Outcome{Host: host, Err: fmt.Errorf("%w: %s (%s)", ErrHostDown, host, h.State())}
 	}
-	if rnd.Bernoulli(t.cfg.RequestFailureProb) {
-		return Outcome{Host: host, Err: fmt.Errorf("%w: %s", ErrRequestFailed, host)}
+	lat, err := t.cfg.SampleOutcome(rnd)
+	if err != nil {
+		return Outcome{Host: host, Err: fmt.Errorf("%w: %s", err, host)}
 	}
-	service := time.Duration(t.cfg.Latency.Sample(rnd) * float64(time.Second))
-	return Outcome{Host: host, Latency: 2*t.cfg.NetworkHop + service}
+	return Outcome{Host: host, Latency: lat}
 }
 
 // FanOut samples a scatter-gather over all named hosts, as a fully- or

@@ -410,6 +410,54 @@ func (d *Deployment) LoadGenerated(table string, n int, gen *workload.RowGenerat
 	return d.Load(table, dims, metrics)
 }
 
+// PartitionPlacement lists the hosts holding one partition of a table: the
+// primary in the query region, plus the hosts owning the same partition in
+// the other regions. Since every region holds a full copy of all tables
+// (§IV-D), those cross-region owners are exactly the replicas a resilient
+// scatter-gather can retry, hedge, or fail over to — this is the placement
+// list the networked data plane's Target (primary + replica URLs) is built
+// from.
+type PartitionPlacement struct {
+	Partition string
+	Primary   string
+	Replicas  []string
+}
+
+// ReplicaPlacements returns the per-partition placements of a table as
+// seen from one region: primary in that region, replicas drawn from the
+// healthy owners in every other region. A down replica host is omitted
+// rather than reported — it is failover capacity, not an error.
+func (d *Deployment) ReplicaPlacements(table, region string) ([]PartitionPlacement, error) {
+	info, err := d.Catalog.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PartitionPlacement, info.Partitions)
+	for p := 0; p < info.Partitions; p++ {
+		shard := d.Catalog.ShardOf(table, p)
+		a, err := d.SM.Assignment(ServiceName(region), shard)
+		if err != nil {
+			return nil, fmt.Errorf("cubrick: partition %s#%d unplaced in %s: %w", table, p, region, err)
+		}
+		pl := PartitionPlacement{Partition: core.PartitionName(table, p), Primary: a.Primary()}
+		for _, other := range d.Config.Regions {
+			if other == region {
+				continue
+			}
+			ra, err := d.SM.Assignment(ServiceName(other), shard)
+			if err != nil {
+				continue
+			}
+			host := ra.Primary()
+			if h, err := d.Fleet.Host(host); err == nil && h.Available() {
+				pl.Replicas = append(pl.Replicas, host)
+			}
+		}
+		out[p] = pl
+	}
+	return out, nil
+}
+
 // Settle advances simulated time enough for discovery propagation and
 // heartbeats to catch up — the "wait a few seconds" production operators
 // get for free from wall-clock time.

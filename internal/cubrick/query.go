@@ -162,30 +162,37 @@ func (d *Deployment) QueryBestEffort(region, table string, q *engine.Query, coor
 	svc := ServiceName(region)
 	merged := engine.NewPartial(q)
 	answered := 0
+	var missing []string
 	hostSet := make(map[string]bool)
 	coordinator := ""
 	var maxLatency time.Duration
 	for p := 0; p < info.Partitions; p++ {
+		part := core.PartitionName(table, p)
 		shard := d.Catalog.ShardOf(table, p)
 		a, err := d.SM.Assignment(svc, shard)
 		if err != nil {
+			missing = append(missing, part)
 			continue
 		}
 		host := a.Primary()
 		h, err := d.Fleet.Host(host)
 		if err != nil || !h.Available() {
+			missing = append(missing, part)
 			continue
 		}
 		node, err := d.Node(host)
 		if err != nil {
+			missing = append(missing, part)
 			continue
 		}
 		out := d.sampleCall(host)
 		if out.Err != nil {
+			missing = append(missing, part)
 			continue
 		}
-		partial, err := node.ExecutePartial(shard, core.PartitionName(table, p), q)
+		partial, err := node.ExecutePartial(shard, part, q)
 		if err != nil {
+			missing = append(missing, part)
 			continue
 		}
 		if err := merged.Merge(partial); err != nil {
@@ -203,8 +210,15 @@ func (d *Deployment) QueryBestEffort(region, table string, q *engine.Query, coor
 	if answered == 0 {
 		return nil, fmt.Errorf("%w: no partition of %s answered in %s", ErrRegionUnavailable, table, region)
 	}
+	res := merged.Finalize()
+	coverage := float64(answered) / float64(info.Partitions)
+	// Annotate the embedded engine result too, so callers that only see an
+	// *engine.Result (the networked plane's type) get the same degradation
+	// metadata as QueryResult carries.
+	res.Coverage = coverage
+	res.MissingPartitions = missing
 	return &QueryResult{
-		Result:      merged.Finalize(),
+		Result:      res,
 		Table:       table,
 		Partitions:  info.Partitions,
 		Version:     info.Version,
@@ -212,7 +226,7 @@ func (d *Deployment) QueryBestEffort(region, table string, q *engine.Query, coor
 		Coordinator: coordinator,
 		Fanout:      len(hostSet),
 		Latency:     maxLatency,
-		Coverage:    float64(answered) / float64(info.Partitions),
+		Coverage:    coverage,
 	}, nil
 }
 

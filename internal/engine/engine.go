@@ -522,6 +522,14 @@ type Result struct {
 	BricksPruned  int64
 	// Decompressions is how many visited bricks paid a transient decode.
 	Decompressions int64
+	// Coverage is the fraction of partitions whose partials merged into
+	// this result. Exact queries always report 1; a coordinator running
+	// under a degradation policy (netexec.QueryPolicy.MinCoverage < 1) may
+	// return less when partitions stayed unreachable after retries.
+	Coverage float64
+	// MissingPartitions names the partitions that did not contribute,
+	// sorted; empty when Coverage is 1.
+	MissingPartitions []string
 }
 
 // Finalize sorts, limits and materializes the partial into a Result.
@@ -532,6 +540,7 @@ func (p *Partial) Finalize() *Result {
 		BricksVisited:  p.BricksVisited,
 		BricksPruned:   p.BricksPruned,
 		Decompressions: p.Decompressions,
+		Coverage:       1,
 	}
 	for _, g := range q.GroupBy {
 		res.Columns = append(res.Columns, g)

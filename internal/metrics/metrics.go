@@ -338,6 +338,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// CounterValues returns a snapshot of all counter values by name. It backs
+// operational endpoints (the coordinator's /stats) and benchmark dumps.
+func (r *Registry) CounterValues() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	return out
+}
+
 // Names returns the sorted names of all registered metrics.
 func (r *Registry) Names() []string {
 	r.mu.Lock()

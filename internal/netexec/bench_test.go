@@ -136,15 +136,15 @@ func benchIngest(b *testing.B, binary bool) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		part := fmt.Sprintf("p%d", i)
-		if err := cl.CreatePartition(part, benchSchema()); err != nil {
+		if err := cl.CreatePartition(context.Background(), part, benchSchema()); err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
 		var err error
 		if binary {
-			err = cl.LoadBin(part, dims, mets)
+			err = cl.LoadBin(context.Background(), part, dims, mets)
 		} else {
-			err = cl.Load(part, dims, mets)
+			err = cl.Load(context.Background(), part, dims, mets)
 		}
 		if err != nil {
 			b.Fatal(err)
@@ -167,11 +167,11 @@ func benchFanout(b *testing.B, nWorkers int) {
 		servers = append(servers, srv)
 		part := fmt.Sprintf("t#%d", i)
 		cl := &Client{BaseURL: srv.URL}
-		if err := cl.CreatePartition(part, benchSchema()); err != nil {
+		if err := cl.CreatePartition(context.Background(), part, benchSchema()); err != nil {
 			b.Fatal(err)
 		}
 		dims, mets := benchRows(i, 2048)
-		if err := cl.LoadBin(part, dims, mets); err != nil {
+		if err := cl.LoadBin(context.Background(), part, dims, mets); err != nil {
 			b.Fatal(err)
 		}
 		targets = append(targets, Target{URL: srv.URL, Partition: part})

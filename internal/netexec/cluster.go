@@ -19,20 +19,28 @@ import (
 // that maps each table's partitions to shards (via the §IV-A monotonic
 // mapping) and shards to workers. It is the multi-process counterpart of
 // the in-process Deployment: placement is deliberately simple (shard id
-// modulo worker count) because the full placement/balancing machinery
-// lives in internal/shardmgr; Cluster demonstrates the data plane.
+// modulo worker count, replicas on the following workers) because the full
+// placement/balancing machinery lives in internal/shardmgr; Cluster
+// demonstrates the data plane.
+//
+// The Cluster owns one long-lived Coordinator so resilience state —
+// per-host circuit breakers, the hedge latency distribution — accumulates
+// across queries; configure it through Coordinator().
 type Cluster struct {
 	mapper core.Mapper
 	client *http.Client
+	coord  *Coordinator
 
-	mu      sync.Mutex
-	workers []string // worker base URLs
-	tables  map[string]clusterTable
+	mu          sync.Mutex
+	workers     []string // worker base URLs
+	replication int      // replica copies per partition beyond the primary
+	tables      map[string]clusterTable
 }
 
 type clusterTable struct {
 	schema     brick.Schema
 	partitions int
+	replicas   int // replica copies beyond the primary, fixed at create time
 }
 
 // ErrNoWorkers is returned when operations run against an empty cluster.
@@ -54,9 +62,33 @@ func NewCluster(workers []string, maxShards int64, client *http.Client) (*Cluste
 	return &Cluster{
 		mapper:  core.MonotonicMapper{MaxShards: maxShards},
 		client:  client,
+		coord:   &Coordinator{Client: client},
 		workers: append([]string(nil), workers...),
 		tables:  make(map[string]clusterTable),
 	}, nil
+}
+
+// Coordinator returns the cluster's long-lived coordinator, whose Policy,
+// Breakers and Metrics fields configure the resilience layer for every
+// query on this cluster. Configure it before issuing queries.
+func (c *Cluster) Coordinator() *Coordinator {
+	return c.coord
+}
+
+// SetReplication sets how many replica copies (beyond the primary) future
+// CreateTable calls place per partition. Replicas land on the workers
+// following the primary in the ring; n is capped at worker count - 1 since
+// extra copies on the same host add nothing.
+func (c *Cluster) SetReplication(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if max := len(c.workers) - 1; n > max {
+		n = max
+	}
+	c.replication = n
 }
 
 // Workers returns the cluster's worker URLs.
@@ -66,14 +98,22 @@ func (c *Cluster) Workers() []string {
 	return append([]string(nil), c.workers...)
 }
 
-// workerFor maps a shard to a worker URL.
-func (c *Cluster) workerFor(shard int64) string {
-	return c.workers[int(shard%int64(len(c.workers)))]
+// placement returns the worker URLs holding a shard: the primary followed
+// by `replicas` distinct successors on the ring. Callers hold c.mu or rely
+// on workers being immutable after construction (they are).
+func (c *Cluster) placement(shard int64, replicas int) []string {
+	n := len(c.workers)
+	urls := make([]string, 0, 1+replicas)
+	for i := 0; i <= replicas && i < n; i++ {
+		urls = append(urls, c.workers[int((shard+int64(i))%int64(n))])
+	}
+	return urls
 }
 
 // CreateTable registers a table with the given partition count and creates
-// each partition on its worker.
-func (c *Cluster) CreateTable(name string, schema brick.Schema, partitions int) error {
+// each partition on its primary worker and on the cluster's configured
+// replica count of successor workers.
+func (c *Cluster) CreateTable(ctx context.Context, name string, schema brick.Schema, partitions int) error {
 	if err := core.ValidateTableName(name); err != nil {
 		return err
 	}
@@ -88,14 +128,17 @@ func (c *Cluster) CreateTable(name string, schema brick.Schema, partitions int) 
 		c.mu.Unlock()
 		return fmt.Errorf("netexec: table %q exists", name)
 	}
-	c.tables[name] = clusterTable{schema: schema, partitions: partitions}
+	replicas := c.replication
+	c.tables[name] = clusterTable{schema: schema, partitions: partitions, replicas: replicas}
 	c.mu.Unlock()
 
 	for p := 0; p < partitions; p++ {
 		shard := c.mapper.Shard(name, p)
-		cl := &Client{BaseURL: c.workerFor(shard), HTTP: c.client}
-		if err := cl.CreatePartition(core.PartitionName(name, p), schema); err != nil {
-			return err
+		for _, url := range c.placement(shard, replicas) {
+			cl := &Client{BaseURL: url, HTTP: c.client}
+			if err := cl.CreatePartition(ctx, core.PartitionName(name, p), schema); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -125,8 +168,10 @@ func (c *Cluster) table(name string) (clusterTable, error) {
 
 // Load routes rows to partitions by dimension hash (the same routing the
 // in-process deployment uses) and ships each partition's batch to its
-// worker as one binary columnar blob (POST /loadbin).
-func (c *Cluster) Load(table string, dims [][]uint32, metrics [][]float64) error {
+// worker — and to each replica — as one binary columnar blob (POST
+// /loadbin). Replica copies receive identical batches, so any copy can
+// serve the partition's partial.
+func (c *Cluster) Load(ctx context.Context, table string, dims [][]uint32, metrics [][]float64) error {
 	t, err := c.table(table)
 	if err != nil {
 		return err
@@ -153,15 +198,18 @@ func (c *Cluster) Load(table string, dims [][]uint32, metrics [][]float64) error
 			bm[j] = metrics[i]
 		}
 		shard := c.mapper.Shard(table, p)
-		cl := &Client{BaseURL: c.workerFor(shard), HTTP: c.client}
-		if err := cl.LoadBin(core.PartitionName(table, p), bd, bm); err != nil {
-			return err
+		for _, url := range c.placement(shard, t.replicas) {
+			cl := &Client{BaseURL: url, HTTP: c.client}
+			if err := cl.LoadBin(ctx, core.PartitionName(table, p), bd, bm); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// Targets returns the scatter-gather targets of a table.
+// Targets returns the scatter-gather targets of a table, replicas
+// included.
 func (c *Cluster) Targets(table string) ([]Target, error) {
 	t, err := c.table(table)
 	if err != nil {
@@ -170,23 +218,26 @@ func (c *Cluster) Targets(table string) ([]Target, error) {
 	targets := make([]Target, t.partitions)
 	for p := 0; p < t.partitions; p++ {
 		shard := c.mapper.Shard(table, p)
-		targets[p] = Target{URL: c.workerFor(shard), Partition: core.PartitionName(table, p)}
+		urls := c.placement(shard, t.replicas)
+		targets[p] = Target{URL: urls[0], Partition: core.PartitionName(table, p), Replicas: urls[1:]}
 	}
 	return targets, nil
 }
 
-// Query executes a grouped aggregation over the networked cluster.
+// Query executes a grouped aggregation over the networked cluster using
+// the cluster's shared coordinator (and therefore its resilience policy
+// and breaker state).
 func (c *Cluster) Query(ctx context.Context, table string, q *engine.Query) (*engine.Result, error) {
 	targets, err := c.Targets(table)
 	if err != nil {
 		return nil, err
 	}
-	coord := &Coordinator{Client: c.client}
-	return coord.Query(ctx, targets, q)
+	return c.coord.Query(ctx, targets, q)
 }
 
 // Fanout returns how many distinct workers a table's queries touch — the
-// partial-sharding containment, visible across processes.
+// partial-sharding containment, visible across processes. Replicas do not
+// count: they are failover capacity, not per-query fan-out.
 func (c *Cluster) Fanout(table string) (int, error) {
 	targets, err := c.Targets(table)
 	if err != nil {

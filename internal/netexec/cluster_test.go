@@ -32,7 +32,7 @@ func TestClusterEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CreateTable("events", testSchema(), 4); err != nil {
+	if err := c.CreateTable(context.Background(), "events", testSchema(), 4); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Tables()["events"]; got != 4 {
@@ -48,7 +48,7 @@ func TestClusterEndToEnd(t *testing.T) {
 		mets[i] = []float64{float64(i)}
 		want += float64(i)
 	}
-	if err := c.Load("events", dims, mets); err != nil {
+	if err := c.Load(context.Background(), "events", dims, mets); err != nil {
 		t.Fatal(err)
 	}
 
@@ -89,19 +89,19 @@ func TestClusterErrors(t *testing.T) {
 	urls, cleanup := startWorkers(t, 2)
 	defer cleanup()
 	c, _ := NewCluster(urls, 0, nil)
-	if err := c.CreateTable("bad#name", testSchema(), 2); err == nil {
+	if err := c.CreateTable(context.Background(), "bad#name", testSchema(), 2); err == nil {
 		t.Fatal("reserved table name accepted")
 	}
-	if err := c.CreateTable("t", testSchema(), 2); err != nil {
+	if err := c.CreateTable(context.Background(), "t", testSchema(), 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CreateTable("t", testSchema(), 2); err == nil {
+	if err := c.CreateTable(context.Background(), "t", testSchema(), 2); err == nil {
 		t.Fatal("duplicate table accepted")
 	}
-	if err := c.Load("ghost", nil, nil); err == nil {
+	if err := c.Load(context.Background(), "ghost", nil, nil); err == nil {
 		t.Fatal("load into unknown table accepted")
 	}
-	if err := c.Load("t", [][]uint32{{1, 1}}, nil); err == nil {
+	if err := c.Load(context.Background(), "t", [][]uint32{{1, 1}}, nil); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 	q := &engine.Query{Aggregates: []engine.Aggregate{{Func: engine.Count}}}
@@ -127,12 +127,12 @@ func TestClusterQueryFailsWhenWorkerDies(t *testing.T) {
 	dying := httptest.NewServer(NewWorker().Handler())
 	all := append(urls, dying.URL)
 	c, _ := NewCluster(all, 0, nil)
-	if err := c.CreateTable("t", testSchema(), 4); err != nil {
+	if err := c.CreateTable(context.Background(), "t", testSchema(), 4); err != nil {
 		t.Fatal(err)
 	}
 	dims := [][]uint32{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
 	mets := [][]float64{{1}, {1}, {1}, {1}}
-	if err := c.Load("t", dims, mets); err != nil {
+	if err := c.Load(context.Background(), "t", dims, mets); err != nil {
 		t.Fatal(err)
 	}
 	dying.Close()

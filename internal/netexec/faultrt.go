@@ -1,0 +1,112 @@
+package netexec
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"cubrick/internal/cluster"
+	"cubrick/internal/randutil"
+)
+
+// FaultRoundTripper drives the in-process fault model (cluster.
+// TransportConfig: per-request failure probability, heavy-tailed latency,
+// host-down) into real HTTP calls. It wraps an inner http.RoundTripper and,
+// before forwarding each request, samples the configured model: a down host
+// fails with cluster.ErrHostDown, a healthy host fails with
+// cluster.ErrRequestFailed with the configured probability, and otherwise
+// the sampled service latency (scaled by LatencyScale) is slept before the
+// real call proceeds. This is how the chaos tests subject the actual
+// coordinator/worker HTTP path to the paper's failure model instead of only
+// simulating it analytically.
+//
+// The sampler is seeded, so a fixed seed gives a reproducible fault
+// stream. FaultRoundTripper is safe for concurrent use.
+type FaultRoundTripper struct {
+	// Inner performs the real request; http.DefaultTransport when nil.
+	Inner http.RoundTripper
+	// Config is the fault/latency model shared with the in-process
+	// simulator.
+	Config cluster.TransportConfig
+	// LatencyScale multiplies sampled latencies before sleeping; 0
+	// disables latency injection entirely (failures only), small values
+	// (e.g. 0.001) keep heavy-tail *shape* while staying test-fast.
+	LatencyScale float64
+
+	mu   sync.Mutex
+	rnd  *randutil.Source
+	down map[string]bool
+}
+
+// NewFaultRoundTripper returns a seeded fault injector over inner.
+func NewFaultRoundTripper(inner http.RoundTripper, cfg cluster.TransportConfig, seed int64) *FaultRoundTripper {
+	return &FaultRoundTripper{
+		Inner:  inner,
+		Config: cfg,
+		rnd:    randutil.New(seed),
+		down:   make(map[string]bool),
+	}
+}
+
+// SetHostDown marks a host (URL host:port) as down or back up. Requests to
+// a down host fail immediately with cluster.ErrHostDown — the condition a
+// circuit breaker exists to stop probing.
+func (f *FaultRoundTripper) SetHostDown(host string, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down[host] = down
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *FaultRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	f.mu.Lock()
+	if f.down[host] {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (injected)", cluster.ErrHostDown, host)
+	}
+	lat, err := f.Config.SampleOutcome(f.rnd)
+	f.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("%w (injected)", err)
+	}
+	if f.LatencyScale > 0 && lat > 0 {
+		d := time.Duration(float64(lat) * f.LatencyScale)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	inner := f.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(req)
+}
+
+// ChaosHandler wraps a worker handler with server-side fault injection:
+// each request fails with probability p (HTTP 500) before reaching the
+// worker. It backs cubrick-worker's -chaos-fail-prob flag so multi-process
+// demos can reproduce the chaos tests without a custom client transport.
+func ChaosHandler(p float64, seed int64, h http.Handler) http.Handler {
+	if p <= 0 {
+		return h
+	}
+	var mu sync.Mutex
+	rnd := rand.New(rand.NewSource(seed))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		fail := rnd.Float64() < p
+		mu.Unlock()
+		if fail {
+			http.Error(w, "chaos: injected failure", http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

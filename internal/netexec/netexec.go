@@ -32,6 +32,7 @@ import (
 
 	"cubrick/internal/brick"
 	"cubrick/internal/engine"
+	"cubrick/internal/metrics"
 )
 
 // SchemaJSON is the wire form of a brick schema.
@@ -190,11 +191,18 @@ func (w *Worker) Handler() http.Handler {
 			http.Error(rw, err.Error(), http.StatusNotFound)
 			return
 		}
-		for _, row := range req.Rows {
-			if err := st.Insert(row.Dims, row.Metrics); err != nil {
-				http.Error(rw, err.Error(), http.StatusBadRequest)
-				return
-			}
+		// Route through the batch path so ingest is all-or-nothing like
+		// /loadbin: the whole batch is validated (arity, domains, with the
+		// offending row index in the error) before any row commits. A
+		// per-row Insert loop would leave a prefix behind on failure.
+		dims := make([][]uint32, len(req.Rows))
+		mets := make([][]float64, len(req.Rows))
+		for i, row := range req.Rows {
+			dims[i], mets[i] = row.Dims, row.Metrics
+		}
+		if err := st.InsertBatchRows(dims, mets); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
 		}
 		fmt.Fprintf(rw, `{"loaded":%d}`, len(req.Rows))
 	})
@@ -278,10 +286,27 @@ func (w *Worker) Handler() http.Handler {
 	return mux
 }
 
-// Target is one partition placement: which worker URL serves it.
+// Target is one partition placement: which worker URL serves it, plus any
+// replica URLs holding the same partition. Replicas are what retries,
+// hedges and breaker-driven failover route to when the primary is slow or
+// down — the paper's reliability wall falls exactly as fast as a query's
+// ability to dodge a single bad host.
 type Target struct {
 	URL       string
 	Partition string
+	// Replicas are alternate worker URLs serving the same partition's
+	// data; attempts rotate primary-then-replicas.
+	Replicas []string
+}
+
+// urls returns the primary followed by the replicas.
+func (t Target) urls() []string {
+	if len(t.Replicas) == 0 {
+		return []string{t.URL}
+	}
+	out := make([]string, 0, 1+len(t.Replicas))
+	out = append(out, t.URL)
+	return append(out, t.Replicas...)
 }
 
 // ErrWorkerFailed wraps per-worker HTTP failures.
@@ -310,11 +335,38 @@ func NewCoordinator(fanout int) *Coordinator {
 	return &Coordinator{Client: &http.Client{Transport: NewTransport(fanout)}}
 }
 
-// Coordinator fans queries out to workers and merges their partials.
+// DefaultMaxPartialBytes bounds how much of a worker's partial response
+// the coordinator will read. A corrupt or malicious worker must not be
+// able to OOM the coordinator through an unbounded io.ReadAll.
+const DefaultMaxPartialBytes = 256 << 20
+
+// Coordinator fans queries out to workers and merges their partials. The
+// zero value reproduces the exact fail-fast baseline; Policy, Breakers and
+// Metrics opt into the resilience layer. A Coordinator is intended to be
+// long-lived and shared across queries: the breaker group and the hedge
+// latency tracker accumulate cross-query state.
 type Coordinator struct {
 	// Client is the HTTP client used for worker calls; http.DefaultClient
 	// when nil.
 	Client *http.Client
+	// Policy configures retries, hedging, per-try deadlines and graceful
+	// degradation. The zero value means one attempt, no hedge, exact
+	// semantics.
+	Policy QueryPolicy
+	// Breakers, when set, short-circuits requests to hosts that keep
+	// failing so a dead worker is skipped to its replica immediately
+	// instead of burning a timeout per query.
+	Breakers *BreakerGroup
+	// Metrics, when set, receives retry/hedge/degradation counters.
+	Metrics *metrics.Registry
+	// MaxPartialBytes bounds each worker response read; 0 means
+	// DefaultMaxPartialBytes, negative disables the bound.
+	MaxPartialBytes int64
+
+	// latMu guards lat, the observed partial-fetch latency distribution
+	// behind quantile-based hedge delays.
+	latMu sync.Mutex
+	lat   *metrics.Histogram
 }
 
 func (c *Coordinator) client() *http.Client {
@@ -324,9 +376,69 @@ func (c *Coordinator) client() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Coordinator) count(name string) {
+	if c.Metrics != nil {
+		c.Metrics.Counter(name).Inc()
+	}
+}
+
+func (c *Coordinator) maxPartialBytes() int64 {
+	switch {
+	case c.MaxPartialBytes < 0:
+		return int64(1) << 62 // effectively unbounded
+	case c.MaxPartialBytes == 0:
+		return DefaultMaxPartialBytes
+	default:
+		return c.MaxPartialBytes
+	}
+}
+
+// observeLatency feeds a successful fetch latency into the hedge tracker.
+func (c *Coordinator) observeLatency(d time.Duration) {
+	c.latMu.Lock()
+	if c.lat == nil {
+		c.lat = metrics.NewLatencyHistogram()
+	}
+	h := c.lat
+	c.latMu.Unlock()
+	h.Observe(d.Seconds())
+}
+
+// hedgeDelay returns how long an attempt may stay outstanding before a
+// hedge fires: the policy quantile of observed fetch latencies, clamped to
+// [HedgeMinDelay, HedgeMaxDelay], or HedgeMinDelay until enough samples
+// exist. 0 means hedging is disabled.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	p := c.Policy
+	if p.HedgeQuantile <= 0 {
+		return 0
+	}
+	minD := p.HedgeMinDelay
+	if minD <= 0 {
+		minD = DefaultHedgeMinDelay
+	}
+	maxD := p.HedgeMaxDelay
+	if maxD <= 0 {
+		maxD = DefaultHedgeMaxDelay
+	}
+	c.latMu.Lock()
+	h := c.lat
+	c.latMu.Unlock()
+	if h == nil || h.Count() < hedgeWarmupSamples {
+		return minD
+	}
+	d := time.Duration(h.Quantile(p.HedgeQuantile) * float64(time.Second))
+	if d < minD {
+		d = minD
+	}
+	if d > maxD {
+		d = maxD
+	}
+	return d
+}
+
 // Query executes q over all targets in parallel and returns the merged,
-// finalized result. Any worker failure fails the query (exact semantics,
-// §II-C) with an error wrapping ErrWorkerFailed.
+// finalized result.
 //
 // The merge is streaming: each worker's wire partial folds into the
 // accumulator the moment it arrives (engine.MergeWire, no intermediate
@@ -334,9 +446,17 @@ func (c *Coordinator) client() *http.Client {
 // workers' network time instead of idling at a barrier. Accumulator merge
 // is commutative — sums, counts, min/max and HLL register maxima are
 // order-independent — so results are bit-identical regardless of arrival
-// order. The first failure cancels the in-flight peer requests (fail
-// fast): there is no point finishing a scatter-gather whose result is
-// already lost.
+// order.
+//
+// Failure semantics follow c.Policy. Under exact semantics (MinCoverage 0
+// or 1, the default and the paper's §II-C posture) any partition whose
+// fetch fails — after the policy's retries, hedges and breaker-driven
+// failover — fails the query with an error wrapping ErrWorkerFailed, and
+// the first failure cancels the in-flight peers (fail fast). Under a
+// degradation policy (0 < MinCoverage < 1) unreachable partitions are
+// dropped instead: if the merged fraction stays >= MinCoverage the result
+// is returned annotated with Coverage and MissingPartitions, otherwise the
+// query fails. Merge errors (corrupt partials) are always terminal.
 func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Query) (*engine.Result, error) {
 	if len(targets) == 0 {
 		return nil, errors.New("netexec: no targets")
@@ -353,28 +473,56 @@ func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Que
 	ch := make(chan outcome, len(targets))
 	for i, t := range targets {
 		go func(i int, t Target) {
-			blob, err := c.fetchPartial(ctx, t, q)
+			blob, err := c.fetchResilient(ctx, t, q)
 			ch <- outcome{i, blob, err}
 		}(i, t)
 	}
+	exact := c.Policy.exact()
 	merged := engine.NewPartial(q)
+	var missing []string
 	for n := 0; n < len(targets); n++ {
 		o := <-ch
 		t := targets[o.idx]
-		if o.err != nil {
-			return nil, fmt.Errorf("%w: %s %s: %v", ErrWorkerFailed, t.URL, t.Partition, o.err)
+		if o.err == nil {
+			if err := engine.MergeWire(merged, o.blob); err != nil {
+				// A corrupt partial is terminal even under degradation: the
+				// accumulator may have absorbed a prefix of its groups, so
+				// the merged state can no longer be trusted.
+				c.count("netexec.query.failed")
+				return nil, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, err)
+			}
+			continue
 		}
-		if err := engine.MergeWire(merged, o.blob); err != nil {
-			return nil, fmt.Errorf("%w: %s %s: %v", ErrWorkerFailed, t.URL, t.Partition, err)
+		if exact {
+			c.count("netexec.query.failed")
+			return nil, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, o.err)
 		}
+		missing = append(missing, t.Partition)
 	}
-	return merged.Finalize(), nil
+	res := merged.Finalize()
+	if len(missing) > 0 {
+		coverage := float64(len(targets)-len(missing)) / float64(len(targets))
+		if coverage < c.Policy.MinCoverage {
+			c.count("netexec.query.failed")
+			sort.Strings(missing)
+			return nil, fmt.Errorf("%w: coverage %.3f below policy minimum %.3f (missing: %s)",
+				ErrWorkerFailed, coverage, c.Policy.MinCoverage, strings.Join(missing, ", "))
+		}
+		sort.Strings(missing)
+		res.Coverage = coverage
+		res.MissingPartitions = missing
+		c.count("netexec.query.degraded")
+	}
+	return res, nil
 }
 
-// fetchPartial returns the raw wire partial from one worker. The transport
-// advertises gzip and transparently decompresses, so large partials cross
-// the wire compressed without any handling here.
-func (c *Coordinator) fetchPartial(ctx context.Context, t Target, q *engine.Query) ([]byte, error) {
+// fetchResilient fetches one partition's wire partial under the policy:
+// attempts rotate over the target's primary and replicas with capped,
+// jittered exponential backoff between retries; each attempt may hedge to
+// a replica after the hedge delay; breaker-open hosts are skipped. Errors
+// classify as retryable or terminal (ClassifyError); terminal errors and
+// query-context expiry end the loop immediately.
+func (c *Coordinator) fetchResilient(ctx context.Context, t Target, q *engine.Query) ([]byte, error) {
 	body, err := json.Marshal(struct {
 		Partition string        `json:"partition"`
 		Query     *engine.Query `json:"query"`
@@ -382,7 +530,153 @@ func (c *Coordinator) fetchPartial(ctx context.Context, t Target, q *engine.Quer
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.URL+"/partial", bytes.NewReader(body))
+	urls := t.urls()
+	attempts := c.Policy.attempts()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return nil, lastErr
+		}
+		start := time.Now()
+		blob, url, err := c.fetchAttempt(ctx, urls, a, body)
+		if err == nil {
+			if c.Breakers != nil {
+				c.Breakers.ReportSuccess(url)
+			}
+			c.observeLatency(time.Since(start))
+			return blob, nil
+		}
+		lastErr = err
+		if ClassifyError(err) == Terminal || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if a < attempts-1 {
+			c.count("netexec.fetch.retries")
+			if serr := sleepCtx(ctx, jitter(c.Policy.backoffFor(a))); serr != nil {
+				return nil, lastErr
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// pickURL chooses the attempt's URL: rotate through the candidates
+// starting at the attempt index, skipping hosts whose breaker is open. If
+// every breaker rejects, the rotation's first choice is forced anyway — a
+// probe beats certain failure.
+func (c *Coordinator) pickURL(urls []string, attempt int) string {
+	n := len(urls)
+	for k := 0; k < n; k++ {
+		u := urls[(attempt+k)%n]
+		if c.Breakers == nil || c.Breakers.Allow(u) {
+			if k > 0 {
+				c.count("netexec.breaker.skips")
+			}
+			return u
+		}
+	}
+	c.count("netexec.breaker.forced")
+	return urls[attempt%n]
+}
+
+// hedgeCandidate returns a replica to hedge to: the next breaker-allowed
+// URL after the rotation point that is not the primary, or "".
+func (c *Coordinator) hedgeCandidate(urls []string, attempt int, primary string) string {
+	n := len(urls)
+	for k := 1; k <= n; k++ {
+		u := urls[(attempt+k)%n]
+		if u == primary {
+			continue
+		}
+		if c.Breakers == nil || c.Breakers.Allow(u) {
+			return u
+		}
+	}
+	return ""
+}
+
+// fetchAttempt performs one (possibly hedged) attempt: issue the request
+// to the rotation's URL, and if it stays outstanding past the hedge delay,
+// re-issue it to a replica and take whichever answers first, cancelling
+// the loser. Returns the blob and the URL that produced it; on failure the
+// error is the last failure observed and url names its host. Per-URL
+// failures are reported to the breaker group as they happen.
+func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt int, body []byte) (blob []byte, url string, err error) {
+	primary := c.pickURL(urls, attempt)
+	var actx context.Context
+	var cancel context.CancelFunc
+	if c.Policy.PerTryTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, c.Policy.PerTryTimeout)
+	} else {
+		actx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	type res struct {
+		blob []byte
+		url  string
+		err  error
+	}
+	// Buffered to the maximum in-flight count so the losing request's
+	// goroutine never blocks after the winner returns.
+	ch := make(chan res, 2)
+	launch := func(u string) {
+		go func() {
+			b, e := c.doPartial(actx, u, body)
+			ch <- res{b, u, e}
+		}()
+	}
+	launch(primary)
+	inflight := 1
+
+	var timerC <-chan time.Time
+	if d := c.hedgeDelay(); d > 0 && len(urls) > 1 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	hedged := false
+	var lastErr error
+	lastURL := primary
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if hedged && r.url != primary {
+					c.count("netexec.fetch.hedge_wins")
+				}
+				return r.blob, r.url, nil
+			}
+			// Don't poison the breaker when the query itself was abandoned.
+			if c.Breakers != nil && !errors.Is(r.err, context.Canceled) {
+				c.Breakers.ReportFailure(r.url)
+			}
+			lastErr, lastURL = r.err, r.url
+			if inflight == 0 {
+				return nil, lastURL, lastErr
+			}
+		case <-timerC:
+			timerC = nil
+			if u := c.hedgeCandidate(urls, attempt, primary); u != "" {
+				hedged = true
+				c.count("netexec.fetch.hedges")
+				launch(u)
+				inflight++
+			}
+		}
+	}
+}
+
+// doPartial performs one HTTP partial fetch against a worker URL with the
+// response read bounded by MaxPartialBytes. The transport advertises gzip
+// and transparently decompresses, so large partials cross the wire
+// compressed without any handling here.
+func (c *Coordinator) doPartial(ctx context.Context, url string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/partial", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -394,12 +688,31 @@ func (c *Coordinator) fetchPartial(ctx context.Context, t Target, q *engine.Quer
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		return nil, &HTTPStatusError{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
 	}
-	return io.ReadAll(resp.Body)
+	limit := c.maxPartialBytes()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, &PartialSizeError{Limit: limit}
+	}
+	return data, nil
 }
 
-// Client is a convenience HTTP client for worker admin operations.
+// DefaultAdminTimeout bounds admin calls (partition create, ingest) made
+// through a Client that did not supply its own http.Client. The old
+// fallback was http.DefaultClient, which has no timeout at all — one hung
+// worker stalled the load path forever.
+const DefaultAdminTimeout = 30 * time.Second
+
+var defaultAdminClient = &http.Client{Timeout: DefaultAdminTimeout}
+
+// Client is a convenience HTTP client for worker admin operations. All
+// methods take a context; pass context.Background() when no deadline or
+// cancellation applies (the default client still enforces
+// DefaultAdminTimeout).
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
@@ -409,7 +722,7 @@ func (cl *Client) http() *http.Client {
 	if cl.HTTP != nil {
 		return cl.HTTP
 	}
-	return http.DefaultClient
+	return defaultAdminClient
 }
 
 func (cl *Client) checkResp(path string, resp *http.Response, err error) error {
@@ -424,18 +737,27 @@ func (cl *Client) checkResp(path string, resp *http.Response, err error) error {
 	return nil
 }
 
-func (cl *Client) post(path string, v interface{}) error {
+func (cl *Client) do(ctx context.Context, path, contentType string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := cl.http().Do(req)
+	return cl.checkResp(path, resp, err)
+}
+
+func (cl *Client) post(ctx context.Context, path string, v interface{}) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	resp, err := cl.http().Post(cl.BaseURL+path, "application/json", bytes.NewReader(body))
-	return cl.checkResp(path, resp, err)
+	return cl.do(ctx, path, "application/json", body)
 }
 
 // CreatePartition creates a partition on the worker.
-func (cl *Client) CreatePartition(name string, schema brick.Schema) error {
-	return cl.post("/partition", struct {
+func (cl *Client) CreatePartition(ctx context.Context, name string, schema brick.Schema) error {
+	return cl.post(ctx, "/partition", struct {
 		Name   string     `json:"name"`
 		Schema SchemaJSON `json:"schema"`
 	}{name, FromSchema(schema)})
@@ -443,12 +765,12 @@ func (cl *Client) CreatePartition(name string, schema brick.Schema) error {
 
 // Load ingests rows into a partition on the worker via the JSON endpoint.
 // Bulk paths should prefer LoadBin.
-func (cl *Client) Load(partition string, dims [][]uint32, metrics [][]float64) error {
+func (cl *Client) Load(ctx context.Context, partition string, dims [][]uint32, metrics [][]float64) error {
 	rows := make([]rowJSON, len(dims))
 	for i := range dims {
 		rows[i] = rowJSON{Dims: dims[i], Metrics: metrics[i]}
 	}
-	return cl.post("/load", struct {
+	return cl.post(ctx, "/load", struct {
 		Partition string    `json:"partition"`
 		Rows      []rowJSON `json:"rows"`
 	}{partition, rows})
@@ -456,11 +778,10 @@ func (cl *Client) Load(partition string, dims [][]uint32, metrics [][]float64) e
 
 // LoadBin ingests rows into a partition through the binary columnar batch
 // endpoint: one packed blob, one request, one store lock on the worker.
-func (cl *Client) LoadBin(partition string, dims [][]uint32, metrics [][]float64) error {
+func (cl *Client) LoadBin(ctx context.Context, partition string, dims [][]uint32, metrics [][]float64) error {
 	blob, err := EncodeBatch(partition, dims, metrics)
 	if err != nil {
 		return err
 	}
-	resp, err := cl.http().Post(cl.BaseURL+"/loadbin", "application/octet-stream", bytes.NewReader(blob))
-	return cl.checkResp("/loadbin", resp, err)
+	return cl.do(ctx, "/loadbin", "application/octet-stream", blob)
 }

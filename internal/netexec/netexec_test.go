@@ -37,7 +37,7 @@ func startCluster(t *testing.T, n, rows int) ([]Target, *brick.Store, func()) {
 		servers = append(servers, srv)
 		cl := &Client{BaseURL: srv.URL}
 		part := "t#" + string(rune('0'+i))
-		if err := cl.CreatePartition(part, testSchema()); err != nil {
+		if err := cl.CreatePartition(context.Background(), part, testSchema()); err != nil {
 			t.Fatal(err)
 		}
 		clients = append(clients, cl)
@@ -55,7 +55,7 @@ func startCluster(t *testing.T, n, rows int) ([]Target, *brick.Store, func()) {
 		metsPer[w] = append(metsPer[w], mets)
 	}
 	for i := range clients {
-		if err := clients[i].Load(targets[i].Partition, dimsPer[i], metsPer[i]); err != nil {
+		if err := clients[i].Load(context.Background(), targets[i].Partition, dimsPer[i], metsPer[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -164,17 +164,17 @@ func TestWorkerAdminErrors(t *testing.T) {
 	srv := httptest.NewServer(w.Handler())
 	defer srv.Close()
 	cl := &Client{BaseURL: srv.URL}
-	if err := cl.CreatePartition("p", testSchema()); err != nil {
+	if err := cl.CreatePartition(context.Background(), "p", testSchema()); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.CreatePartition("p", testSchema()); !errors.Is(err, ErrWorkerFailed) {
+	if err := cl.CreatePartition(context.Background(), "p", testSchema()); !errors.Is(err, ErrWorkerFailed) {
 		t.Fatalf("duplicate partition = %v", err)
 	}
-	if err := cl.Load("ghost", [][]uint32{{1, 1}}, [][]float64{{1}}); !errors.Is(err, ErrWorkerFailed) {
+	if err := cl.Load(context.Background(), "ghost", [][]uint32{{1, 1}}, [][]float64{{1}}); !errors.Is(err, ErrWorkerFailed) {
 		t.Fatalf("load into missing partition = %v", err)
 	}
 	// Invalid rows.
-	if err := cl.Load("p", [][]uint32{{999, 1}}, [][]float64{{1}}); !errors.Is(err, ErrWorkerFailed) {
+	if err := cl.Load(context.Background(), "p", [][]uint32{{999, 1}}, [][]float64{{1}}); !errors.Is(err, ErrWorkerFailed) {
 		t.Fatalf("out-of-domain row = %v", err)
 	}
 	// Bad query returns a 4xx that surfaces as a worker failure.

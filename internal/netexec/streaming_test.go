@@ -71,7 +71,7 @@ func TestLoadBinEqualsJSON(t *testing.T) {
 	defer srv.Close()
 	cl := &Client{BaseURL: srv.URL}
 	for _, part := range []string{"json", "bin"} {
-		if err := cl.CreatePartition(part, testSchema()); err != nil {
+		if err := cl.CreatePartition(context.Background(), part, testSchema()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -82,10 +82,10 @@ func TestLoadBinEqualsJSON(t *testing.T) {
 		dims[i] = []uint32{uint32(i) % 30, uint32(i*3) % 20}
 		mets[i] = []float64{float64(i) / 2}
 	}
-	if err := cl.Load("json", dims, mets); err != nil {
+	if err := cl.Load(context.Background(), "json", dims, mets); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.LoadBin("bin", dims, mets); err != nil {
+	if err := cl.LoadBin(context.Background(), "bin", dims, mets); err != nil {
 		t.Fatal(err)
 	}
 	q := &engine.Query{
@@ -123,11 +123,11 @@ func TestLoadBinErrors(t *testing.T) {
 	srv := httptest.NewServer(w.Handler())
 	defer srv.Close()
 	cl := &Client{BaseURL: srv.URL}
-	if err := cl.CreatePartition("p", testSchema()); err != nil {
+	if err := cl.CreatePartition(context.Background(), "p", testSchema()); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown partition.
-	if err := cl.LoadBin("ghost", [][]uint32{{1, 1}}, [][]float64{{1}}); !errors.Is(err, ErrWorkerFailed) {
+	if err := cl.LoadBin(context.Background(), "ghost", [][]uint32{{1, 1}}, [][]float64{{1}}); !errors.Is(err, ErrWorkerFailed) {
 		t.Fatalf("load into missing partition = %v", err)
 	}
 	// Corrupt blob straight at the endpoint.
@@ -140,7 +140,7 @@ func TestLoadBinErrors(t *testing.T) {
 		t.Fatalf("corrupt blob status = %d", resp.StatusCode)
 	}
 	// Out-of-domain row: the whole batch must be rejected atomically.
-	err = cl.LoadBin("p", [][]uint32{{1, 1}, {999, 1}}, [][]float64{{1}, {2}})
+	err = cl.LoadBin(context.Background(), "p", [][]uint32{{1, 1}, {999, 1}}, [][]float64{{1}, {2}})
 	if !errors.Is(err, ErrWorkerFailed) {
 		t.Fatalf("out-of-domain batch = %v", err)
 	}
@@ -152,7 +152,7 @@ func TestLoadBinErrors(t *testing.T) {
 		t.Fatalf("rejected batch left %d rows behind", st.Rows())
 	}
 	// Ragged input is rejected client-side before any bytes move.
-	if err := cl.LoadBin("p", [][]uint32{{1, 1}, {2}}, [][]float64{{1}, {2}}); err == nil {
+	if err := cl.LoadBin(context.Background(), "p", [][]uint32{{1, 1}, {2}}, [][]float64{{1}, {2}}); err == nil {
 		t.Fatal("ragged batch accepted")
 	}
 }
@@ -209,7 +209,7 @@ func TestPartialGzipAndContentLength(t *testing.T) {
 	srv := httptest.NewServer(w.Handler())
 	defer srv.Close()
 	cl := &Client{BaseURL: srv.URL}
-	if err := cl.CreatePartition("p", testSchema()); err != nil {
+	if err := cl.CreatePartition(context.Background(), "p", testSchema()); err != nil {
 		t.Fatal(err)
 	}
 	var dims [][]uint32
@@ -218,7 +218,7 @@ func TestPartialGzipAndContentLength(t *testing.T) {
 		dims = append(dims, []uint32{uint32(i) % 30, uint32(i) % 20})
 		mets = append(mets, []float64{float64(i)})
 	}
-	if err := cl.LoadBin("p", dims, mets); err != nil {
+	if err := cl.LoadBin(context.Background(), "p", dims, mets); err != nil {
 		t.Fatal(err)
 	}
 	body := []byte(`{"partition":"p","query":{"Aggregates":[{"Func":0,"Metric":"value"}],"GroupBy":["ds","app"]}}`)
@@ -329,7 +329,7 @@ func TestStreamingMergeEqualsBarrier(t *testing.T) {
 			srv := httptest.NewServer(w.Handler())
 			servers = append(servers, srv)
 			part := fmt.Sprintf("t#%d", i)
-			if err := (&Client{BaseURL: srv.URL}).CreatePartition(part, schema); err != nil {
+			if err := (&Client{BaseURL: srv.URL}).CreatePartition(context.Background(), part, schema); err != nil {
 				t.Fatal(err)
 			}
 			targets = append(targets, Target{URL: srv.URL, Partition: part})
@@ -356,7 +356,7 @@ func TestStreamingMergeEqualsBarrier(t *testing.T) {
 			perWorkerMets[wi] = append(perWorkerMets[wi], mets)
 		}
 		for i := 0; i < nWorkers; i++ {
-			if err := (&Client{BaseURL: servers[i].URL}).LoadBin(targets[i].Partition, perWorkerDims[i], perWorkerMets[i]); err != nil {
+			if err := (&Client{BaseURL: servers[i].URL}).LoadBin(context.Background(), targets[i].Partition, perWorkerDims[i], perWorkerMets[i]); err != nil {
 				t.Fatal(err)
 			}
 			if err := locals[i].InsertBatchRows(perWorkerDims[i], perWorkerMets[i]); err != nil {

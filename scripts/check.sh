@@ -26,6 +26,9 @@ go test ./...
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/engine ./internal/brick ./internal/cubrick ./internal/netexec
 
+echo "== chaos test (seeded fault injection, -race)"
+go test -race -count=1 -run 'TestChaos' ./internal/netexec
+
 echo "== fuzz smoke (wire decode, 10s)"
 go test -run '^$' -fuzz '^FuzzUnmarshalPartial$' -fuzztime 10s ./internal/engine
 
