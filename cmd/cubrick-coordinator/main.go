@@ -12,7 +12,15 @@
 //	POST /query  {"cql": "SELECT ..."}
 //	GET  /tables
 //	GET  /health
-//	GET  /stats   resilience counters (retries, hedges, breaker trips, ...)
+//	GET  /stats   legacy JSON counter alias (retries, hedges, breaker trips, ...)
+//	GET  /metrics Prometheus text format: the /stats counters plus query,
+//	              merge and fetch latency histograms (p50/p95/p99/p999)
+//	GET  /debug/trace[/{id}]  the bounded in-memory trace ring
+//
+// Every query runs under a root trace span whose ID is returned in the
+// X-Cubrick-Trace response header and propagated to workers; queries
+// slower than -slow-query-ms log a one-line per-stage breakdown. -pprof
+// mounts net/http/pprof under /debug/pprof/.
 //
 // The resilience layer is configured by flags: -retries, -hedge-quantile,
 // -per-try-timeout, -min-coverage, -breaker-failures, -breaker-open,
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -33,6 +42,7 @@ import (
 	"cubrick/internal/cql"
 	"cubrick/internal/metrics"
 	"cubrick/internal/netexec"
+	"cubrick/internal/trace"
 )
 
 func main() {
@@ -49,6 +59,10 @@ func main() {
 	breakerOpen := flag.Duration("breaker-open", 5*time.Second, "how long an open breaker rejects before probing")
 	maxPartialBytes := flag.Int64("max-partial-bytes", netexec.DefaultMaxPartialBytes, "per-worker partial response size bound")
 	replication := flag.Int("replication", 0, "replica copies per partition beyond the primary")
+	enableMetrics := flag.Bool("metrics", true, "serve Prometheus text format on /metrics (counters stay on /stats)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "how many traces the /debug/trace ring retains")
+	slowQueryMS := flag.Int("slow-query-ms", 500, "log a per-stage breakdown for queries slower than this (0 disables)")
 	flag.Parse()
 	urls := strings.Split(*workers, ",")
 	var clean []string
@@ -87,21 +101,39 @@ func main() {
 	coord.Breakers = breakers
 	coord.Metrics = reg
 	coord.MaxPartialBytes = *maxPartialBytes
-	s := &coordServer{cluster: cluster, metrics: reg, deadline: *deadline}
+	tracer := trace.New(trace.Config{
+		RingSize:           *traceRing,
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+	})
+	coord.Tracer = tracer
+	s := &coordServer{cluster: cluster, metrics: reg, tracer: tracer, deadline: *deadline}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/tables", s.tables)
 	mux.HandleFunc("/load", s.load)
 	mux.HandleFunc("/query", s.query)
 	mux.HandleFunc("/health", s.health)
 	mux.HandleFunc("/stats", s.stats)
-	log.Printf("cubrick-coordinator on %s over %d workers (replication=%d, retries=%d, min-coverage=%g)",
-		*addr, len(clean), *replication, *retries, *minCoverage)
+	mux.Handle("/debug/trace", tracer.Handler())
+	mux.Handle("/debug/trace/", tracer.Handler())
+	if *enableMetrics {
+		mux.Handle("/metrics", metrics.Handler(reg))
+	}
+	if *enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	log.Printf("cubrick-coordinator on %s over %d workers (replication=%d, retries=%d, min-coverage=%g, metrics=%v, pprof=%v)",
+		*addr, len(clean), *replication, *retries, *minCoverage, *enableMetrics, *enablePprof)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
 type coordServer struct {
 	cluster  *netexec.Cluster
 	metrics  *metrics.Registry
+	tracer   *trace.Tracer
 	deadline time.Duration
 }
 
@@ -209,7 +241,17 @@ func (s *coordServer) query(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
+	// The root span covers parse-to-response; its trace ID goes back to
+	// the client so a slow query is immediately retrievable from
+	// /debug/trace/{id}.
+	ctx, span := s.tracer.StartSpan(ctx, "coordinator.query")
+	span.SetAttr("table", sel.Table)
+	span.SetAttr("cql", req.CQL)
+	if id := span.TraceID(); id != "" {
+		w.Header().Set(trace.HeaderTrace, id)
+	}
 	res, err := s.cluster.Query(ctx, sel.Table, sel.Query)
+	span.EndErr(err)
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, err)
 		return

@@ -7,6 +7,14 @@
 // API: POST /partition, POST /load, POST /loadbin, POST /partial,
 // GET /health.
 //
+// Observability: GET /metrics serves counters and latency histograms in
+// Prometheus text format (-metrics, on by default; /stats remains as the
+// legacy JSON counter alias), GET /debug/trace[/{id}] serves the bounded
+// in-memory trace ring (coordinator-propagated trace IDs land here), and
+// -slow-query-ms gates a one-line per-stage slow-query log. -pprof mounts
+// net/http/pprof under /debug/pprof/. The debug and metrics endpoints
+// bypass chaos injection.
+//
 // For resilience demos, -chaos-fail-prob injects server-side faults: each
 // request fails with the given probability (HTTP 500) before reaching the
 // worker, reproducing the chaos tests across real processes. -chaos-seed
@@ -14,23 +22,63 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
+	"cubrick/internal/metrics"
 	"cubrick/internal/netexec"
+	"cubrick/internal/trace"
 )
 
 func main() {
 	addr := flag.String("addr", ":9001", "listen address")
+	enableMetrics := flag.Bool("metrics", true, "serve Prometheus text format on /metrics (and counters on /stats)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "how many traces the /debug/trace ring retains")
+	slowQueryMS := flag.Int("slow-query-ms", 500, "log a per-stage breakdown for partials slower than this (0 disables)")
 	chaosFailProb := flag.Float64("chaos-fail-prob", 0, "probability each request fails with HTTP 500 (fault injection; 0 disables)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the injected failure stream")
 	flag.Parse()
 	w := netexec.NewWorker()
+	tracer := trace.New(trace.Config{
+		RingSize:           *traceRing,
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+	})
+	w.Tracer = tracer
+	if *enableMetrics {
+		w.Metrics = metrics.NewRegistry()
+	}
 	handler := netexec.ChaosHandler(*chaosFailProb, *chaosSeed, w.Handler())
+	// Debug and metrics endpoints mount on the outer mux so chaos-injected
+	// 500s never hit the observability plane that diagnoses them.
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.Handle("/debug/trace", tracer.Handler())
+	mux.Handle("/debug/trace/", tracer.Handler())
+	if w.Metrics != nil {
+		mux.Handle("/metrics", metrics.Handler(w.Metrics))
+		mux.HandleFunc("/stats", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(rw).Encode(map[string]interface{}{
+				"counters": w.Metrics.CounterValues(),
+			})
+		})
+	}
+	if *enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	if *chaosFailProb > 0 {
 		log.Printf("cubrick-worker chaos enabled: fail-prob=%g seed=%d", *chaosFailProb, *chaosSeed)
 	}
-	log.Printf("cubrick-worker listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+	log.Printf("cubrick-worker listening on %s (metrics=%v pprof=%v slow-query-ms=%d)",
+		*addr, *enableMetrics, *enablePprof, *slowQueryMS)
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

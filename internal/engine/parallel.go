@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cubrick/internal/brick"
 )
@@ -24,6 +25,17 @@ type taskResult struct {
 	err          error
 }
 
+// Timings reports where one partition execution spent its wall time,
+// feeding the worker-side trace spans: Plan covers query compilation and
+// scan planning (pruning), Scan the parallel brick visit (kernel work and
+// any decompression), Combine the deterministic per-brick merge.
+type Timings struct {
+	Plan, Scan, Combine time.Duration
+}
+
+// Total returns the summed stage durations.
+func (t Timings) Total() time.Duration { return t.Plan + t.Scan + t.Combine }
+
 // ExecuteParallel runs the query over one partition's store with
 // brick-level parallelism and vectorized aggregation kernels. It
 // finalizes to the same Result as the serial Execute.
@@ -31,16 +43,31 @@ func ExecuteParallel(store *brick.Store, q *Query) (*Partial, error) {
 	return ExecuteParallelN(store, q, runtime.GOMAXPROCS(0))
 }
 
+// ExecuteParallelTimed is ExecuteParallel with a per-stage wall-time
+// breakdown for tracing.
+func ExecuteParallelTimed(store *brick.Store, q *Query) (*Partial, Timings, error) {
+	return executeParallelTimed(store, q, runtime.GOMAXPROCS(0))
+}
+
 // ExecuteParallelN is ExecuteParallel with an explicit worker count.
 func ExecuteParallelN(store *brick.Store, q *Query, parallelism int) (*Partial, error) {
+	p, _, err := executeParallelTimed(store, q, parallelism)
+	return p, err
+}
+
+func executeParallelTimed(store *brick.Store, q *Query, parallelism int) (*Partial, Timings, error) {
+	var tm Timings
+	planStart := time.Now()
 	c, err := compile(store.Schema(), q)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	plan, err := store.PlanScan(c.filter)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
+	scanStart := time.Now()
+	tm.Plan = scanStart.Sub(planStart)
 	tasks := plan.Tasks
 	results := make([]taskResult, len(tasks))
 
@@ -90,12 +117,14 @@ func ExecuteParallelN(store *brick.Store, q *Query, parallelism int) (*Partial, 
 		}()
 	}
 	wg.Wait()
+	combineStart := time.Now()
+	tm.Scan = combineStart.Sub(scanStart)
 
 	p := NewPartial(q)
 	p.BricksVisited = int64(len(tasks))
 	p.BricksPruned = int64(plan.Pruned)
 	if len(tasks) == 0 {
-		return p, nil
+		return p, tm, nil
 	}
 	// Deterministic combine: fold per-brick kernels in brick-id order into
 	// a fresh map-based accumulator (dense per-brick kernels cannot absorb
@@ -104,7 +133,7 @@ func ExecuteParallelN(store *brick.Store, q *Query, parallelism int) (*Partial, 
 	for i := range results {
 		res := &results[i]
 		if res.err != nil {
-			return nil, res.err
+			return nil, tm, res.err
 		}
 		base.mergeFrom(res.acc)
 		p.RowsScanned += res.rowsScanned
@@ -113,5 +142,6 @@ func ExecuteParallelN(store *brick.Store, q *Query, parallelism int) (*Partial, 
 		}
 	}
 	base.addTo(p)
-	return p, nil
+	tm.Combine = time.Since(combineStart)
+	return p, tm, nil
 }

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// refQuantile is the sorted-slice nearest-rank reference the histogram
+// estimate is judged against: the ceil(q*n)-th smallest sample.
+func refQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileErrorBounds checks the documented accuracy contract:
+// with growth factor g, a quantile estimate is the geometric mean of the
+// bucket holding the nearest-rank sample, so it is within a factor of
+// sqrt(g) of the true sample. For g=1.05 that is ~2.5%; the test allows 6%
+// to absorb range clamping at the observed min/max.
+func TestHistogramQuantileErrorBounds(t *testing.T) {
+	const (
+		n         = 20000
+		tolerance = 1.06
+	)
+	quantiles := []float64{0.5, 0.9, 0.95, 0.99, 0.999}
+	cases := []struct {
+		name   string
+		sample func(r *rand.Rand) float64
+	}{
+		{
+			// Uniform over [1ms, 1s): a flat body with no heavy tail.
+			name:   "uniform",
+			sample: func(r *rand.Rand) float64 { return 0.001 + 0.999*r.Float64() },
+		},
+		{
+			// Pareto(xm=1ms, alpha=1.5): heavy tail, the shape the paper's
+			// Fig 5 latency distributions take under stragglers.
+			name: "pareto",
+			sample: func(r *rand.Rand) float64 {
+				return 0.001 / math.Pow(1-r.Float64(), 1/1.5)
+			},
+		},
+		{
+			// Constant: every quantile must clamp to the exact value.
+			name:   "constant",
+			sample: func(r *rand.Rand) float64 { return 0.25 },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			h := NewLatencyHistogram()
+			samples := make([]float64, n)
+			for i := range samples {
+				samples[i] = tc.sample(r)
+				h.Observe(samples[i])
+			}
+			sort.Float64s(samples)
+			for _, q := range quantiles {
+				ref := refQuantile(samples, q)
+				got := h.Quantile(q)
+				if got < ref/tolerance || got > ref*tolerance {
+					t.Errorf("q=%g: estimate %g outside [%g, %g] around reference %g",
+						q, got, ref/tolerance, ref*tolerance, ref)
+				}
+			}
+			// The exact-statistics side of the contract.
+			if got := h.Count(); got != n {
+				t.Fatalf("Count = %d, want %d", got, n)
+			}
+			if got, want := h.Min(), samples[0]; got != want {
+				t.Fatalf("Min = %g, want %g", got, want)
+			}
+			if got, want := h.Max(), samples[n-1]; got != want {
+				t.Fatalf("Max = %g, want %g", got, want)
+			}
+			var sum float64
+			for _, v := range samples {
+				sum += v
+			}
+			if got := h.Sum(); math.Abs(got-sum) > 1e-9*math.Abs(sum) {
+				t.Fatalf("Sum = %g, want %g", got, sum)
+			}
+			// Extremes of the quantile range pin to the observed extremes.
+			if got := h.Quantile(0); got != samples[0] {
+				t.Fatalf("Quantile(0) = %g, want min %g", got, samples[0])
+			}
+			if got := h.Quantile(1); got != samples[n-1] {
+				t.Fatalf("Quantile(1) = %g, want max %g", got, samples[n-1])
+			}
+		})
+	}
+}
+
+// TestHistogramMergeEqualsUnion asserts the merge contract: a histogram
+// built by merging shards answers every query identically to one that
+// observed the union of their samples (buckets, count and min/max merge
+// exactly; the sum only differs by float association order).
+func TestHistogramMergeEqualsUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	union := NewLatencyHistogram()
+	merged := NewLatencyHistogram()
+	var sum float64
+	for shard := 0; shard < 3; shard++ {
+		h := NewLatencyHistogram()
+		// Different scale per shard so the shards occupy different buckets.
+		scale := math.Pow(10, float64(shard-1))
+		for i := 0; i < 5000; i++ {
+			v := scale * (0.001 + 0.1*r.Float64())
+			h.Observe(v)
+			union.Observe(v)
+			sum += v
+		}
+		if err := merged.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != union.Count() {
+		t.Fatalf("merged count %d != union count %d", merged.Count(), union.Count())
+	}
+	if merged.Min() != union.Min() || merged.Max() != union.Max() {
+		t.Fatalf("merged range [%g, %g] != union range [%g, %g]",
+			merged.Min(), merged.Max(), union.Min(), union.Max())
+	}
+	if got := merged.Sum(); math.Abs(got-sum) > 1e-9*sum {
+		t.Fatalf("merged sum %g != %g", got, sum)
+	}
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	mq := merged.Quantiles(qs...)
+	uq := union.Quantiles(qs...)
+	for i, q := range qs {
+		if mq[i] != uq[i] {
+			t.Errorf("q=%g: merged %g != union %g", q, mq[i], uq[i])
+		}
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0.5)
+
+	// Merging nil is a no-op.
+	if err := h.Merge(nil); err != nil {
+		t.Fatalf("Merge(nil) = %v", err)
+	}
+	// Merging an empty histogram changes nothing, including min/max.
+	if err := h.Merge(NewLatencyHistogram()); err != nil {
+		t.Fatalf("merge of empty = %v", err)
+	}
+	if h.Count() != 1 || h.Min() != 0.5 || h.Max() != 0.5 {
+		t.Fatalf("empty merge disturbed state: count=%d min=%g max=%g",
+			h.Count(), h.Min(), h.Max())
+	}
+	// Mismatched bucket configurations must be rejected, not silently
+	// misattributed.
+	other := NewHistogram(1e-3, 1e3, 1.1)
+	other.Observe(0.5)
+	err := h.Merge(other)
+	if err == nil {
+		t.Fatal("merge of mismatched configs succeeded")
+	}
+	if !strings.Contains(err.Error(), "different configs") {
+		t.Fatalf("mismatch error = %v", err)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("failed merge still changed count: %d", h.Count())
+	}
+}
+
+// TestHistogramConcurrentObserve exercises the lock-free observation path
+// the coordinator uses per fetch: concurrent writers must never lose a
+// sample (count and buckets are atomic) and the aggregates must converge
+// to the same totals a serial run produces.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 10000
+	)
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				h.Observe(0.001 + 0.999*r.Float64())
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != writers*perW {
+		t.Fatalf("concurrent count = %d, want %d", got, writers*perW)
+	}
+	_, total := h.loadBuckets()
+	if total != writers*perW {
+		t.Fatalf("bucket total = %d, want %d", total, writers*perW)
+	}
+	// Uniform over [1ms, 1s]: the median must land near 0.5s even under
+	// maximum write contention.
+	if p50 := h.Quantile(0.5); p50 < 0.4 || p50 > 0.6 {
+		t.Fatalf("concurrent p50 = %g, want ~0.5", p50)
+	}
+}

@@ -103,22 +103,27 @@ func (e *EWMA) Value() float64 {
 
 // Histogram records float64 observations into logarithmic buckets and
 // supports percentile queries with bounded relative error. It is safe for
-// concurrent use.
+// concurrent use, and the observation path is lock-free (atomic bucket
+// increments plus CAS loops for the float aggregates), so it can sit on
+// the coordinator's per-fetch hot path without serializing the fan-out.
 //
 // Buckets span [min, max] with growth factor g per bucket; observations
 // outside the range are clamped into the first or last bucket. The default
 // configuration (see NewLatencyHistogram) covers 1µs..1000s with ~5%
 // relative error, sufficient to reproduce the log-scale latency axis of the
 // paper's Fig 5.
+//
+// Readers (Quantile, Snapshot, WritePrometheus) take a point-in-time view
+// by loading each bucket once; a read that races an Observe may miss that
+// single in-flight sample, which is the standard trade for lock-freedom.
 type Histogram struct {
-	mu      sync.Mutex
 	min     float64
 	growth  float64 // log(g), precomputed
-	buckets []int64
-	count   int64
-	sum     float64
-	maxSeen float64
-	minSeen float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-added
+	maxSeen atomic.Uint64 // float64 bits, CAS-maxed
+	minSeen atomic.Uint64 // float64 bits, CAS-minned
 }
 
 // NewHistogram returns a histogram over [min, max] with the given per-bucket
@@ -128,13 +133,14 @@ func NewHistogram(min, max, g float64) *Histogram {
 		panic(fmt.Sprintf("metrics: invalid histogram config min=%v max=%v g=%v", min, max, g))
 	}
 	n := int(math.Ceil(math.Log(max/min)/math.Log(g))) + 1
-	return &Histogram{
+	h := &Histogram{
 		min:     min,
 		growth:  math.Log(g),
-		buckets: make([]int64, n),
-		minSeen: math.Inf(1),
-		maxSeen: math.Inf(-1),
+		buckets: make([]atomic.Int64, n),
 	}
+	h.minSeen.Store(math.Float64bits(math.Inf(1)))
+	h.maxSeen.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // NewLatencyHistogram returns a histogram suitable for recording latencies
@@ -161,123 +167,202 @@ func (h *Histogram) bucketValue(i int) float64 {
 	return math.Sqrt(lo * hi)
 }
 
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.buckets[h.bucketFor(v)]++
-	h.count++
-	h.sum += v
-	if v > h.maxSeen {
-		h.maxSeen = v
-	}
-	if v < h.minSeen {
-		h.minSeen = v
+// casAdd folds delta into a float64 stored as bits in a.
+func casAdd(a *atomic.Uint64, delta float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
 	}
 }
 
+// casMin/casMax lower/raise a float64 stored as bits in a to include v.
+func casMin(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func casMax(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Observe records one sample. Lock-free.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[h.bucketFor(v)].Add(1)
+	h.count.Add(1)
+	casAdd(&h.sum, v)
+	casMax(&h.maxSeen, v)
+	casMin(&h.minSeen, v)
+}
+
 // Count returns the number of recorded samples.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
 }
 
 // Mean returns the arithmetic mean of all samples (zero when empty).
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return math.Float64frombits(h.sum.Load()) / float64(n)
 }
 
 // Max returns the largest observed sample (zero when empty).
 func (h *Histogram) Max() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	if h.count.Load() == 0 {
 		return 0
 	}
-	return h.maxSeen
+	return math.Float64frombits(h.maxSeen.Load())
 }
 
 // Min returns the smallest observed sample (zero when empty).
 func (h *Histogram) Min() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	if h.count.Load() == 0 {
 		return 0
 	}
-	return h.minSeen
+	return math.Float64frombits(h.minSeen.Load())
+}
+
+// loadBuckets copies the current bucket counts and their total. The total
+// is computed from the copy (not h.count) so rank arithmetic is internally
+// consistent even when reads race observations.
+func (h *Histogram) loadBuckets() (buckets []int64, total int64) {
+	buckets = make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+		total += buckets[i]
+	}
+	return buckets, total
 }
 
 // Quantile returns an estimate of the q-quantile (q in [0,1]) of the
 // recorded distribution, or zero when the histogram is empty.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	buckets, total := h.loadBuckets()
+	return h.quantileFrom(buckets, total, q)
+}
+
+func (h *Histogram) quantileFrom(buckets []int64, total int64, q float64) float64 {
+	if total == 0 {
 		return 0
 	}
+	minSeen := math.Float64frombits(h.minSeen.Load())
+	maxSeen := math.Float64frombits(h.maxSeen.Load())
 	if q <= 0 {
-		return h.minSeen
+		return minSeen
 	}
 	if q >= 1 {
-		return h.maxSeen
+		return maxSeen
 	}
-	rank := int64(math.Ceil(q * float64(h.count)))
+	rank := int64(math.Ceil(q * float64(total)))
 	var cum int64
-	for i, n := range h.buckets {
+	for i, n := range buckets {
 		cum += n
 		if cum >= rank {
 			// Clamp the bucket estimate to the exact observed range so
 			// quantiles remain consistent with Min/Max.
-			return math.Min(math.Max(h.bucketValue(i), h.minSeen), h.maxSeen)
+			return math.Min(math.Max(h.bucketValue(i), minSeen), maxSeen)
 		}
 	}
-	return h.maxSeen
+	return maxSeen
 }
 
-// Quantiles returns estimates for several quantiles at once, holding the
-// lock only once.
+// Quantiles returns estimates for several quantiles at once, from a single
+// point-in-time view of the buckets.
 func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	buckets, total := h.loadBuckets()
 	out := make([]float64, len(qs))
 	for i, q := range qs {
-		out[i] = h.Quantile(q)
+		out[i] = h.quantileFrom(buckets, total, q)
 	}
 	return out
 }
 
-// Reset clears all recorded samples.
-func (h *Histogram) Reset() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for i := range h.buckets {
-		h.buckets[i] = 0
+// Merge folds other's samples into h. Both histograms must share the same
+// bucket configuration (min, max, growth). Bucket counts, the sample
+// count, the sum and the observed min/max merge exactly, so a merged
+// histogram answers every query identically to one that observed the
+// union of samples. Merge is safe against concurrent Observe on h, but
+// other should be quiescent for an exact result.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
 	}
-	h.count, h.sum = 0, 0
-	h.minSeen, h.maxSeen = math.Inf(1), math.Inf(-1)
+	if h.min != other.min || h.growth != other.growth || len(h.buckets) != len(other.buckets) {
+		return fmt.Errorf("metrics: merging histograms with different configs (min %v vs %v, %d vs %d buckets)",
+			h.min, other.min, len(h.buckets), len(other.buckets))
+	}
+	n := other.count.Load()
+	if n == 0 {
+		return nil
+	}
+	for i := range other.buckets {
+		if v := other.buckets[i].Load(); v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(n)
+	casAdd(&h.sum, math.Float64frombits(other.sum.Load()))
+	casMax(&h.maxSeen, math.Float64frombits(other.maxSeen.Load()))
+	casMin(&h.minSeen, math.Float64frombits(other.minSeen.Load()))
+	return nil
+}
+
+// Reset clears all recorded samples. Reset racing concurrent Observe
+// calls may leave a partial sample behind; quiesce writers for an exact
+// zero state.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.minSeen.Store(math.Float64bits(math.Inf(1)))
+	h.maxSeen.Store(math.Float64bits(math.Inf(-1)))
 }
 
 // Snapshot is an immutable copy of a histogram's summary statistics.
 type Snapshot struct {
-	Count               int64
-	Mean, Min, Max      float64
-	P50, P90, P99, P999 float64
-	P9999               float64
+	Count              int64
+	Mean, Min, Max     float64
+	P50, P90, P95, P99 float64
+	P999, P9999        float64
 }
 
 // Snapshot returns a summary of the current distribution.
 func (h *Histogram) Snapshot() Snapshot {
-	qs := h.Quantiles(0.5, 0.9, 0.99, 0.999, 0.9999)
+	qs := h.Quantiles(0.5, 0.9, 0.95, 0.99, 0.999, 0.9999)
 	return Snapshot{
 		Count: h.Count(),
 		Mean:  h.Mean(),
 		Min:   h.Min(),
 		Max:   h.Max(),
-		P50:   qs[0], P90: qs[1], P99: qs[2], P999: qs[3], P9999: qs[4],
+		P50:   qs[0], P90: qs[1], P95: qs[2], P99: qs[3], P999: qs[4], P9999: qs[5],
 	}
 }
 

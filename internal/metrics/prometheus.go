@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for a Registry: counters and
+// gauges emit as their native types, histograms emit as summaries with
+// p50/p95/p99/p999 quantile labels plus _sum and _count — the shape the
+// paper's operators graph tail latency from. Names are sanitized to the
+// Prometheus charset (every other rune becomes '_', so dotted registry
+// names like "netexec.fetch.retries" export as netexec_fetch_retries) and
+// families are emitted in sorted order, making the output deterministic
+// and diffable in tests.
+
+// promContentType is the content type of the text exposition format.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// summaryQuantiles are the quantile labels exported per histogram.
+var summaryQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
+}
+
+// promName sanitizes a registry metric name for Prometheus.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes every registered metric to w in the Prometheus
+// text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		histograms[n] = h
+	}
+	r.mu.Unlock()
+
+	sortedNames := func(m map[string]struct{}) []string {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return names
+	}
+
+	cnames := map[string]struct{}{}
+	for n := range counters {
+		cnames[n] = struct{}{}
+	}
+	for _, n := range sortedNames(cnames) {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[n].Value()); err != nil {
+			return err
+		}
+	}
+
+	gnames := map[string]struct{}{}
+	for n := range gauges {
+		gnames[n] = struct{}{}
+	}
+	for _, n := range sortedNames(gnames) {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, gauges[n].Value()); err != nil {
+			return err
+		}
+	}
+
+	hnames := map[string]struct{}{}
+	for n := range histograms {
+		hnames[n] = struct{}{}
+	}
+	for _, n := range sortedNames(hnames) {
+		h := histograms[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+			return err
+		}
+		qs := make([]float64, len(summaryQuantiles))
+		for i, sq := range summaryQuantiles {
+			qs[i] = sq.q
+		}
+		vals := h.Quantiles(qs...)
+		for i, sq := range summaryQuantiles {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", pn, sq.label, vals[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", pn, h.Sum(), pn, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry in Prometheus text format — the /metrics
+// endpoint of both cubrick-worker and cubrick-coordinator. A nil registry
+// serves an empty (valid) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
+		if r != nil {
+			r.WritePrometheus(w)
+		}
+	})
+}

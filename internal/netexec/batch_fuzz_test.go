@@ -1,0 +1,91 @@
+package netexec
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLoadBin drives corrupt, truncated and adversarial CBLB blobs
+// through the binary batch decoder behind POST /loadbin, mirroring
+// engine.FuzzUnmarshalPartial for the ingest side of the wire.
+// Invariants: no panic, no unbounded allocation from forged headers
+// (the exact-length check caps every column), and any blob that decodes
+// must survive re-encode + re-decode with identical partition, row count
+// and bit-identical column data (Float64bits, so NaN payloads count).
+func FuzzLoadBin(f *testing.F) {
+	seed := func(partition string, dims [][]uint32, mets [][]float64) {
+		blob, err := EncodeBatch(partition, dims, mets)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	seed("events#0", [][]uint32{{1, 2}, {3, 4}, {5, 6}}, [][]float64{{1.5}, {-2.5}, {math.Inf(1)}})
+	seed("t", [][]uint32{{7}}, [][]float64{{math.NaN(), 0}})
+	seed("", nil, nil)
+	f.Add([]byte{})
+	f.Add([]byte("CBLB"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		partition, dimCols, metricCols, rows, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		for _, col := range dimCols {
+			if len(col) != rows {
+				t.Fatalf("dim column length %d != rows %d", len(col), rows)
+			}
+		}
+		for _, col := range metricCols {
+			if len(col) != rows {
+				t.Fatalf("metric column length %d != rows %d", len(col), rows)
+			}
+		}
+		// Re-encode via the row-major encoder input and decode again.
+		dims := make([][]uint32, rows)
+		mets := make([][]float64, rows)
+		for r := 0; r < rows; r++ {
+			dims[r] = make([]uint32, len(dimCols))
+			for d, col := range dimCols {
+				dims[r][d] = col[r]
+			}
+			mets[r] = make([]float64, len(metricCols))
+			for m, col := range metricCols {
+				mets[r][m] = col[r]
+			}
+		}
+		blob, err := EncodeBatch(partition, dims, mets)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		p2, dc2, mc2, rows2, err := DecodeBatch(blob)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if p2 != partition || rows2 != rows {
+			t.Fatalf("round trip changed identity: %q/%d != %q/%d", p2, rows2, partition, rows)
+		}
+		if rows == 0 {
+			return // zero-row encode drops empty columns by design
+		}
+		if len(dc2) != len(dimCols) || len(mc2) != len(metricCols) {
+			t.Fatalf("round trip changed column counts: %d/%d != %d/%d",
+				len(dc2), len(mc2), len(dimCols), len(metricCols))
+		}
+		for d, col := range dimCols {
+			for r, v := range col {
+				if dc2[d][r] != v {
+					t.Fatalf("dim[%d][%d] changed: %d != %d", d, r, dc2[d][r], v)
+				}
+			}
+		}
+		for m, col := range metricCols {
+			for r, v := range col {
+				if math.Float64bits(mc2[m][r]) != math.Float64bits(v) {
+					t.Fatalf("metric[%d][%d] changed: %x != %x", m, r,
+						math.Float64bits(mc2[m][r]), math.Float64bits(v))
+				}
+			}
+		}
+	})
+}

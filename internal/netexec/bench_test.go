@@ -14,7 +14,9 @@ import (
 
 	"cubrick/internal/brick"
 	"cubrick/internal/engine"
+	"cubrick/internal/metrics"
 	"cubrick/internal/randutil"
+	"cubrick/internal/trace"
 )
 
 func benchSchema() brick.Schema {
@@ -157,12 +159,20 @@ func BenchmarkIngestJSON(b *testing.B)   { benchIngest(b, false) }
 func BenchmarkIngestBinary(b *testing.B) { benchIngest(b, true) }
 
 // benchFanout measures the full scatter-gather: n httptest workers, one
-// partition each, streamed merge on the coordinator.
-func benchFanout(b *testing.B, nWorkers int) {
+// partition each, streamed merge on the coordinator. With observed set,
+// the whole observability plane is live — tracer and histogram registry on
+// the coordinator and every worker, a root span per query, trace headers
+// on the wire — so Observed-vs-plain is the tracing+metrics overhead the
+// PR budgets at <=3%.
+func benchFanout(b *testing.B, nWorkers int, observed bool) {
 	var targets []Target
 	var servers []*httptest.Server
 	for i := 0; i < nWorkers; i++ {
 		w := NewWorker()
+		if observed {
+			w.Tracer = trace.New(trace.Config{})
+			w.Metrics = metrics.NewRegistry()
+		}
 		srv := httptest.NewServer(w.Handler())
 		servers = append(servers, srv)
 		part := fmt.Sprintf("t#%d", i)
@@ -182,11 +192,22 @@ func benchFanout(b *testing.B, nWorkers int) {
 		}
 	}()
 	coord := NewCoordinator(nWorkers)
+	var tracer *trace.Tracer
+	if observed {
+		tracer = trace.New(trace.Config{})
+		coord.Tracer = tracer
+		coord.Metrics = metrics.NewRegistry()
+	}
 	q := benchQuery()
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := coord.Query(ctx, targets, q)
+		qctx, root := ctx, (*trace.Span)(nil)
+		if observed {
+			qctx, root = tracer.StartSpan(ctx, "coordinator.query")
+		}
+		res, err := coord.Query(qctx, targets, q)
+		root.EndErr(err)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,6 +217,7 @@ func benchFanout(b *testing.B, nWorkers int) {
 	}
 }
 
-func BenchmarkQueryFanout4(b *testing.B)  { benchFanout(b, 4) }
-func BenchmarkQueryFanout16(b *testing.B) { benchFanout(b, 16) }
-func BenchmarkQueryFanout64(b *testing.B) { benchFanout(b, 64) }
+func BenchmarkQueryFanout4(b *testing.B)          { benchFanout(b, 4, false) }
+func BenchmarkQueryFanout16(b *testing.B)         { benchFanout(b, 16, false) }
+func BenchmarkQueryFanout64(b *testing.B)         { benchFanout(b, 64, false) }
+func BenchmarkQueryFanout64Observed(b *testing.B) { benchFanout(b, 64, true) }

@@ -228,7 +228,13 @@ func (c *Cluster) Targets(table string) ([]Target, error) {
 // the cluster's shared coordinator (and therefore its resilience policy
 // and breaker state).
 func (c *Cluster) Query(ctx context.Context, table string, q *engine.Query) (*engine.Result, error) {
+	// The plan span (catalog lookup + target placement) is a sibling of
+	// the fan-out span, both under whatever root span ctx carries, so the
+	// trace splits coordinator time into plan vs. execution.
+	_, span := c.coord.Tracer.StartSpan(ctx, "coordinator.plan")
+	span.SetAttr("table", table)
 	targets, err := c.Targets(table)
+	span.EndErr(err)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,7 @@ import (
 	"cubrick/internal/brick"
 	"cubrick/internal/engine"
 	"cubrick/internal/metrics"
+	"cubrick/internal/trace"
 )
 
 // SchemaJSON is the wire form of a brick schema.
@@ -90,13 +91,37 @@ const DefaultGzipMinBytes = 16 << 10
 //	POST /partial    {"partition": ..., "query": {...}} execute, returns a
 //	                 binary engine partial (application/octet-stream)
 //	GET  /health     liveness
+//
+// With Tracer set, /partial continues the coordinator's trace (trace
+// context arrives in X-Cubrick-Trace / X-Cubrick-Span headers) and also
+// serves the worker's own ring at GET /debug/trace[/{id}]. With Metrics
+// set, request counters and latency histograms accumulate and are served
+// in Prometheus text format at GET /metrics (plus a /stats counter alias
+// mirroring the coordinator's).
 type Worker struct {
 	// GzipMinBytes overrides the partial-response compression threshold:
 	// 0 means DefaultGzipMinBytes, negative disables compression.
 	GzipMinBytes int
+	// Tracer, when set, records worker-side spans (partial handling,
+	// execute with scan accounting, marshal) into propagated traces.
+	Tracer *trace.Tracer
+	// Metrics, when set, receives request counters and latency histograms.
+	Metrics *metrics.Registry
 
 	mu     sync.Mutex
 	stores map[string]*brick.Store
+}
+
+func (w *Worker) countAdd(name string, delta int64) {
+	if w.Metrics != nil {
+		w.Metrics.Counter(name).Add(delta)
+	}
+}
+
+func (w *Worker) observe(name string, d time.Duration) {
+	if w.Metrics != nil {
+		w.Metrics.Histogram(name).Observe(d.Seconds())
+	}
 }
 
 // NewWorker returns an empty worker.
@@ -204,6 +229,8 @@ func (w *Worker) Handler() http.Handler {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
+		w.countAdd("worker.load.requests", 1)
+		w.countAdd("worker.load.rows", int64(len(req.Rows)))
 		fmt.Fprintf(rw, `{"loaded":%d}`, len(req.Rows))
 	})
 	mux.HandleFunc("/loadbin", func(rw http.ResponseWriter, r *http.Request) {
@@ -232,6 +259,8 @@ func (w *Worker) Handler() http.Handler {
 				return
 			}
 		}
+		w.countAdd("worker.load.requests", 1)
+		w.countAdd("worker.load.rows", int64(rows))
 		fmt.Fprintf(rw, `{"loaded":%d}`, rows)
 	})
 	mux.HandleFunc("/partial", func(rw http.ResponseWriter, r *http.Request) {
@@ -239,51 +268,120 @@ func (w *Worker) Handler() http.Handler {
 			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		var req struct {
-			Partition string       `json:"partition"`
-			Query     engine.Query `json:"query"`
+		start := time.Now()
+		ctx := r.Context()
+		var wspan *trace.Span
+		if w.Tracer != nil {
+			// Continue the coordinator's trace when context was propagated;
+			// otherwise the worker records a local trace of its own.
+			tid, sid, _ := trace.Extract(r.Header)
+			ctx, wspan = w.Tracer.StartRemoteSpan(ctx, "worker.partial", tid, sid)
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
-			return
-		}
-		st, err := w.Store(req.Partition)
+		status, err := w.servePartial(ctx, rw, r)
 		if err != nil {
-			http.Error(rw, err.Error(), http.StatusNotFound)
-			return
+			http.Error(rw, err.Error(), status)
 		}
-		partial, err := engine.ExecuteParallel(st, &req.Query)
+		wspan.EndErr(err)
+		w.countAdd("worker.partial.requests", 1)
 		if err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
-			return
+			w.countAdd("worker.partial.errors", 1)
 		}
-		blob, err := partial.MarshalBinary()
-		if err != nil {
-			http.Error(rw, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		payload := blob
-		gzMin := w.GzipMinBytes
-		if gzMin == 0 {
-			gzMin = DefaultGzipMinBytes
-		}
-		if gzMin > 0 && len(blob) >= gzMin && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
-			var zbuf bytes.Buffer
-			zw := gzip.NewWriter(&zbuf)
-			if _, err := zw.Write(blob); err == nil && zw.Close() == nil {
-				payload = zbuf.Bytes()
-				rw.Header().Set("Content-Encoding", "gzip")
-			}
-		}
-		rw.Header().Set("Content-Type", "application/octet-stream")
-		rw.Header().Set("Content-Length", strconv.Itoa(len(payload)))
-		if _, err := rw.Write(payload); err != nil {
-			// The response is already committed; all we can do is log the
-			// broken pipe rather than silently truncate the partial.
-			log.Printf("netexec: partial response for %q aborted: %v", req.Partition, err)
-		}
+		w.observe("worker.partial.latency", time.Since(start))
 	})
+	if w.Metrics != nil {
+		mux.Handle("/metrics", metrics.Handler(w.Metrics))
+		// /stats mirrors the coordinator's legacy counter dump.
+		mux.HandleFunc("/stats", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(rw).Encode(map[string]interface{}{
+				"counters": w.Metrics.CounterValues(),
+			})
+		})
+	}
+	if w.Tracer != nil {
+		th := w.Tracer.Handler()
+		mux.Handle("/debug/trace", th)
+		mux.Handle("/debug/trace/", th)
+	}
 	return mux
+}
+
+// attrMS annotates a span with a duration in fractional milliseconds.
+func attrMS(s *trace.Span, key string, d time.Duration) {
+	if s != nil {
+		s.SetAttr(key, strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64))
+	}
+}
+
+// servePartial executes one partial request. On failure it returns the
+// HTTP status to send with the error; on success it writes the response
+// itself and returns a nil error.
+func (w *Worker) servePartial(ctx context.Context, rw http.ResponseWriter, r *http.Request) (int, error) {
+	var req struct {
+		Partition string       `json:"partition"`
+		Query     engine.Query `json:"query"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	trace.SpanFromContext(ctx).SetAttr("partition", req.Partition)
+	st, err := w.Store(req.Partition)
+	if err != nil {
+		return http.StatusNotFound, err
+	}
+	// The execute span carries the PR 1 scan accounting (bricks visited
+	// and pruned, rows scanned, decompressions) plus the engine's own
+	// plan/scan/combine stage split, so a slow partial is attributable
+	// from the trace alone.
+	_, espan := w.Tracer.StartSpan(ctx, "worker.execute")
+	partial, tm, err := engine.ExecuteParallelTimed(st, &req.Query)
+	if err != nil {
+		espan.EndErr(err)
+		return http.StatusBadRequest, err
+	}
+	attrMS(espan, "plan_ms", tm.Plan)
+	attrMS(espan, "scan_ms", tm.Scan)
+	attrMS(espan, "combine_ms", tm.Combine)
+	espan.SetAttrInt("rows_scanned", partial.RowsScanned)
+	espan.SetAttrInt("bricks_visited", partial.BricksVisited)
+	espan.SetAttrInt("bricks_pruned", partial.BricksPruned)
+	espan.SetAttrInt("decompressions", partial.Decompressions)
+	espan.End()
+	w.observe("worker.execute.latency", tm.Total())
+	w.countAdd("worker.rows.scanned", partial.RowsScanned)
+
+	_, mspan := w.Tracer.StartSpan(ctx, "worker.marshal")
+	blob, err := partial.MarshalBinary()
+	if err != nil {
+		mspan.EndErr(err)
+		return http.StatusInternalServerError, err
+	}
+	payload := blob
+	gzMin := w.GzipMinBytes
+	if gzMin == 0 {
+		gzMin = DefaultGzipMinBytes
+	}
+	gzipped := false
+	if gzMin > 0 && len(blob) >= gzMin && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		if _, err := zw.Write(blob); err == nil && zw.Close() == nil {
+			payload = zbuf.Bytes()
+			rw.Header().Set("Content-Encoding", "gzip")
+			gzipped = true
+		}
+	}
+	mspan.SetAttrInt("bytes", int64(len(payload)))
+	mspan.SetAttr("gzip", strconv.FormatBool(gzipped))
+	mspan.End()
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	if _, err := rw.Write(payload); err != nil {
+		// The response is already committed; all we can do is log the
+		// broken pipe rather than silently truncate the partial.
+		log.Printf("netexec: partial response for %q aborted: %v", req.Partition, err)
+	}
+	return 0, nil
 }
 
 // Target is one partition placement: which worker URL serves it, plus any
@@ -357,8 +455,14 @@ type Coordinator struct {
 	// failing so a dead worker is skipped to its replica immediately
 	// instead of burning a timeout per query.
 	Breakers *BreakerGroup
-	// Metrics, when set, receives retry/hedge/degradation counters.
+	// Metrics, when set, receives retry/hedge/degradation counters plus
+	// query/merge latency histograms.
 	Metrics *metrics.Registry
+	// Tracer, when set, records per-query spans: the fan-out, each
+	// partition's attempts (retries, hedges, breaker-driven failover) and
+	// the finalize, with trace context propagated to workers in HTTP
+	// headers. Nil disables tracing at the cost of one nil check.
+	Tracer *trace.Tracer
 	// MaxPartialBytes bounds each worker response read; 0 means
 	// DefaultMaxPartialBytes, negative disables the bound.
 	MaxPartialBytes int64
@@ -461,6 +565,22 @@ func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Que
 	if len(targets) == 0 {
 		return nil, errors.New("netexec: no targets")
 	}
+	var qstart time.Time
+	if c.Metrics != nil {
+		qstart = time.Now()
+	}
+	ctx, fanSpan := c.Tracer.StartSpan(ctx, "coordinator.fanout")
+	fanSpan.SetAttrInt("targets", int64(len(targets)))
+	res, err := c.queryFanout(ctx, targets, q)
+	fanSpan.EndErr(err)
+	if c.Metrics != nil {
+		c.Metrics.Histogram("netexec.query.latency").Observe(time.Since(qstart).Seconds())
+	}
+	return res, err
+}
+
+// queryFanout is the body of Query, running under the fan-out span.
+func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engine.Query) (*engine.Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
@@ -473,7 +593,13 @@ func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Que
 	ch := make(chan outcome, len(targets))
 	for i, t := range targets {
 		go func(i int, t Target) {
-			blob, err := c.fetchResilient(ctx, t, q)
+			// One span per partition covers the whole resilient fetch:
+			// its children are the individual attempts (see fetchAttempt),
+			// so a retry or hedge shows up as extra fetch spans under it.
+			pctx, pspan := c.Tracer.StartSpan(ctx, "partition")
+			pspan.SetAttr("partition", t.Partition)
+			blob, err := c.fetchResilient(pctx, t, q)
+			pspan.EndErr(err)
 			ch <- outcome{i, blob, err}
 		}(i, t)
 	}
@@ -484,12 +610,19 @@ func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Que
 		o := <-ch
 		t := targets[o.idx]
 		if o.err == nil {
+			var mstart time.Time
+			if c.Metrics != nil {
+				mstart = time.Now()
+			}
 			if err := engine.MergeWire(merged, o.blob); err != nil {
 				// A corrupt partial is terminal even under degradation: the
 				// accumulator may have absorbed a prefix of its groups, so
 				// the merged state can no longer be trusted.
 				c.count("netexec.query.failed")
 				return nil, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, err)
+			}
+			if c.Metrics != nil {
+				c.Metrics.Histogram("netexec.merge.latency").Observe(time.Since(mstart).Seconds())
 			}
 			continue
 		}
@@ -499,7 +632,9 @@ func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Que
 		}
 		missing = append(missing, t.Partition)
 	}
+	_, finSpan := c.Tracer.StartSpan(ctx, "coordinator.finalize")
 	res := merged.Finalize()
+	finSpan.End()
 	if len(missing) > 0 {
 		coverage := float64(len(targets)-len(missing)) / float64(len(targets))
 		if coverage < c.Policy.MinCoverage {
@@ -623,13 +758,25 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 	// Buffered to the maximum in-flight count so the losing request's
 	// goroutine never blocks after the winner returns.
 	ch := make(chan res, 2)
-	launch := func(u string) {
+	// Each in-flight request gets its own fetch span (child of the
+	// partition span carried by ctx/actx): the attrs say which host, which
+	// try and whether it was the primary or the hedge, and a losing hedge
+	// half ends StatusCanceled when the winner's return cancels actx.
+	launch := func(u, role string, breakerSkip bool) {
 		go func() {
-			b, e := c.doPartial(actx, u, body)
+			fctx, fspan := c.Tracer.StartSpan(actx, "fetch")
+			fspan.SetAttr("url", u)
+			fspan.SetAttr("role", role)
+			fspan.SetAttrInt("try", int64(attempt+1))
+			if breakerSkip {
+				fspan.SetAttr("breaker_skip", "true")
+			}
+			b, e := c.doPartial(fctx, u, body)
+			fspan.EndErr(e)
 			ch <- res{b, u, e}
 		}()
 	}
-	launch(primary)
+	launch(primary, "primary", primary != urls[attempt%len(urls)])
 	inflight := 1
 
 	var timerC <-chan time.Time
@@ -664,7 +811,7 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 			if u := c.hedgeCandidate(urls, attempt, primary); u != "" {
 				hedged = true
 				c.count("netexec.fetch.hedges")
-				launch(u)
+				launch(u, "hedge", false)
 				inflight++
 			}
 		}
@@ -681,6 +828,9 @@ func (c *Coordinator) doPartial(ctx context.Context, url string, body []byte) ([
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate trace context so the worker's spans join this query's
+	// trace (the fetch span in ctx becomes their remote parent).
+	trace.Inject(ctx, req.Header)
 	resp, err := c.client().Do(req)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,173 @@
+package shardmgr
+
+import (
+	"errors"
+	"testing"
+
+	"cubrick/internal/cluster"
+	"cubrick/internal/discovery"
+	"cubrick/internal/simclock"
+	"cubrick/internal/zk"
+)
+
+// spreadLockedRig builds the layout where balancing is load-justified but
+// placement-impossible: two regions, two hosts each, PrimarySecondary with
+// one secondary under SpreadRegion — every shard already occupies both
+// regions, so candidates() vetoes every move regardless of imbalance.
+func spreadLockedRig(t *testing.T) *Server {
+	t.Helper()
+	clk := simclock.NewSim(epoch)
+	fleet := cluster.Build(cluster.BuildConfig{
+		Regions:        []string{"east", "west"},
+		RacksPerRegion: 1,
+		HostsPerRack:   2,
+	})
+	sm := NewServer(clk, zk.NewStore(clk), discovery.NewDirectory(clk), fleet)
+	cfg := defaultCfg()
+	cfg.Model = PrimarySecondary
+	cfg.ReplicationFactor = 1
+	cfg.Spread = SpreadRegion
+	if err := sm.RegisterService(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range fleet.Hosts() {
+		if _, err := sm.RegisterServer(cfg.Name, h.Name, newFakeApp(h.Name, 1e12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 4; i++ {
+		if _, err := sm.AssignShard("svc", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overload one host far past the imbalance threshold; the gap is real,
+	// the veto must come from the spread constraint, not from balance.
+	hot := fleet.Hosts()[0].Name
+	shards, err := sm.ShardsOn("svc", hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) == 0 {
+		t.Fatalf("host %s got no shards in this layout", hot)
+	}
+	for _, sh := range shards {
+		if err := sm.SetShardLoad("svc", sh, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sm
+}
+
+// TestBalanceOnceEdgeCases pins down the balancer's do-nothing paths: the
+// pass must be a clean no-op (0 moves, no error) whenever no legal move
+// exists, and the only error is an unknown service.
+func TestBalanceOnceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		setup   func(t *testing.T) *Server
+		service string
+		wantErr error
+	}{
+		{
+			name:    "unknown service",
+			setup:   func(t *testing.T) *Server { return newRig(t, 2, defaultCfg()).sm },
+			service: "nosvc",
+			wantErr: ErrUnknownService,
+		},
+		{
+			name:    "service with no servers",
+			setup:   func(t *testing.T) *Server { return newRig(t, 0, defaultCfg()).sm },
+			service: "svc",
+		},
+		{
+			name: "service with no shards",
+			setup: func(t *testing.T) *Server {
+				r := newRig(t, 4, defaultCfg())
+				if err := r.sm.CollectMetrics("svc"); err != nil {
+					t.Fatal(err)
+				}
+				return r.sm
+			},
+			service: "svc",
+		},
+		{
+			name: "single host has no peer to move to",
+			setup: func(t *testing.T) *Server {
+				r := newRig(t, 1, defaultCfg())
+				host := r.fleet.Hosts()[0].Name
+				for i := int64(0); i < 4; i++ {
+					if _, err := r.sm.AssignShard("svc", i); err != nil {
+						t.Fatal(err)
+					}
+					// Wildly uneven loads: still nowhere to go.
+					r.apps[host].setLoad(i, float64(1+i*100))
+				}
+				if err := r.sm.CollectMetrics("svc"); err != nil {
+					t.Fatal(err)
+				}
+				return r.sm
+			},
+			service: "svc",
+		},
+		{
+			name: "already balanced",
+			setup: func(t *testing.T) *Server {
+				r := newRig(t, 4, defaultCfg())
+				for i := int64(0); i < 8; i++ {
+					if _, err := r.sm.AssignShard("svc", i); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := r.sm.CollectMetrics("svc"); err != nil {
+					t.Fatal(err)
+				}
+				return r.sm
+			},
+			service: "svc",
+		},
+		{
+			name:    "spread domain excludes every candidate",
+			setup:   spreadLockedRig,
+			service: "svc",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sm := tc.setup(t)
+			moved, err := sm.BalanceOnce(tc.service)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("BalanceOnce error = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("BalanceOnce = %v", err)
+			}
+			if moved != 0 {
+				t.Fatalf("BalanceOnce moved %d shards, want 0", moved)
+			}
+		})
+	}
+}
+
+// TestPickMoveSpreadVeto asserts the spread case at the pickMove layer:
+// the load gap alone would justify a move, so the empty candidate list is
+// what stops it.
+func TestPickMoveSpreadVeto(t *testing.T) {
+	sm := spreadLockedRig(t)
+	sm.mu.Lock()
+	svc := sm.services["svc"]
+	sm.mu.Unlock()
+	if _, _, _, ok := sm.pickMove(svc); ok {
+		t.Fatal("pickMove found a move despite the spread constraint occupying every region")
+	}
+	// Sanity: the imbalance really was above threshold — with the spread
+	// relaxed to host level the same state does produce a move.
+	sm.mu.Lock()
+	svc.cfg.Spread = SpreadHost
+	sm.mu.Unlock()
+	if _, _, _, ok := sm.pickMove(svc); !ok {
+		t.Fatal("pickMove still refuses after relaxing the spread constraint; the veto was not the spread domain")
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Inject writes the current span's trace context into outbound request
+// headers so the receiving worker can parent its spans under the caller's.
+// No-op when ctx carries no span.
+func Inject(ctx context.Context, h http.Header) {
+	if s := SpanFromContext(ctx); s != nil {
+		h.Set(HeaderTrace, s.tr.id)
+		h.Set(HeaderSpan, s.id)
+	}
+}
+
+// Extract reads trace context from inbound request headers. ok reports
+// whether a trace ID was present.
+func Extract(h http.Header) (traceID, spanID string, ok bool) {
+	traceID = h.Get(HeaderTrace)
+	return traceID, h.Get(HeaderSpan), traceID != ""
+}
+
+// Handler serves the trace ring over HTTP:
+//
+//	GET /debug/trace        JSON list of retained traces, newest first
+//	GET /debug/trace/{id}   one trace's full span set (404 if evicted)
+//
+// Mount it at both "/debug/trace" and "/debug/trace/". Works on a nil
+// tracer (empty listing, every ID a 404).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/trace"), "/")
+		w.Header().Set("Content-Type", "application/json")
+		if id == "" {
+			summaries := t.Recent(0)
+			if summaries == nil {
+				summaries = []TraceSummary{}
+			}
+			json.NewEncoder(w).Encode(map[string]interface{}{"traces": summaries})
+			return
+		}
+		td, ok := t.Get(id)
+		if !ok {
+			http.Error(w, `{"error":"no such trace"}`, http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(td)
+	})
+}

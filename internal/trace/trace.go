@@ -1,0 +1,527 @@
+// Package trace implements per-query distributed tracing for the
+// networked data plane. A Tracer records spans — named, timed stages of a
+// query such as the coordinator fan-out, one partition's fetch attempt, or
+// a worker's scan — grouped into traces keyed by a trace ID that crosses
+// process boundaries in HTTP headers (X-Cubrick-Trace / X-Cubrick-Span).
+// Finished and in-flight traces live in a bounded in-memory ring queryable
+// over HTTP (see Handler), and queries slower than a configurable
+// threshold emit a one-line per-stage breakdown to the slow-query log.
+//
+// The paper's operators debug the scalability wall by measuring it: a
+// query that dodged a dead host via a retry or hedge should show exactly
+// that in its trace. To keep trace trees assertable in tests, the Tracer's
+// clock and ID stream are injectable (Config.Now, Config.Seed); production
+// callers use wall-clock time and a random seed.
+//
+// A nil *Tracer is a valid no-op: StartSpan returns a nil *Span whose
+// methods all no-op, so instrumented call sites need no conditionals and
+// cost one nil check when tracing is off.
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Header names under which trace context propagates coordinator→worker.
+const (
+	HeaderTrace = "X-Cubrick-Trace"
+	HeaderSpan  = "X-Cubrick-Span"
+)
+
+// DefaultRingSize is how many traces the in-memory ring retains.
+const DefaultRingSize = 256
+
+// Status is the terminal state of a span.
+type Status string
+
+const (
+	// StatusOpen marks a span that has not ended yet (snapshots only).
+	StatusOpen Status = "open"
+	// StatusOK marks a span that ended without error.
+	StatusOK Status = "ok"
+	// StatusError marks a span that ended with a non-cancellation error.
+	StatusError Status = "error"
+	// StatusCanceled marks a span abandoned via context cancellation —
+	// e.g. the losing half of a hedged fetch.
+	StatusCanceled Status = "canceled"
+)
+
+// Config configures a Tracer. The zero value is production-ready:
+// wall-clock time, random IDs, DefaultRingSize, slow-query log disabled.
+type Config struct {
+	// RingSize bounds how many traces are retained; 0 means
+	// DefaultRingSize. The oldest trace is evicted when full.
+	RingSize int
+	// SlowQueryThreshold gates the slow-query log: when a root span ends
+	// with a duration at or above the threshold, one line summarizing the
+	// trace's per-stage breakdown is written to SlowLog. 0 disables.
+	SlowQueryThreshold time.Duration
+	// SlowLog receives slow-query lines; log.Default() when nil.
+	SlowLog *log.Logger
+	// Now supplies span timestamps; time.Now when nil. Tests inject a
+	// simulated clock here so span durations are exact.
+	Now func() time.Time
+	// Seed seeds the trace-ID stream; 0 derives a seed from the clock.
+	Seed int64
+}
+
+// Tracer records spans into a bounded ring of traces. Safe for concurrent
+// use. Nil is a valid no-op tracer.
+type Tracer struct {
+	// OnSpanEnd, when set, observes every span as it ends (after its
+	// final state is recorded). It must be set before the tracer is
+	// shared across goroutines, and must not call back into the tracer.
+	// Tests use it to sequence on span completion.
+	OnSpanEnd func(SpanData)
+
+	cfg Config
+
+	mu   sync.Mutex
+	rnd  *rand.Rand
+	seq  uint64
+	byID map[string]*liveTrace
+	ring []*liveTrace // oldest first
+}
+
+// New returns a Tracer with the given configuration.
+func New(cfg Config) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.SlowLog == nil {
+		cfg.SlowLog = log.Default()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = cfg.Now().UnixNano()
+	}
+	return &Tracer{
+		cfg:  cfg,
+		rnd:  rand.New(rand.NewSource(seed)),
+		byID: make(map[string]*liveTrace),
+	}
+}
+
+// liveTrace is one trace's mutable state; its mutex guards every span it
+// holds, so snapshots are consistent even while spans are still ending.
+type liveTrace struct {
+	id string
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// Span is one timed, named stage of a trace. All methods are safe on a
+// nil receiver (no-op), which is what a nil Tracer hands out.
+type Span struct {
+	tracer *Tracer
+	tr     *liveTrace
+	id     string
+	parent string // parent span ID; may belong to another process
+	name   string
+	root   bool // a local root: its end drives the slow-query log
+	start  time.Time
+
+	// Guarded by tr.mu.
+	attrs  []Attr
+	ended  bool
+	end    time.Time
+	status Status
+	errMsg string
+}
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// newTrace returns the live trace with the given ID, creating (and ring-
+// registering) it if needed. An empty ID generates a fresh one.
+func (t *Tracer) newTrace(id string) *liveTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id == "" {
+		id = fmt.Sprintf("%016x", t.rnd.Uint64())
+	}
+	if tr, ok := t.byID[id]; ok {
+		return tr
+	}
+	tr := &liveTrace{id: id}
+	t.byID[id] = tr
+	t.ring = append(t.ring, tr)
+	if len(t.ring) > t.cfg.RingSize {
+		evicted := t.ring[0]
+		t.ring = t.ring[1:]
+		delete(t.byID, evicted.id)
+	}
+	return tr
+}
+
+func (t *Tracer) newSpan(tr *liveTrace, name, parent string, root bool) *Span {
+	t.mu.Lock()
+	t.seq++
+	id := fmt.Sprintf("%04x", t.seq)
+	t.mu.Unlock()
+	s := &Span{
+		tracer: t,
+		tr:     tr,
+		id:     id,
+		parent: parent,
+		name:   name,
+		root:   root,
+		start:  t.cfg.Now(),
+		status: StatusOpen,
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, s)
+	tr.mu.Unlock()
+	return s
+}
+
+// StartSpan starts a span named name. If ctx carries a span from this
+// tracer the new span becomes its child within the same trace; otherwise a
+// fresh trace is created and the span is its root. The returned context
+// carries the new span. On a nil tracer it returns (ctx, nil).
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if parent := SpanFromContext(ctx); parent != nil && parent.tracer == t {
+		s := t.newSpan(parent.tr, name, parent.id, false)
+		return ContextWithSpan(ctx, s), s
+	}
+	tr := t.newTrace("")
+	s := t.newSpan(tr, name, "", true)
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartRemoteSpan starts a local root span continuing a trace begun in
+// another process: traceID and parentSpan come off the wire (see Extract).
+// With an empty traceID it behaves like StartSpan.
+func (t *Tracer) StartRemoteSpan(ctx context.Context, name, traceID, parentSpan string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if traceID == "" {
+		return t.StartSpan(ctx, name)
+	}
+	tr := t.newTrace(traceID)
+	s := t.newSpan(tr, name, parentSpan, true)
+	return ContextWithSpan(ctx, s), s
+}
+
+// TraceID returns the ID of the trace the span belongs to ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.id
+}
+
+// ID returns the span's ID ("" on nil).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// SetAttr annotates the span. No-op after End and on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// SetAttrInt annotates the span with an integer value.
+func (s *Span) SetAttrInt(key string, v int64) {
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// End finishes the span with StatusOK. Only the first End/EndErr counts.
+func (s *Span) End() { s.EndErr(nil) }
+
+// EndErr finishes the span: nil means StatusOK, a context-cancellation
+// error means StatusCanceled, anything else StatusError with the error
+// message recorded. Only the first End/EndErr counts.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	now := s.tracer.cfg.Now()
+	s.tr.mu.Lock()
+	if s.ended {
+		s.tr.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = now
+	switch {
+	case err == nil:
+		s.status = StatusOK
+	case errors.Is(err, context.Canceled):
+		s.status = StatusCanceled
+		s.errMsg = err.Error()
+	default:
+		s.status = StatusError
+		s.errMsg = err.Error()
+	}
+	data := s.dataLocked()
+	s.tr.mu.Unlock()
+	if f := s.tracer.OnSpanEnd; f != nil {
+		f(data)
+	}
+	if s.root {
+		s.tracer.maybeLogSlow(s.tr, data)
+	}
+}
+
+// SpanData is an immutable snapshot of one span.
+type SpanData struct {
+	TraceID    string            `json:"trace"`
+	ID         string            `json:"id"`
+	Parent     string            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	End        time.Time         `json:"end,omitempty"`
+	DurationMS float64           `json:"duration_ms"`
+	Status     Status            `json:"status"`
+	Error      string            `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// dataLocked snapshots the span; caller holds s.tr.mu.
+func (s *Span) dataLocked() SpanData {
+	d := SpanData{
+		TraceID: s.tr.id,
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		Start:   s.start,
+		Status:  s.status,
+		Error:   s.errMsg,
+	}
+	if s.ended {
+		d.End = s.end
+		d.DurationMS = float64(s.end.Sub(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.Key] = a.Value
+		}
+	}
+	return d
+}
+
+// TraceData is an immutable snapshot of one trace, spans in creation
+// order. Unended spans appear with StatusOpen and zero duration.
+type TraceData struct {
+	ID    string     `json:"id"`
+	Spans []SpanData `json:"spans"`
+}
+
+func (tr *liveTrace) snapshot() TraceData {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	td := TraceData{ID: tr.id, Spans: make([]SpanData, len(tr.spans))}
+	for i, s := range tr.spans {
+		td.Spans[i] = s.dataLocked()
+	}
+	return td
+}
+
+// Get returns a snapshot of the trace with the given ID, if retained.
+func (t *Tracer) Get(id string) (TraceData, bool) {
+	if t == nil {
+		return TraceData{}, false
+	}
+	t.mu.Lock()
+	tr, ok := t.byID[id]
+	t.mu.Unlock()
+	if !ok {
+		return TraceData{}, false
+	}
+	return tr.snapshot(), true
+}
+
+// TraceSummary is one row of the trace listing.
+type TraceSummary struct {
+	ID         string    `json:"id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Status     Status    `json:"status"`
+}
+
+// Recent returns summaries of the retained traces, newest first, at most n
+// (n <= 0 means all).
+func (t *Tracer) Recent(n int) []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	ring := append([]*liveTrace(nil), t.ring...)
+	t.mu.Unlock()
+	if n <= 0 || n > len(ring) {
+		n = len(ring)
+	}
+	out := make([]TraceSummary, 0, n)
+	for i := len(ring) - 1; i >= 0 && len(out) < n; i-- {
+		td := ring[i].snapshot()
+		sum := TraceSummary{ID: td.ID, Spans: len(td.Spans)}
+		if len(td.Spans) > 0 {
+			root := td.Spans[0]
+			sum.Root = root.Name
+			sum.Start = root.Start
+			sum.DurationMS = root.DurationMS
+			sum.Status = root.Status
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// maybeLogSlow emits the slow-query line for a finished root span whose
+// duration is at or above the threshold: one line per query, per-stage
+// totals aggregated by span name.
+func (t *Tracer) maybeLogSlow(tr *liveTrace, root SpanData) {
+	th := t.cfg.SlowQueryThreshold
+	if th <= 0 || root.DurationMS < float64(th)/float64(time.Millisecond) {
+		return
+	}
+	td := tr.snapshot()
+	type stage struct {
+		count int
+		ms    float64
+	}
+	stages := make(map[string]*stage)
+	for _, s := range td.Spans {
+		st := stages[s.Name]
+		if st == nil {
+			st = &stage{}
+			stages[s.Name] = st
+		}
+		st.count++
+		st.ms += s.DurationMS
+	}
+	names := make([]string, 0, len(stages))
+	for n := range stages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%dx%.1fms", n, stages[n].count, stages[n].ms)
+	}
+	t.cfg.SlowLog.Printf("slow-query trace=%s root=%s status=%s dur=%.1fms spans=%d stages: %s",
+		td.ID, root.Name, root.Status, root.DurationMS, len(td.Spans), b.String())
+}
+
+// Tree renders the trace as a deterministic indented tree for assertions
+// and operator eyeballs: one line per span with status, [start +duration]
+// relative to the trace's earliest span, sorted attributes, and the error
+// message for failed spans. Children sort by (start, name, attrs).
+func (td TraceData) Tree() string {
+	if len(td.Spans) == 0 {
+		return ""
+	}
+	base := td.Spans[0].Start
+	ids := make(map[string]bool, len(td.Spans))
+	for _, s := range td.Spans {
+		ids[s.ID] = true
+		if s.Start.Before(base) {
+			base = s.Start
+		}
+	}
+	children := make(map[string][]SpanData)
+	var roots []SpanData
+	for _, s := range td.Spans {
+		if s.Parent != "" && ids[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	line := func(s SpanData) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s %s [%.3fms +%.3fms]", s.Name, s.Status,
+			float64(s.Start.Sub(base))/float64(time.Millisecond), s.DurationMS)
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, s.Attrs[k])
+		}
+		if s.Status == StatusError && s.Error != "" {
+			fmt.Fprintf(&b, " err=%q", s.Error)
+		}
+		return b.String()
+	}
+	sortSpans := func(ss []SpanData) {
+		sort.SliceStable(ss, func(i, j int) bool {
+			if !ss[i].Start.Equal(ss[j].Start) {
+				return ss[i].Start.Before(ss[j].Start)
+			}
+			li, lj := line(ss[i]), line(ss[j])
+			if li != lj {
+				return li < lj
+			}
+			return ss[i].ID < ss[j].ID
+		})
+	}
+	var b strings.Builder
+	var render func(s SpanData, depth int)
+	render = func(s SpanData, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(line(s))
+		b.WriteByte('\n')
+		kids := children[s.ID]
+		sortSpans(kids)
+		for _, k := range kids {
+			render(k, depth+1)
+		}
+	}
+	sortSpans(roots)
+	for _, r := range roots {
+		render(r, 0)
+	}
+	return b.String()
+}

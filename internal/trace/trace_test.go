@@ -1,0 +1,361 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cubrick/internal/simclock"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// newSimTracer returns a tracer on a simulated clock so span times are
+// exact, plus the clock to advance.
+func newSimTracer(cfg Config) (*Tracer, *simclock.SimClock) {
+	clk := simclock.NewSim(epoch)
+	cfg.Now = clk.Now
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return New(cfg), clk
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.StartSpan(context.Background(), "x")
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil tracer should not modify the context")
+	}
+	// All nil-span methods must be safe.
+	s.SetAttr("k", "v")
+	s.SetAttrInt("n", 1)
+	s.End()
+	s.EndErr(errors.New("boom"))
+	if got := s.TraceID(); got != "" {
+		t.Fatalf("nil span TraceID = %q", got)
+	}
+	if got := s.ID(); got != "" {
+		t.Fatalf("nil span ID = %q", got)
+	}
+	if _, ok := tr.Get("deadbeef"); ok {
+		t.Fatal("nil tracer Get returned ok")
+	}
+	if got := tr.Recent(5); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+	_, rs := tr.StartRemoteSpan(context.Background(), "y", "t1", "s1")
+	if rs != nil {
+		t.Fatal("nil tracer StartRemoteSpan returned a span")
+	}
+}
+
+func TestSpanTreeWithSimClock(t *testing.T) {
+	tr, clk := newSimTracer(Config{})
+	ctx, root := tr.StartSpan(context.Background(), "query")
+	root.SetAttr("table", "events")
+	clk.Advance(2 * time.Millisecond)
+	cctx, child := tr.StartSpan(ctx, "fanout")
+	child.SetAttrInt("targets", 8)
+	clk.Advance(3 * time.Millisecond)
+	_, grand := tr.StartSpan(cctx, "fetch")
+	clk.Advance(1 * time.Millisecond)
+	grand.EndErr(errors.New("status 500: boom"))
+	child.End()
+	clk.Advance(4 * time.Millisecond)
+	root.End()
+
+	td, ok := tr.Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	want := strings.Join([]string{
+		"query ok [0.000ms +10.000ms] table=events",
+		"  fanout ok [2.000ms +4.000ms] targets=8",
+		`    fetch error [5.000ms +1.000ms] err="status 500: boom"`,
+		"",
+	}, "\n")
+	if got := td.Tree(); got != want {
+		t.Fatalf("tree mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestEndErrStatuses(t *testing.T) {
+	tr, _ := newSimTracer(Config{})
+	mk := func() *Span {
+		_, s := tr.StartSpan(context.Background(), "s")
+		return s
+	}
+	okSpan, errSpan, cancelSpan := mk(), mk(), mk()
+	okSpan.End()
+	errSpan.EndErr(errors.New("boom"))
+	cancelSpan.EndErr(fmt.Errorf("wrapped: %w", context.Canceled))
+	check := func(s *Span, want Status) {
+		t.Helper()
+		td, _ := tr.Get(s.TraceID())
+		if got := td.Spans[0].Status; got != want {
+			t.Fatalf("status = %q, want %q", got, want)
+		}
+	}
+	check(okSpan, StatusOK)
+	check(errSpan, StatusError)
+	check(cancelSpan, StatusCanceled)
+}
+
+func TestDoubleEndAndAttrAfterEnd(t *testing.T) {
+	tr, clk := newSimTracer(Config{})
+	_, s := tr.StartSpan(context.Background(), "s")
+	clk.Advance(time.Millisecond)
+	s.End()
+	clk.Advance(time.Millisecond)
+	s.EndErr(errors.New("late")) // must not overwrite
+	s.SetAttr("late", "attr")    // must not record
+	td, _ := tr.Get(s.TraceID())
+	sp := td.Spans[0]
+	if sp.Status != StatusOK || sp.DurationMS != 1 {
+		t.Fatalf("second End mutated span: %+v", sp)
+	}
+	if len(sp.Attrs) != 0 {
+		t.Fatalf("attr recorded after End: %+v", sp.Attrs)
+	}
+}
+
+func TestOpenSpanInSnapshot(t *testing.T) {
+	tr, clk := newSimTracer(Config{})
+	_, s := tr.StartSpan(context.Background(), "s")
+	clk.Advance(time.Millisecond)
+	td, _ := tr.Get(s.TraceID())
+	if got := td.Spans[0].Status; got != StatusOpen {
+		t.Fatalf("unended span status = %q, want %q", got, StatusOpen)
+	}
+	if td.Spans[0].DurationMS != 0 {
+		t.Fatalf("unended span has duration %v", td.Spans[0].DurationMS)
+	}
+}
+
+func TestRemoteSpanJoinsPropagatedTrace(t *testing.T) {
+	tr, _ := newSimTracer(Config{})
+	ctx, remote := tr.StartRemoteSpan(context.Background(), "worker.partial", "cafef00d", "0a1b")
+	_, child := tr.StartSpan(ctx, "worker.execute")
+	child.End()
+	remote.End()
+	if remote.TraceID() != "cafef00d" {
+		t.Fatalf("remote span trace = %q", remote.TraceID())
+	}
+	td, ok := tr.Get("cafef00d")
+	if !ok {
+		t.Fatal("propagated trace not retained")
+	}
+	if len(td.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(td.Spans))
+	}
+	if td.Spans[0].Parent != "0a1b" {
+		t.Fatalf("remote parent = %q, want 0a1b", td.Spans[0].Parent)
+	}
+	if td.Spans[1].Parent != td.Spans[0].ID {
+		t.Fatal("child not parented under remote span")
+	}
+	// The remote parent span does not exist locally, so the remote span
+	// renders as the tree root.
+	tree := td.Tree()
+	if !strings.HasPrefix(tree, "worker.partial") {
+		t.Fatalf("tree root:\n%s", tree)
+	}
+	if !strings.Contains(tree, "\n  worker.execute") {
+		t.Fatalf("child not nested:\n%s", tree)
+	}
+}
+
+func TestHeaderInjectExtractRoundTrip(t *testing.T) {
+	tr, _ := newSimTracer(Config{})
+	ctx, s := tr.StartSpan(context.Background(), "root")
+	h := http.Header{}
+	Inject(ctx, h)
+	tid, sid, ok := Extract(h)
+	if !ok || tid != s.TraceID() || sid != s.ID() {
+		t.Fatalf("round trip: ok=%v tid=%q sid=%q, want %q/%q", ok, tid, sid, s.TraceID(), s.ID())
+	}
+	// No span in context → no headers.
+	h2 := http.Header{}
+	Inject(context.Background(), h2)
+	if _, _, ok := Extract(h2); ok {
+		t.Fatal("Extract ok on empty headers")
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tr, _ := newSimTracer(Config{RingSize: 3})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, s := tr.StartSpan(context.Background(), "q")
+		s.End()
+		ids = append(ids, s.TraceID())
+	}
+	for _, id := range ids[:2] {
+		if _, ok := tr.Get(id); ok {
+			t.Fatalf("trace %s should have been evicted", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := tr.Get(id); !ok {
+			t.Fatalf("trace %s missing", id)
+		}
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("Recent = %d traces, want 3", len(recent))
+	}
+	// Newest first.
+	if recent[0].ID != ids[4] || recent[2].ID != ids[2] {
+		t.Fatalf("Recent order: %+v (want newest %s first)", recent, ids[4])
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	tr, clk := newSimTracer(Config{
+		SlowQueryThreshold: 10 * time.Millisecond,
+		SlowLog:            log.New(&buf, "", 0),
+	})
+	// Fast query: below threshold, no line.
+	_, fast := tr.StartSpan(context.Background(), "query")
+	clk.Advance(5 * time.Millisecond)
+	fast.End()
+	if buf.Len() != 0 {
+		t.Fatalf("fast query logged: %q", buf.String())
+	}
+	// Slow query: one line with per-stage breakdown.
+	ctx, slow := tr.StartSpan(context.Background(), "query")
+	for i := 0; i < 2; i++ {
+		_, f := tr.StartSpan(ctx, "fetch")
+		clk.Advance(6 * time.Millisecond)
+		f.End()
+	}
+	slow.End()
+	line := buf.String()
+	if got := strings.Count(line, "\n"); got != 1 {
+		t.Fatalf("want exactly one slow-query line, got %d:\n%s", got, line)
+	}
+	for _, want := range []string{
+		"slow-query",
+		"trace=" + slow.TraceID(),
+		"root=query",
+		"dur=12.0ms",
+		"spans=3",
+		"fetch=2x12.0ms",
+		"query=1x12.0ms",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("slow-query line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+func TestOnSpanEndObserver(t *testing.T) {
+	tr, _ := newSimTracer(Config{})
+	var ended []string
+	tr.OnSpanEnd = func(d SpanData) { ended = append(ended, d.Name+":"+string(d.Status)) }
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	_, child := tr.StartSpan(ctx, "child")
+	child.EndErr(errors.New("x"))
+	root.End()
+	want := []string{"child:error", "root:ok"}
+	if len(ended) != 2 || ended[0] != want[0] || ended[1] != want[1] {
+		t.Fatalf("OnSpanEnd saw %v, want %v", ended, want)
+	}
+}
+
+func TestDebugTraceHandler(t *testing.T) {
+	tr, clk := newSimTracer(Config{})
+	ctx, root := tr.StartSpan(context.Background(), "query")
+	_, child := tr.StartSpan(ctx, "fetch")
+	clk.Advance(3 * time.Millisecond)
+	child.End()
+	root.End()
+
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	// Listing.
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Traces []TraceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Traces) != 1 || list.Traces[0].ID != root.TraceID() || list.Traces[0].Spans != 2 {
+		t.Fatalf("listing = %+v", list.Traces)
+	}
+
+	// Single trace.
+	resp, err = http.Get(srv.URL + "/debug/trace/" + root.TraceID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var td TraceData
+	if err := json.NewDecoder(resp.Body).Decode(&td); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if td.ID != root.TraceID() || len(td.Spans) != 2 {
+		t.Fatalf("trace = %+v", td)
+	}
+	if td.Spans[1].Name != "fetch" || td.Spans[1].DurationMS != 3 {
+		t.Fatalf("fetch span = %+v", td.Spans[1])
+	}
+
+	// Unknown ID.
+	resp, err = http.Get(srv.URL + "/debug/trace/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d", resp.StatusCode)
+	}
+
+	// Method gate.
+	resp, err = http.Post(srv.URL+"/debug/trace", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestTreeSortsSiblingsDeterministically(t *testing.T) {
+	tr, _ := newSimTracer(Config{})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	// Same start time, distinguished only by attrs: order must follow the
+	// rendered line, not creation order.
+	for _, p := range []string{"t#3", "t#1", "t#2", "t#0"} {
+		_, s := tr.StartSpan(ctx, "partition")
+		s.SetAttr("partition", p)
+		s.End()
+	}
+	root.End()
+	td, _ := tr.Get(root.TraceID())
+	tree := td.Tree()
+	idx := func(sub string) int { return strings.Index(tree, sub) }
+	if !(idx("t#0") < idx("t#1") && idx("t#1") < idx("t#2") && idx("t#2") < idx("t#3")) {
+		t.Fatalf("siblings not sorted:\n%s", tree)
+	}
+}

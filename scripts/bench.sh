@@ -53,3 +53,29 @@ RESILIENCE_BENCH_OUT="$(pwd)/BENCH_resilience.json" \
     go test ./internal/netexec/ -run '^TestResilienceBench$' -count=1
 echo "== wrote BENCH_resilience.json"
 cat BENCH_resilience.json
+
+# Observability overhead: the 64-worker scatter-gather query (streamed
+# merge included) with the full tracing+metrics plane live versus plain.
+# The PR budget is <=3% overhead; the on-path histogram updates are
+# lock-free, so anything beyond low single digits is a regression.
+echo "== observability overhead bench (64-worker fan-out, benchtime=$BENCHTIME)"
+OBS_RAW="$(mktemp)"
+go test ./internal/netexec/ -run '^$' -bench 'QueryFanout64(Observed)?$' \
+    -benchtime "$BENCHTIME" -count 3 | tee "$OBS_RAW"
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+$1 ~ /^BenchmarkQueryFanout64(-[0-9]+)?$/          { plain += $3; np++ }
+$1 ~ /^BenchmarkQueryFanout64Observed(-[0-9]+)?$/  { obs += $3; no++ }
+END {
+    if (np == 0 || no == 0) { print "missing benchmark output" > "/dev/stderr"; exit 1 }
+    plain /= np; obs /= no
+    printf "{\n  \"generated\": \"%s\",\n  \"benchtime\": \"'"$BENCHTIME"'\",\n", date
+    printf "  \"benchmark\": \"BenchmarkQueryFanout64 (plain vs tracing+metrics)\",\n"
+    printf "  \"runs_averaged\": %d,\n", np
+    printf "  \"plain_ns_per_op\": %.0f,\n", plain
+    printf "  \"observed_ns_per_op\": %.0f,\n", obs
+    printf "  \"overhead_pct\": %.2f,\n", (obs - plain) / plain * 100
+    printf "  \"budget_pct\": 3.0\n}\n"
+}' "$OBS_RAW" > BENCH_observability.json
+rm -f "$OBS_RAW"
+echo "== wrote BENCH_observability.json"
+cat BENCH_observability.json

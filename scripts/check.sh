@@ -24,12 +24,36 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-bearing packages)"
-go test -race ./internal/engine ./internal/brick ./internal/cubrick ./internal/netexec
+go test -race ./internal/engine ./internal/brick ./internal/cubrick ./internal/netexec \
+    ./internal/trace ./internal/metrics
 
 echo "== chaos test (seeded fault injection, -race)"
 go test -race -count=1 -run 'TestChaos' ./internal/netexec
 
 echo "== fuzz smoke (wire decode, 10s)"
 go test -run '^$' -fuzz '^FuzzUnmarshalPartial$' -fuzztime 10s ./internal/engine
+
+echo "== fuzz smoke (binary ingest decode, 10s)"
+go test -run '^$' -fuzz '^FuzzLoadBin$' -fuzztime 10s ./internal/netexec
+
+# Coverage gate over the query path and its observability plane. Baseline
+# when the gate was introduced (PR 4): netexec 89.6%, engine 88.8%,
+# trace 95.9%, metrics 74.1%. The floor is deliberately below baseline so
+# honest refactors don't trip it; raising the floor is fine, lowering it
+# needs a written reason.
+echo "== coverage gate (>= 70%)"
+for pkg in ./internal/netexec ./internal/engine ./internal/trace ./internal/metrics; do
+    line="$(go test -cover "$pkg" | tail -1)"
+    echo "$line"
+    pct="$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"
+    if [ -z "$pct" ]; then
+        echo "coverage gate: no coverage figure for $pkg"
+        exit 1
+    fi
+    if [ "$(awk -v p="$pct" 'BEGIN { print (p+0 < 70.0) ? 1 : 0 }')" = 1 ]; then
+        echo "coverage gate: $pkg at $pct% is below the 70% floor"
+        exit 1
+    fi
+done
 
 echo "OK"
