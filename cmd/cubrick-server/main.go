@@ -21,8 +21,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	cubrick "cubrick"
+	"cubrick/internal/brick"
 )
 
 type server struct {
@@ -31,12 +33,37 @@ type server struct {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	compactInterval := flag.Duration("compact-interval", 0, "background compaction pass interval (0 disables)")
+	compactEncodeBelow := flag.Float64("compact-encode-below", 1, "encode raw bricks whose hotness falls below this")
+	compactEvictBelow := flag.Float64("compact-evict-below", 0.1, "flate+evict encoded bricks whose hotness falls below this")
+	compactPromoteAbove := flag.Float64("compact-promote-above", 0, "promote colder-tier bricks whose hotness rises above this (0 disables)")
 	flag.Parse()
 
 	db, err := cubrick.Open(cubrick.Defaults())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open deployment:", err)
 		os.Exit(1)
+	}
+	if *compactInterval > 0 {
+		cfg := brick.CompactionConfig{
+			EncodeBelow:  *compactEncodeBelow,
+			EvictBelow:   *compactEvictBelow,
+			PromoteAbove: *compactPromoteAbove,
+		}
+		log.Printf("cubrick-server compactor: interval=%s encode-below=%g evict-below=%g promote-above=%g",
+			*compactInterval, cfg.EncodeBelow, cfg.EvictBelow, cfg.PromoteAbove)
+		go func() {
+			t := time.NewTicker(*compactInterval)
+			defer t.Stop()
+			for range t.C {
+				for _, n := range db.Deployment().Nodes() {
+					n.DecayHotness()
+					if _, err := n.Compact(cfg); err != nil {
+						log.Printf("cubrick-server compaction: %v", err)
+					}
+				}
+			}
+		}()
 	}
 	s := &server{db: db}
 	mux := http.NewServeMux()

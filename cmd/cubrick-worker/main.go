@@ -29,6 +29,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"cubrick/internal/brick"
 	"cubrick/internal/metrics"
 	"cubrick/internal/netexec"
 	"cubrick/internal/trace"
@@ -42,6 +43,11 @@ func main() {
 	slowQueryMS := flag.Int("slow-query-ms", 500, "log a per-stage breakdown for partials slower than this (0 disables)")
 	chaosFailProb := flag.Float64("chaos-fail-prob", 0, "probability each request fails with HTTP 500 (fault injection; 0 disables)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the injected failure stream")
+	compactInterval := flag.Duration("compact-interval", 0, "background compaction pass interval (0 disables)")
+	compactEncodeBelow := flag.Float64("compact-encode-below", 1, "encode raw bricks whose hotness falls below this")
+	compactEvictBelow := flag.Float64("compact-evict-below", 0.1, "flate+evict encoded bricks whose hotness falls below this")
+	compactPromoteAbove := flag.Float64("compact-promote-above", 0, "promote colder-tier bricks whose hotness rises above this (0 disables)")
+	compactDecay := flag.Float64("compact-decay", 0.8, "hotness decay factor applied before each compaction pass (1 disables decay)")
 	flag.Parse()
 	w := netexec.NewWorker()
 	tracer := trace.New(trace.Config{
@@ -77,6 +83,28 @@ func main() {
 	}
 	if *chaosFailProb > 0 {
 		log.Printf("cubrick-worker chaos enabled: fail-prob=%g seed=%d", *chaosFailProb, *chaosSeed)
+	}
+	if *compactInterval > 0 {
+		cfg := brick.CompactionConfig{
+			EncodeBelow:  *compactEncodeBelow,
+			EvictBelow:   *compactEvictBelow,
+			PromoteAbove: *compactPromoteAbove,
+		}
+		log.Printf("cubrick-worker compactor: interval=%s encode-below=%g evict-below=%g promote-above=%g decay=%g",
+			*compactInterval, cfg.EncodeBelow, cfg.EvictBelow, cfg.PromoteAbove, *compactDecay)
+		decay := *compactDecay
+		go func() {
+			t := time.NewTicker(*compactInterval)
+			defer t.Stop()
+			for range t.C {
+				if decay < 1 {
+					w.DecayHotness(decay)
+				}
+				if _, err := w.CompactAll(cfg); err != nil {
+					log.Printf("cubrick-worker compaction: %v", err)
+				}
+			}
+		}()
 	}
 	log.Printf("cubrick-worker listening on %s (metrics=%v pprof=%v slow-query-ms=%d)",
 		*addr, *enableMetrics, *enablePprof, *slowQueryMS)

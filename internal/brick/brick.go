@@ -7,12 +7,21 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // Brick is one cell of the granularly partitioned space: an unordered,
 // columnar batch of rows whose dimension values all fall in the brick's
 // per-dimension ranges. Bricks are the unit of hotness tracking and of
 // adaptive compression (the paper also calls them "data blocks", Fig 4e).
+//
+// A brick lives in exactly one of three tiers:
+//
+//	raw      — materialized columns, scanned directly (hot)
+//	encoded  — adaptive per-column lightweight blob (warm); scans decode
+//	           only the referenced columns at bit-unpack speed
+//	evicted  — flate(encoded blob) standing in for the SSD tier (cold);
+//	           memory footprint zero, reads cost IOPS + inflate
 type Brick struct {
 	mu sync.Mutex
 
@@ -21,11 +30,18 @@ type Brick struct {
 	metrics [][]float64
 	rows    int
 
-	// Compressed representation; non-nil iff the brick is compressed.
-	compressed []byte
-	// evicted marks bricks whose compressed payload lives on the SSD
-	// tier (§IV-F3): memory footprint zero, reads cost IOPS.
-	evicted bool
+	// encoded is the adaptive per-column blob; non-nil iff the brick is in
+	// the encoded tier.
+	encoded []byte
+	// ssd is flate(encoded); non-nil iff the brick is evicted (§IV-F3).
+	ssd []byte
+	// encLen remembers len(encoded) while evicted, so tier planning can
+	// price a promotion without inflating.
+	encLen int
+
+	// obs fans encode/decode events into the store's metrics registry;
+	// nil-safe, shared by all bricks of a store.
+	obs *storeObs
 
 	// hotness is incremented whenever a query touches the brick and
 	// decays stochastically over time (§IV-F2, inspired by LeanStore).
@@ -68,12 +84,12 @@ func (b *Brick) Decay(factor float64) {
 	b.hotness *= factor
 }
 
-// IsCompressed reports whether the brick currently holds only its
-// compressed representation.
+// IsCompressed reports whether the brick currently holds only a compressed
+// (encoded or evicted) representation.
 func (b *Brick) IsCompressed() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.compressed != nil
+	return b.encoded != nil || b.ssd != nil
 }
 
 // UncompressedBytes returns the memory footprint the brick would have if
@@ -85,16 +101,16 @@ func (b *Brick) UncompressedBytes(schema Schema) int64 {
 	return int64(b.rows) * schema.RowBytes()
 }
 
-// MemoryBytes returns the brick's current resident footprint: compressed
-// size when compressed, raw columns otherwise.
+// MemoryBytes returns the brick's current resident footprint: zero when
+// evicted, blob size when encoded, raw columns otherwise.
 func (b *Brick) MemoryBytes(schema Schema) int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.evicted {
+	if b.ssd != nil {
 		return 0
 	}
-	if b.compressed != nil {
-		return int64(len(b.compressed))
+	if b.encoded != nil {
+		return int64(len(b.encoded))
 	}
 	return int64(b.rows) * schema.RowBytes()
 }
@@ -157,23 +173,25 @@ func (b *Brick) appendColumns(dimCols [][]uint32, metricCols [][]float64, idx []
 	b.rows += len(idx)
 }
 
-// encodeColumns serializes the columns: row count, then each dimension
-// column delta-encoded as varints, then each metric column as raw bits.
-func (b *Brick) encodeColumns() []byte {
+// encodeColumnsV1 serializes the columns in the legacy (version-1) format:
+// row count, then each dimension column as plain varints, then each metric
+// column as raw bits. Kept as the flate-baseline reference and so tests can
+// manufacture old payloads; live encoding uses the version-2 adaptive blob.
+func encodeColumnsV1(dims [][]uint32, metrics [][]float64, rows int) []byte {
 	var buf bytes.Buffer
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(scratch[:], v)
 		buf.Write(scratch[:n])
 	}
-	putUvarint(uint64(b.rows))
-	for _, col := range b.dims {
+	putUvarint(uint64(rows))
+	for _, col := range dims {
 		for _, v := range col {
 			putUvarint(uint64(v))
 		}
 	}
 	var mbits [8]byte
-	for _, col := range b.metrics {
+	for _, col := range metrics {
 		for _, v := range col {
 			binary.LittleEndian.PutUint64(mbits[:], floatBits(v))
 			buf.Write(mbits[:])
@@ -188,7 +206,17 @@ func decodeColumns(data []byte, nDims, nMetrics int) (dims [][]uint32, metrics [
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("brick: corrupt header: %w", err)
 	}
+	if n > maxDecodeRows {
+		return nil, nil, 0, fmt.Errorf("brick: blob claims %d rows (max %d)", n, maxDecodeRows)
+	}
 	rows = int(n)
+	// Every row costs at least one varint byte per dim column plus eight
+	// bytes per metric column, so a forged count cannot force allocation
+	// beyond what the payload itself could hold.
+	minBytes := int64(rows) * int64(nDims+8*nMetrics)
+	if minBytes > int64(r.Len()) {
+		return nil, nil, 0, fmt.Errorf("brick: blob claims %d rows but has %d payload bytes", rows, r.Len())
+	}
 	dims = make([][]uint32, nDims)
 	for i := range dims {
 		col := make([]uint32, rows)
@@ -216,27 +244,25 @@ func decodeColumns(data []byte, nDims, nMetrics int) (dims [][]uint32, metrics [
 	return dims, metrics, rows, nil
 }
 
-// Compress converts the brick to its compressed representation, freeing
-// the raw columns. It is a no-op on empty or already-compressed bricks.
+// Compress converts the brick to the encoded tier: every column picks its
+// cheapest lightweight encoding and the raw columns are freed. It is a
+// no-op on empty or already-compressed bricks.
 func (b *Brick) Compress() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.compressed != nil || b.rows == 0 {
+	if b.encoded != nil || b.ssd != nil || b.rows == 0 {
 		return nil
 	}
-	raw := b.encodeColumns()
-	var out bytes.Buffer
-	w, err := flate.NewWriter(&out, flate.BestSpeed)
-	if err != nil {
-		return err
+	before := int64(0)
+	for _, col := range b.dims {
+		before += int64(4 * len(col))
 	}
-	if _, err := w.Write(raw); err != nil {
-		return err
+	for _, col := range b.metrics {
+		before += int64(8 * len(col))
 	}
-	if err := w.Close(); err != nil {
-		return err
-	}
-	b.compressed = out.Bytes()
+	b.encoded = encodeBrickBlob(b.dims, b.metrics, b.rows, b.obs)
+	b.obs.add("brick.encode.bytes_before", before)
+	b.obs.add("brick.encode.bytes_after", int64(len(b.encoded)))
 	for i := range b.dims {
 		b.dims[i] = nil
 	}
@@ -253,16 +279,42 @@ func (b *Brick) Decompress() error {
 	return b.decompressLocked()
 }
 
+// blobLocked returns the brick's encoded blob, inflating the SSD payload
+// if evicted. Caller holds b.mu. fromSSD reports whether an inflate
+// happened (so callers can reuse the bytes without re-reading).
+func (b *Brick) blobLocked(sc *visitScratch) (data []byte, fromSSD bool, err error) {
+	if b.encoded != nil {
+		return b.encoded, false, nil
+	}
+	if b.ssd == nil {
+		return nil, false, nil
+	}
+	fr := flate.NewReader(bytes.NewReader(b.ssd))
+	var buf bytes.Buffer
+	if sc != nil && sc.inflate != nil {
+		buf = *bytes.NewBuffer(sc.inflate[:0])
+	} else if b.encLen > 0 {
+		buf.Grow(b.encLen)
+	}
+	if _, err := io.Copy(&buf, fr); err != nil {
+		return nil, false, fmt.Errorf("brick: ssd read: %w", err)
+	}
+	data = buf.Bytes()
+	if sc != nil {
+		sc.inflate = data
+	}
+	return data, true, nil
+}
+
 func (b *Brick) decompressLocked() error {
-	if b.compressed == nil {
+	if b.encoded == nil && b.ssd == nil {
 		return nil
 	}
-	r := flate.NewReader(bytes.NewReader(b.compressed))
-	raw, err := io.ReadAll(r)
+	data, _, err := b.blobLocked(nil)
 	if err != nil {
-		return fmt.Errorf("brick: decompress: %w", err)
+		return err
 	}
-	dims, metrics, rows, err := decodeColumns(raw, len(b.dims), len(b.metrics))
+	dims, metrics, rows, err := decodeBlobOwned(data, len(b.dims), len(b.metrics), b.rows)
 	if err != nil {
 		return err
 	}
@@ -271,32 +323,68 @@ func (b *Brick) decompressLocked() error {
 	}
 	b.dims = dims
 	b.metrics = metrics
-	b.compressed = nil
-	b.evicted = false
+	b.encoded = nil
+	b.ssd = nil
+	b.encLen = 0
 	return nil
 }
 
-// visit iterates rows, transparently decoding a compressed brick without
-// changing its stored state (queries over cold bricks pay a transient
-// decompression, exactly the cost adaptive compression minimizes for hot
-// data). The callback receives parallel views valid only for the call.
+// visit streams the full materialized batch, transparently decoding a
+// compressed brick without changing its stored state. The callback views
+// are valid only for the call. Kept as the projection-free wrapper around
+// visitBatch for row-at-a-time consumers.
 func (b *Brick) visit(fn func(dims [][]uint32, metrics [][]float64, rows int) error) error {
+	return b.visitBatch(nil, func(batch *Batch) error {
+		return fn(batch.Dims, batch.Metrics, batch.Rows)
+	})
+}
+
+// visitBatch streams the brick's columnar batch to fn, decoding only the
+// columns the projection references (a nil projection materializes
+// everything) into pooled scratch buffers. Queries over cold bricks pay a
+// transient decode — exactly the cost adaptive compression minimizes for
+// hot data. The batch and its views are valid only for the call.
+func (b *Brick) visitBatch(proj *Projection, fn func(*Batch) error) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.rows == 0 {
 		return nil
 	}
-	if b.compressed == nil {
-		return fn(b.dims, b.metrics, b.rows)
+	if b.encoded == nil && b.ssd == nil {
+		batch := Batch{Dims: b.dims, Metrics: b.metrics, Rows: b.rows}
+		return fn(&batch)
 	}
-	r := flate.NewReader(bytes.NewReader(b.compressed))
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		return fmt.Errorf("brick: decompress: %w", err)
-	}
-	dims, metrics, rows, err := decodeColumns(raw, len(b.dims), len(b.metrics))
+	sc := visitPool.Get().(*visitScratch)
+	defer visitPool.Put(sc)
+	start := time.Now()
+	data, _, err := b.blobLocked(sc)
 	if err != nil {
 		return err
 	}
-	return fn(dims, metrics, rows)
+	var batch *Batch
+	if isV2Blob(data) {
+		batch, err = decodeBlobInto(data, len(b.dims), len(b.metrics), b.rows, proj, sc)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Legacy v1 payloads (pre-adaptive evictions) have no column
+		// boundaries, so projection cannot skip anything.
+		dims, metrics, rows, err := decodeColumns(data, len(b.dims), len(b.metrics))
+		if err != nil {
+			return err
+		}
+		if rows != b.rows {
+			return fmt.Errorf("brick: row count mismatch in blob: %d != %d", rows, b.rows)
+		}
+		batch = &sc.batch
+		batch.Dims = dims
+		batch.Metrics = metrics
+		batch.DimRuns = resizeNilRuns(batch.DimRuns, len(dims))
+		batch.DimCodes = resizeNil(batch.DimCodes, len(dims))
+		batch.DimDict = resizeNil(batch.DimDict, len(dims))
+		batch.Rows = rows
+	}
+	b.obs.observeDecode(time.Since(start))
+	return fn(batch)
 }

@@ -1,6 +1,10 @@
 package brick
 
-import "sort"
+import (
+	"bytes"
+	"compress/flate"
+	"sort"
+)
 
 // Third-generation storage (§IV-F3): under sustained memory pressure,
 // Cubrick not only compresses but also *evicts* data to SSD. An evicted
@@ -10,44 +14,76 @@ import "sort"
 // hot enough that they should stay memory-resident; if a host's memory
 // cannot hold the working sets of all its shards, query latency
 // deteriorates — the exact failure mode §IV-F3 describes.
+//
+// With adaptive per-column encodings the flate outer layer applies only
+// here: warm bricks stay in the lightweight encoded tier and decode at
+// bit-unpack speed, while the SSD payload is flate(encoded blob) so the
+// on-disk format stays compact.
 
-// Evict moves the brick to the SSD tier: it is compressed first if needed
-// and its memory footprint becomes zero. Empty bricks are not evicted.
+// Evict moves the brick to the SSD tier: it is encoded first if needed,
+// the encoded blob is flate-compressed, and the memory footprint becomes
+// zero. Empty bricks are not evicted.
 func (b *Brick) Evict() error {
 	if err := b.Compress(); err != nil {
 		return err
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.compressed == nil {
+	if b.ssd != nil {
+		return nil // already evicted
+	}
+	if b.encoded == nil {
 		return nil // empty brick
 	}
-	b.evicted = true
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b.encoded); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	b.ssd = out.Bytes()
+	b.encLen = len(b.encoded)
+	b.encoded = nil
+	b.obs.add("brick.evictions", 1)
 	return nil
 }
 
-// Unevict returns the brick to the in-memory compressed tier.
+// Unevict returns the brick to the in-memory encoded tier by inflating the
+// SSD payload. If the payload turns out to be unreadable the brick simply
+// stays evicted; the corruption surfaces as an error on the next scan.
 func (b *Brick) Unevict() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.evicted = false
+	if b.ssd == nil {
+		return
+	}
+	data, _, err := b.blobLocked(nil)
+	if err != nil {
+		return
+	}
+	b.encoded = data
+	b.ssd = nil
+	b.encLen = 0
+	b.obs.add("brick.promotions", 1)
 }
 
 // IsEvicted reports whether the brick lives on the SSD tier.
 func (b *Brick) IsEvicted() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.evicted
+	return b.ssd != nil
 }
 
 // SSDBytes returns the brick's SSD footprint (zero unless evicted).
 func (b *Brick) SSDBytes() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if !b.evicted {
-		return 0
-	}
-	return int64(len(b.compressed))
+	return int64(len(b.ssd))
 }
 
 // SSDBytes returns the store's total SSD footprint.
@@ -165,10 +201,13 @@ func (s *Store) EnsureTiered(memBudget int64, lowWater float64) (compressed, evi
 	return compressed, evicted, promoted, nil
 }
 
-// compressedLen returns the in-memory size the brick would occupy if
-// resident in the compressed tier.
+// compressedLen returns the in-memory size the brick occupies (or would
+// occupy, if evicted) when resident in the encoded tier.
 func (b *Brick) compressedLen() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return int64(len(b.compressed))
+	if b.ssd != nil {
+		return int64(b.encLen)
+	}
+	return int64(len(b.encoded))
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"cubrick/internal/metrics"
 )
 
 // Filter restricts a scan to rows whose dimension values fall within the
@@ -88,6 +90,11 @@ type Store struct {
 	// ssdReads counts scans that had to fetch an evicted brick from the
 	// SSD tier (§IV-F3).
 	ssdReads int64
+
+	// obs fans encode/decode events from this store's bricks into an
+	// optional metrics registry (see SetMetricsRegistry); shared by every
+	// brick so late registry attachment reaches existing bricks.
+	obs *storeObs
 }
 
 // NewStore creates an empty store for the schema.
@@ -95,7 +102,15 @@ func NewStore(schema Schema) (*Store, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	return &Store{schema: schema, bricks: make(map[uint64]*Brick)}, nil
+	return &Store{schema: schema, bricks: make(map[uint64]*Brick), obs: &storeObs{}}, nil
+}
+
+// SetMetricsRegistry routes the store's encode/decode instrumentation
+// (brick.encode.* counters, brick.decode.latency histogram) into reg. A
+// nil registry detaches. Safe to call at any time, including concurrently
+// with scans.
+func (s *Store) SetMetricsRegistry(reg *metrics.Registry) {
+	s.obs.reg.Store(reg)
 }
 
 // Schema returns the store's schema.
@@ -130,6 +145,7 @@ func (s *Store) Insert(dims []uint32, metrics []float64) error {
 	b, ok := s.bricks[id]
 	if !ok {
 		b = newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
+		b.obs = s.obs
 		s.bricks[id] = b
 	}
 	s.rows++
@@ -204,6 +220,7 @@ func (s *Store) InsertBatch(dimCols [][]uint32, metricCols [][]float64) error {
 		b, ok := s.bricks[id]
 		if !ok {
 			b = newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
+			b.obs = s.obs
 			s.bricks[id] = b
 		}
 		targets = append(targets, target{b, idx})
@@ -299,10 +316,21 @@ func (t *ScanTask) Rows() int { return t.brick.Rows() }
 // decompression.
 func (t *ScanTask) Compressed() bool { return t.brick.IsCompressed() }
 
-// Visit streams the brick's columnar batch to fn, adding heat and
-// counting decompressions/SSD reads on the store. The column slices are
-// valid only for the duration of the call.
+// Visit streams the brick's fully materialized columnar batch to fn,
+// adding heat and counting decompressions/SSD reads on the store. The
+// column slices are valid only for the duration of the call.
 func (t *ScanTask) Visit(fn func(dims [][]uint32, metrics [][]float64, rows int) error) error {
+	return t.VisitBatch(nil, func(b *Batch) error {
+		return fn(b.Dims, b.Metrics, b.Rows)
+	})
+}
+
+// VisitBatch streams the brick's columnar batch to fn, decoding only the
+// columns the projection references (nil materializes everything) into
+// pooled scratch buffers, adding heat and counting decompressions/SSD
+// reads on the store. The batch and its views are valid only for the
+// duration of the call.
+func (t *ScanTask) VisitBatch(proj *Projection, fn func(*Batch) error) error {
 	t.brick.Touch(1)
 	if t.brick.IsCompressed() {
 		t.store.mu.Lock()
@@ -312,7 +340,7 @@ func (t *ScanTask) Visit(fn func(dims [][]uint32, metrics [][]float64, rows int)
 		}
 		t.store.mu.Unlock()
 	}
-	return t.brick.visit(fn)
+	return t.brick.visitBatch(proj, fn)
 }
 
 // ScanPlan is a stable snapshot of the bricks a filtered scan must visit,
@@ -443,6 +471,7 @@ func (s *Store) HotnessSnapshot() []BrickHeat {
 			BrickID:    e.id,
 			Hotness:    e.b.Hotness(),
 			Compressed: e.b.IsCompressed(),
+			Evicted:    e.b.IsEvicted(),
 			Rows:       e.b.Rows(),
 		})
 	}
@@ -454,6 +483,7 @@ type BrickHeat struct {
 	BrickID    uint64
 	Hotness    float64
 	Compressed bool
+	Evicted    bool
 	Rows       int
 }
 

@@ -8,10 +8,29 @@ import (
 	"io"
 )
 
+// exportBlob returns the brick's columnar payload in the version-2
+// adaptive format without changing the brick's tier: encoded bricks hand
+// out their blob as-is, evicted bricks inflate it transiently, raw bricks
+// encode on the fly. Export metrics are not counted as tier transitions.
+func (b *Brick) exportBlob() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.encoded != nil {
+		return b.encoded, nil
+	}
+	if b.ssd != nil {
+		data, _, err := b.blobLocked(nil)
+		return data, err
+	}
+	return encodeBrickBlob(b.dims, b.metrics, b.rows, nil), nil
+}
+
 // Export serializes the full store (schema-less; the receiver must create
 // its store with the same schema) for shard migration: on a live migration
 // the new server copies the data from the old one, on a failover from a
-// healthy replica in another region (§IV-E).
+// healthy replica in another region (§IV-E). Per-brick payloads reuse the
+// already-encoded adaptive blobs, so exporting a compressed store does not
+// re-encode anything; the outer flate layer keeps the wire format compact.
 func (s *Store) Export() ([]byte, error) {
 	var raw bytes.Buffer
 	var scratch [binary.MaxVarintLen64]byte
@@ -23,18 +42,9 @@ func (s *Store) Export() ([]byte, error) {
 	put(uint64(len(entries)))
 	for _, e := range entries {
 		put(e.id)
-		var payload []byte
-		err := e.b.visit(func(dims [][]uint32, metrics [][]float64, rows int) error {
-			tmp := &Brick{dims: dims, metrics: metrics, rows: rows}
-			payload = tmp.encodeColumns()
-			return nil
-		})
+		payload, err := e.b.exportBlob()
 		if err != nil {
 			return nil, err
-		}
-		if payload == nil { // empty brick
-			tmp := newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
-			payload = tmp.encodeColumns()
 		}
 		put(uint64(len(payload)))
 		raw.Write(payload)
@@ -54,8 +64,9 @@ func (s *Store) Export() ([]byte, error) {
 }
 
 // Import replaces the store's contents with a previously Exported blob.
-// Bricks arrive uncompressed; the memory monitor will compress them later
-// if there is pressure.
+// Both version-2 (adaptive) and legacy version-1 brick payloads are
+// accepted. Bricks arrive uncompressed; the memory monitor will compress
+// them later if there is pressure.
 func (s *Store) Import(blob []byte) error {
 	fr := flate.NewReader(bytes.NewReader(blob))
 	raw, err := io.ReadAll(fr)
@@ -66,6 +77,9 @@ func (s *Store) Import(blob []byte) error {
 	nBricks, err := binary.ReadUvarint(r)
 	if err != nil {
 		return fmt.Errorf("brick: import header: %w", err)
+	}
+	if nBricks > uint64(r.Len()) {
+		return fmt.Errorf("brick: import claims %d bricks in %d bytes", nBricks, r.Len())
 	}
 	bricks := make(map[uint64]*Brick, nBricks)
 	var total int64
@@ -78,15 +92,19 @@ func (s *Store) Import(blob []byte) error {
 		if err != nil {
 			return fmt.Errorf("brick: import brick len: %w", err)
 		}
+		if plen > uint64(r.Len()) {
+			return fmt.Errorf("brick: import brick payload claims %d bytes, %d remain", plen, r.Len())
+		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return fmt.Errorf("brick: import brick payload: %w", err)
 		}
-		dims, metrics, rows, err := decodeColumns(payload, len(s.schema.Dimensions), len(s.schema.Metrics))
+		dims, metrics, rows, err := decodeBlobOwned(payload, len(s.schema.Dimensions), len(s.schema.Metrics), -1)
 		if err != nil {
 			return err
 		}
 		b := newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
+		b.obs = s.obs
 		b.dims = dims
 		b.metrics = metrics
 		b.rows = rows

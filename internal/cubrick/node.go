@@ -470,6 +470,21 @@ func (n *Node) DecompressAll() {
 	}
 }
 
+// Compact runs one hotness-driven compaction pass over every store on the
+// node, walking bricks down (or back up) the raw → encoded → SSD ladder.
+// The cubrick-server background compactor calls this on a ticker.
+func (n *Node) Compact(cfg brick.CompactionConfig) (brick.CompactionStats, error) {
+	var total brick.CompactionStats
+	for _, st := range n.allStores() {
+		s, err := st.CompactOnce(cfg)
+		total.Add(s)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // SSDReads returns the node's total SSD read count — the IOPS signal
 // §IV-F3 investigates as an additional load-balancing metric.
 func (n *Node) SSDReads() int64 {

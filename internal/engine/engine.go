@@ -327,6 +327,21 @@ type compiled struct {
 	// i, or -1.
 	distinctIdx []int
 	filter      *brick.Filter
+
+	// proj is the projection for partially covered bricks: referenced
+	// columns plus the filter dimensions MatchesAt needs.
+	proj brick.Projection
+	// projFull is the projection for fully covered bricks: referenced
+	// columns only — filter-irrelevant dimensions are never decoded. The
+	// encDim entry asks for the encoded (run/dictionary) view.
+	projFull brick.Projection
+	// projFullSerial is projFull with every column materialized, for the
+	// row-at-a-time serial reference path.
+	projFullSerial brick.Projection
+	// encDim is the single GROUP BY dimension eligible for encoding-aware
+	// aggregation (runs/dictionary codes consumed without materializing),
+	// or -1.
+	encDim int
 }
 
 // compile validates the query against the schema and resolves columns.
@@ -359,7 +374,59 @@ func compile(schema brick.Schema, q *Query) (*compiled, error) {
 			c.filter.Ranges[schema.DimIndex(name)] = r
 		}
 	}
+	c.buildProjections(schema)
 	return c, nil
+}
+
+// buildProjections derives the referenced-column sets scans hand to
+// VisitBatch. Fully covered bricks skip filter-only dimensions entirely
+// (their values cannot change the result); partially covered bricks
+// additionally materialize the filter dimensions for MatchesAt.
+func (c *compiled) buildProjections(schema brick.Schema) {
+	dims := make([]brick.ColRequest, len(schema.Dimensions))
+	mets := make([]bool, len(schema.Metrics))
+	for _, gi := range c.groupIdx {
+		dims[gi] = brick.ColNeed
+	}
+	for _, di := range c.distinctIdx {
+		if di >= 0 {
+			dims[di] = brick.ColNeed
+		}
+	}
+	for _, mi := range c.metricIdx {
+		if mi >= 0 {
+			mets[mi] = true
+		}
+	}
+	full := append([]brick.ColRequest(nil), dims...)
+	serialFull := append([]brick.ColRequest(nil), dims...)
+	part := dims
+	if c.filter != nil {
+		for di := range c.filter.Ranges {
+			if part[di] == brick.ColSkip {
+				part[di] = brick.ColNeed
+			}
+		}
+	}
+	// A single GROUP BY dimension that no CountDistinct reads can be
+	// aggregated straight off its run or dictionary structure.
+	c.encDim = -1
+	if len(c.groupIdx) == 1 && !disableEncodedKernels {
+		gi := c.groupIdx[0]
+		eligible := true
+		for _, di := range c.distinctIdx {
+			if di == gi {
+				eligible = false
+			}
+		}
+		if eligible {
+			c.encDim = gi
+			full[gi] = brick.ColGroupEncoded
+		}
+	}
+	c.proj = brick.Projection{Dims: part, Metrics: mets}
+	c.projFull = brick.Projection{Dims: full, Metrics: mets}
+	c.projFullSerial = brick.Projection{Dims: serialFull, Metrics: mets}
 }
 
 // observeRow folds row r of a columnar batch into the group's cells.
@@ -401,7 +468,12 @@ func Execute(store *brick.Store, q *Query) (*Partial, error) {
 		if t.Compressed() {
 			p.Decompressions++
 		}
-		err := t.Visit(func(dims [][]uint32, metrics [][]float64, rows int) error {
+		proj := &c.proj
+		if t.Full {
+			proj = &c.projFullSerial
+		}
+		err := t.VisitBatch(proj, func(b *brick.Batch) error {
+			dims, metrics, rows := b.Dims, b.Metrics, b.Rows
 			for r := 0; r < rows; r++ {
 				if !t.Full && !c.filter.MatchesAt(dims, r) {
 					continue

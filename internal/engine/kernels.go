@@ -1,6 +1,10 @@
 package engine
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"cubrick/internal/brick"
+)
 
 // Aggregation kernels for the vectorized execution path. Each kernel
 // consumes whole columnar batches (the dims/metrics views a ScanTask
@@ -16,6 +20,69 @@ import "encoding/binary"
 // ascending brick-id order and converted to the canonical string-keyed
 // Partial once at the end, so parallel execution is deterministic and
 // scheduling-independent.
+
+// disableEncodedKernels turns off encoding-aware GROUP BY aggregation
+// (runs/dictionary codes consumed without materializing the column); the
+// compiled projection then materializes the group column instead.
+// Benchmark hook only.
+var disableEncodedKernels bool
+
+// encodedGroupObserver is implemented by the single-dimension GROUP BY
+// kernels that can aggregate straight off a column's encoded structure:
+// one slot resolution per run (run-length multiply for count, a tight
+// metric loop per run) or per dictionary code, instead of per row. Only
+// dispatched on fully covered bricks with compile-time eligibility
+// (exactly one GROUP BY dimension, not read by any CountDistinct), so the
+// batch's other referenced columns are always materialized.
+type encodedGroupObserver interface {
+	observeRuns(b *brick.Batch, runs []brick.Run)
+	observeCodes(b *brick.Batch, codes, dict []uint32)
+}
+
+// observeRun folds rows [start, start+n) — all belonging to group g —
+// into g's cells, using run-length shortcuts where the aggregate allows:
+// Count adds n in O(1); metric aggregates run a register-local loop over
+// the metric column slice; CountDistinct over other dimensions stays
+// per-row.
+func (c *compiled) observeRun(g *group, b *brick.Batch, start, n int) {
+	end := start + n
+	for i := range c.q.Aggregates {
+		cl := &g.cells[i]
+		if di := c.distinctIdx[i]; di >= 0 {
+			col := b.Dims[di]
+			for r := start; r < end; r++ {
+				cl.observeDistinct(col[r])
+			}
+			continue
+		}
+		if mi := c.metricIdx[i]; mi >= 0 {
+			col := b.Metrics[mi]
+			sum, cnt, mn, mx := cl.sum, cl.count, cl.min, cl.max
+			for r := start; r < end; r++ {
+				v := col[r]
+				sum += v
+				cnt++
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			cl.sum, cl.count, cl.min, cl.max = sum, cnt, mn, mx
+			continue
+		}
+		// Count: exactly equivalent to n observe(1) calls, without the loop.
+		cl.sum += float64(n)
+		cl.count += int64(n)
+		if 1 < cl.min {
+			cl.min = 1
+		}
+		if 1 > cl.max {
+			cl.max = 1
+		}
+	}
+}
 
 // accumulator is one kernel instance. sel selects the surviving row
 // indexes of the batch when the brick is not fully covered by the filter;
@@ -263,6 +330,47 @@ func (a *denseAcc) observeBatch(dims [][]uint32, metrics [][]float64, rows int, 
 	}
 }
 
+// observeRuns aggregates an RLE-encoded group column run by run: one slot
+// lookup per run instead of per row. Only reached with a single grouped
+// dimension (encoded-kernel eligibility), so lo[0] addresses the domain.
+func (a *denseAcc) observeRuns(b *brick.Batch, runs []brick.Run) {
+	nAggs := len(a.c.q.Aggregates)
+	lo := a.lo[0]
+	start := 0
+	for _, run := range runs {
+		n := int(run.Length)
+		g := a.groups[run.Value-lo]
+		if g == nil {
+			g = newGroup([]uint32{run.Value}, nAggs)
+			a.groups[run.Value-lo] = g
+		}
+		a.c.observeRun(g, b, start, n)
+		start += n
+	}
+}
+
+// observeCodes aggregates a dictionary-encoded group column: groups are
+// resolved once per dictionary code through a per-batch slot cache, so the
+// per-row work is a single array index rather than a domain lookup.
+func (a *denseAcc) observeCodes(b *brick.Batch, codes, dict []uint32) {
+	nAggs := len(a.c.q.Aggregates)
+	lo := a.lo[0]
+	slots := make([]*group, len(dict))
+	for r, code := range codes {
+		g := slots[code]
+		if g == nil {
+			v := dict[code]
+			g = a.groups[v-lo]
+			if g == nil {
+				g = newGroup([]uint32{v}, nAggs)
+				a.groups[v-lo] = g
+			}
+			slots[code] = g
+		}
+		a.c.observeRow(g, b.Dims, b.Metrics, r)
+	}
+}
+
 // each yields the occupied slots in ascending domain order.
 func (a *denseAcc) each(fn func(g *group)) {
 	for _, g := range a.groups {
@@ -309,6 +417,41 @@ func (a *key1Acc) observeRow(k uint32, dims [][]uint32, metrics [][]float64, r i
 		a.groups[k] = g
 	}
 	a.c.observeRow(g, dims, metrics, r)
+}
+
+// observeRuns aggregates an RLE-encoded group column with one map probe
+// per run.
+func (a *key1Acc) observeRuns(b *brick.Batch, runs []brick.Run) {
+	start := 0
+	for _, run := range runs {
+		n := int(run.Length)
+		g, ok := a.groups[run.Value]
+		if !ok {
+			g = newGroup([]uint32{run.Value}, len(a.c.q.Aggregates))
+			a.groups[run.Value] = g
+		}
+		a.c.observeRun(g, b, start, n)
+		start += n
+	}
+}
+
+// observeCodes aggregates a dictionary-encoded group column with at most
+// one map probe per distinct code; per-row work is an array index.
+func (a *key1Acc) observeCodes(b *brick.Batch, codes, dict []uint32) {
+	slots := make([]*group, len(dict))
+	for r, code := range codes {
+		g := slots[code]
+		if g == nil {
+			var ok bool
+			g, ok = a.groups[dict[code]]
+			if !ok {
+				g = newGroup([]uint32{dict[code]}, len(a.c.q.Aggregates))
+				a.groups[dict[code]] = g
+			}
+			slots[code] = g
+		}
+		a.c.observeRow(g, b.Dims, b.Metrics, r)
+	}
 }
 
 func (a *key1Acc) insertGroup(og *group) {

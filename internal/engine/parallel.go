@@ -97,20 +97,39 @@ func executeParallelTimed(store *brick.Store, q *Query, parallelism int) (*Parti
 				res := &results[i]
 				res.acc = newTaskAccumulator(c, t.Bounds)
 				res.decompressed = t.Compressed()
-				res.err = t.Visit(func(dims [][]uint32, metrics [][]float64, rows int) error {
+				proj := &c.proj
+				if t.Full {
+					proj = &c.projFull
+				}
+				res.err = t.VisitBatch(proj, func(b *brick.Batch) error {
 					if t.Full || c.filter == nil {
-						res.rowsScanned += int64(rows)
-						res.acc.observeBatch(dims, metrics, rows, nil)
+						res.rowsScanned += int64(b.Rows)
+						// Encoded fast path: a fully covered brick whose group
+						// column arrived as runs or dictionary codes feeds the
+						// kernel without the column ever materializing.
+						if c.encDim >= 0 {
+							if eo, ok := res.acc.(encodedGroupObserver); ok {
+								if runs := b.Runs(c.encDim); runs != nil {
+									eo.observeRuns(b, runs)
+									return nil
+								}
+								if codes, dict := b.Codes(c.encDim); codes != nil {
+									eo.observeCodes(b, codes, dict)
+									return nil
+								}
+							}
+						}
+						res.acc.observeBatch(b.Dims, b.Metrics, b.Rows, nil)
 						return nil
 					}
 					sel = sel[:0]
-					for r := 0; r < rows; r++ {
-						if c.filter.MatchesAt(dims, r) {
+					for r := 0; r < b.Rows; r++ {
+						if c.filter.MatchesAt(b.Dims, r) {
 							sel = append(sel, int32(r))
 						}
 					}
 					res.rowsScanned += int64(len(sel))
-					res.acc.observeBatch(dims, metrics, rows, sel)
+					res.acc.observeBatch(b.Dims, b.Metrics, b.Rows, sel)
 					return nil
 				})
 			}

@@ -135,6 +135,9 @@ func (w *Worker) AddPartition(name string, schema brick.Schema) error {
 	if err != nil {
 		return err
 	}
+	if w.Metrics != nil {
+		st.SetMetricsRegistry(w.Metrics)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, ok := w.stores[name]; ok {
@@ -142,6 +145,40 @@ func (w *Worker) AddPartition(name string, schema brick.Schema) error {
 	}
 	w.stores[name] = st
 	return nil
+}
+
+// CompactAll runs one compaction pass over every partition store and
+// returns the summed tier transitions. The background compactor in
+// cmd/cubrick-worker calls this on a ticker.
+func (w *Worker) CompactAll(cfg brick.CompactionConfig) (brick.CompactionStats, error) {
+	var total brick.CompactionStats
+	for _, st := range w.allStores() {
+		s, err := st.CompactOnce(cfg)
+		total.Add(s)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// DecayHotness cools every brick on the worker — the compactor ticker
+// calls it before each pass so untouched bricks drift down the tier
+// ladder (queries and ingest heat them back up).
+func (w *Worker) DecayHotness(factor float64) {
+	for _, st := range w.allStores() {
+		st.DecayHotness(factor)
+	}
+}
+
+func (w *Worker) allStores() []*brick.Store {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	stores := make([]*brick.Store, 0, len(w.stores))
+	for _, st := range w.stores {
+		stores = append(stores, st)
+	}
+	return stores
 }
 
 // Store returns a partition's store.

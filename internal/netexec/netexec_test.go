@@ -212,3 +212,45 @@ func TestWorkerPartitions(t *testing.T) {
 		t.Fatalf("Partitions = %v", parts)
 	}
 }
+
+// TestWorkerCompactAll cools every partition's bricks and checks one pass
+// walks all of them one rung down the tier ladder, summed across stores.
+func TestWorkerCompactAll(t *testing.T) {
+	w := NewWorker()
+	total := 0
+	for _, name := range []string{"a", "b"} {
+		if err := w.AddPartition(name, testSchema()); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := w.Store(name)
+		for i := 0; i < 200; i++ {
+			if err := st.Insert([]uint32{uint32(i % 30), uint32(i % 20)},
+				[]float64{float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.DecayHotness(0)
+		total += st.BrickCount()
+	}
+	cfg := brick.CompactionConfig{EncodeBelow: 1, EvictBelow: 1}
+	stats, err := w.CompactAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Encoded != total || stats.Evicted != 0 {
+		t.Fatalf("pass 1 stats = %+v, want %d encoded", stats, total)
+	}
+	stats, err = w.CompactAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evicted != total {
+		t.Fatalf("pass 2 stats = %+v, want %d evicted", stats, total)
+	}
+	for _, name := range []string{"a", "b"} {
+		st, _ := w.Store(name)
+		if got := st.CompressedBrickCount(); got != st.BrickCount() {
+			t.Fatalf("%s: %d of %d bricks compressed", name, got, st.BrickCount())
+		}
+	}
+}

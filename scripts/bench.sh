@@ -79,3 +79,27 @@ END {
 rm -f "$OBS_RAW"
 echo "== wrote BENCH_observability.json"
 cat BENCH_observability.json
+
+# Storage layer: compression ratio + cold-scan throughput of the adaptive
+# per-column encodings versus the legacy flate-of-varints baseline, across
+# low-cardinality / sequential / random shapes, plus the run-aware GROUP BY
+# kernel versus materialize-then-aggregate over RLE bricks. Acceptance:
+# lightweight scans >=3x faster than flate on lowcard/sequential with
+# compression ratio within 1.5x of flate.
+echo "== storage bench (adaptive encodings vs flate baseline)"
+STORAGE_RAW="$(mktemp)"
+RLE_RAW="$(mktemp)"
+STORAGE_BENCH_OUT="$STORAGE_RAW" \
+    go test ./internal/brick/ -run '^TestStorageBench$' -count=1
+RLE_BENCH_OUT="$RLE_RAW" \
+    go test ./internal/engine/ -run '^TestRLEKernelBench$' -count=1
+{
+    printf '{\n  "storage": '
+    cat "$STORAGE_RAW"
+    printf ',\n  "rle_kernel": '
+    cat "$RLE_RAW"
+    printf '}\n'
+} > BENCH_storage.json
+rm -f "$STORAGE_RAW" "$RLE_RAW"
+echo "== wrote BENCH_storage.json"
+cat BENCH_storage.json

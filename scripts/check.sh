@@ -36,13 +36,20 @@ go test -run '^$' -fuzz '^FuzzUnmarshalPartial$' -fuzztime 10s ./internal/engine
 echo "== fuzz smoke (binary ingest decode, 10s)"
 go test -run '^$' -fuzz '^FuzzLoadBin$' -fuzztime 10s ./internal/netexec
 
+echo "== fuzz smoke (brick blob decode, 10s)"
+go test -run '^$' -fuzz '^FuzzDecodeBrick$' -fuzztime 10s ./internal/brick
+
+echo "== fuzz smoke (brick column decoders, 5s each)"
+go test -run '^$' -fuzz '^FuzzDecodeDimColumn$' -fuzztime 5s ./internal/brick
+go test -run '^$' -fuzz '^FuzzDecodeMetricColumn$' -fuzztime 5s ./internal/brick
+
 # Coverage gate over the query path and its observability plane. Baseline
 # when the gate was introduced (PR 4): netexec 89.6%, engine 88.8%,
-# trace 95.9%, metrics 74.1%. The floor is deliberately below baseline so
-# honest refactors don't trip it; raising the floor is fine, lowering it
-# needs a written reason.
+# trace 95.9%, metrics 74.1%; brick added in PR 5. The floor is
+# deliberately below baseline so honest refactors don't trip it; raising
+# the floor is fine, lowering it needs a written reason.
 echo "== coverage gate (>= 70%)"
-for pkg in ./internal/netexec ./internal/engine ./internal/trace ./internal/metrics; do
+for pkg in ./internal/netexec ./internal/engine ./internal/trace ./internal/metrics ./internal/brick; do
     line="$(go test -cover "$pkg" | tail -1)"
     echo "$line"
     pct="$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"
