@@ -30,15 +30,18 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"cubrick/internal/admission"
 	"cubrick/internal/cql"
 	"cubrick/internal/metrics"
 	"cubrick/internal/netexec"
@@ -63,7 +66,13 @@ func main() {
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "how many traces the /debug/trace ring retains")
 	slowQueryMS := flag.Int("slow-query-ms", 500, "log a per-stage breakdown for queries slower than this (0 disables)")
+	maxConcurrent := flag.Int("max-concurrent-queries", 0, "cap on concurrently executing queries; excess queries queue (0 disables admission control)")
+	queueDepth := flag.Int("queue-depth", 64, "bound on the admission queue; arrivals beyond it are shed with 429")
+	fold := flag.String("fold", "on", "worker-side shared-scan folding for queries from this coordinator (on/off)")
 	flag.Parse()
+	if *fold != "on" && *fold != "off" {
+		log.Fatalf("cubrick-coordinator: -fold must be on or off, got %q", *fold)
+	}
 	urls := strings.Split(*workers, ",")
 	var clean []string
 	for _, u := range urls {
@@ -101,6 +110,15 @@ func main() {
 	coord.Breakers = breakers
 	coord.Metrics = reg
 	coord.MaxPartialBytes = *maxPartialBytes
+	coord.NoFold = *fold == "off"
+	if *maxConcurrent > 0 {
+		coord.Admission = admission.New(admission.Config{
+			MaxConcurrent: *maxConcurrent,
+			QueueDepth:    *queueDepth,
+			Metrics:       reg,
+		})
+		log.Printf("cubrick-coordinator admission: max-concurrent=%d queue-depth=%d", *maxConcurrent, *queueDepth)
+	}
 	tracer := trace.New(trace.Config{
 		RingSize:           *traceRing,
 		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
@@ -241,6 +259,13 @@ func (s *coordServer) query(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
+	// Clients identify themselves for admission accounting: tenant quotas
+	// and priority scheduling key off these headers, and both propagate
+	// worker-ward on the partial fetches.
+	if tenant, prio := r.Header.Get(netexec.HeaderTenant), r.Header.Get(netexec.HeaderPriority); tenant != "" || prio != "" {
+		priority, _ := strconv.Atoi(prio)
+		ctx = admission.WithMeta(ctx, admission.Meta{Tenant: tenant, Priority: priority})
+	}
 	// The root span covers parse-to-response; its trace ID goes back to
 	// the client so a slow query is immediately retrievable from
 	// /debug/trace/{id}.
@@ -253,6 +278,12 @@ func (s *coordServer) query(w http.ResponseWriter, r *http.Request) {
 	res, err := s.cluster.Query(ctx, sel.Table, sel.Query)
 	span.EndErr(err)
 	if err != nil {
+		if errors.Is(err, admission.ErrQueueFull) {
+			// Shed by admission control: 429 is retryable under the
+			// client-side resilience policy.
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeErr(w, http.StatusBadGateway, err)
 		return
 	}

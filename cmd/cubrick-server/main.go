@@ -16,6 +16,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	cubrick "cubrick"
+	"cubrick/internal/admission"
 	"cubrick/internal/brick"
 )
 
@@ -37,12 +39,30 @@ func main() {
 	compactEncodeBelow := flag.Float64("compact-encode-below", 1, "encode raw bricks whose hotness falls below this")
 	compactEvictBelow := flag.Float64("compact-evict-below", 0.1, "flate+evict encoded bricks whose hotness falls below this")
 	compactPromoteAbove := flag.Float64("compact-promote-above", 0, "promote colder-tier bricks whose hotness rises above this (0 disables)")
+	maxConcurrent := flag.Int("max-concurrent-queries", 0, "per-node cap on concurrently executing partials; excess queries queue (0 disables admission control)")
+	queueDepth := flag.Int("queue-depth", 64, "bound on each node's admission queue; arrivals beyond it are shed")
+	fold := flag.String("fold", "on", "shared-scan folding: concurrent queries with equal fold keys share one brick pass (on/off)")
 	flag.Parse()
+	if *fold != "on" && *fold != "off" {
+		log.Fatalf("cubrick-server: -fold must be on or off, got %q", *fold)
+	}
 
 	db, err := cubrick.Open(cubrick.Defaults())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open deployment:", err)
 		os.Exit(1)
+	}
+	for _, n := range db.Deployment().Nodes() {
+		n.SetFoldScans(*fold == "on")
+		if *maxConcurrent > 0 {
+			n.SetAdmission(admission.New(admission.Config{
+				MaxConcurrent: *maxConcurrent,
+				QueueDepth:    *queueDepth,
+			}))
+		}
+	}
+	if *maxConcurrent > 0 {
+		log.Printf("cubrick-server admission: per-node max-concurrent=%d queue-depth=%d", *maxConcurrent, *queueDepth)
 	}
 	if *compactInterval > 0 {
 		cfg := brick.CompactionConfig{
@@ -174,6 +194,12 @@ func (s *server) query(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.db.Query(req.CQL)
 	if err != nil {
+		if errors.Is(err, admission.ErrQueueFull) {
+			// Shed by admission control: 429 tells clients to back off
+			// and retry, mirroring the worker/coordinator behaviour.
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}

@@ -29,6 +29,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"cubrick/internal/admission"
 	"cubrick/internal/brick"
 	"cubrick/internal/metrics"
 	"cubrick/internal/netexec"
@@ -48,7 +49,13 @@ func main() {
 	compactEvictBelow := flag.Float64("compact-evict-below", 0.1, "flate+evict encoded bricks whose hotness falls below this")
 	compactPromoteAbove := flag.Float64("compact-promote-above", 0, "promote colder-tier bricks whose hotness rises above this (0 disables)")
 	compactDecay := flag.Float64("compact-decay", 0.8, "hotness decay factor applied before each compaction pass (1 disables decay)")
+	maxConcurrent := flag.Int("max-concurrent-queries", 0, "cap on concurrently executing partials; excess queries queue (0 disables admission control)")
+	queueDepth := flag.Int("queue-depth", 64, "bound on the admission queue; arrivals beyond it are shed with 429")
+	fold := flag.String("fold", "on", "shared-scan folding: concurrent queries with equal fold keys share one brick pass (on/off)")
 	flag.Parse()
+	if *fold != "on" && *fold != "off" {
+		log.Fatalf("cubrick-worker: -fold must be on or off, got %q", *fold)
+	}
 	w := netexec.NewWorker()
 	tracer := trace.New(trace.Config{
 		RingSize:           *traceRing,
@@ -57,6 +64,15 @@ func main() {
 	w.Tracer = tracer
 	if *enableMetrics {
 		w.Metrics = metrics.NewRegistry()
+	}
+	w.FoldScans = *fold == "on"
+	if *maxConcurrent > 0 {
+		w.Admission = admission.New(admission.Config{
+			MaxConcurrent: *maxConcurrent,
+			QueueDepth:    *queueDepth,
+			Metrics:       w.Metrics,
+		})
+		log.Printf("cubrick-worker admission: max-concurrent=%d queue-depth=%d", *maxConcurrent, *queueDepth)
 	}
 	handler := netexec.ChaosHandler(*chaosFailProb, *chaosSeed, w.Handler())
 	// Debug and metrics endpoints mount on the outer mux so chaos-injected
@@ -106,7 +122,7 @@ func main() {
 			}
 		}()
 	}
-	log.Printf("cubrick-worker listening on %s (metrics=%v pprof=%v slow-query-ms=%d)",
-		*addr, *enableMetrics, *enablePprof, *slowQueryMS)
+	log.Printf("cubrick-worker listening on %s (metrics=%v pprof=%v slow-query-ms=%d fold=%s)",
+		*addr, *enableMetrics, *enablePprof, *slowQueryMS, *fold)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }

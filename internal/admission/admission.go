@@ -1,0 +1,291 @@
+// Package admission provides the query admission layer: per-tenant
+// concurrency quotas, a bounded priority queue, and load shedding. It sits
+// in front of query execution at both the worker (Node.ExecutePartial /
+// the /partial HTTP handler) and the coordinator (netexec.Coordinator), so
+// a burst of dashboard traffic queues briefly — with queue time recorded
+// in the trace plane and the query.queue_ms histogram — instead of
+// thrashing the scan workers, and sheds (429, retryable under the
+// resilience policy) once the queue is full.
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"cubrick/internal/metrics"
+	"cubrick/internal/simclock"
+)
+
+// ErrQueueFull is returned when the waiting queue is at capacity and the
+// query is shed. HTTP frontends map it to 429 Too Many Requests, which the
+// resilience policy classifies as retryable.
+var ErrQueueFull = errors.New("admission: queue full, query shed")
+
+// Config parameterizes a Controller.
+type Config struct {
+	// MaxConcurrent caps queries running at once (minimum 1).
+	MaxConcurrent int
+	// QueueDepth bounds the waiting queue; arrivals beyond it are shed
+	// with ErrQueueFull. Zero means no queue: beyond MaxConcurrent,
+	// arrivals shed immediately.
+	QueueDepth int
+	// PerTenantMax caps concurrently running queries per tenant (0 =
+	// no per-tenant cap). A tenant at its cap queues even when global
+	// slots are free; other tenants pass it in the queue.
+	PerTenantMax int
+	// Clock supplies time for queue-time measurement; nil uses the real
+	// clock. Tests drive a simclock.
+	Clock simclock.Clock
+	// Metrics, when set, receives the query.queue_ms histogram and the
+	// query.shed counter.
+	Metrics *metrics.Registry
+}
+
+// Ticket is one admitted query's slot; Release returns it.
+type Ticket struct {
+	c        *Controller
+	tenant   string
+	Queued   time.Duration // time spent waiting for admission
+	released bool
+	mu       sync.Mutex
+}
+
+// Release frees the slot and dispatches waiting queries. Safe to call
+// more than once; extra calls are no-ops.
+func (t *Ticket) Release() {
+	if t == nil || t.c == nil {
+		return
+	}
+	t.mu.Lock()
+	done := t.released
+	t.released = true
+	t.mu.Unlock()
+	if done {
+		return
+	}
+	t.c.release(t.tenant)
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	tenant   string
+	priority int
+	seq      uint64
+	enqueued time.Time
+	ready    chan struct{} // closed on admit
+	admitted bool
+}
+
+// Controller implements admission control. A nil *Controller admits
+// everything immediately, so callers can leave admission unconfigured.
+type Controller struct {
+	cfg   Config
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	running int
+	tenants map[string]int
+	queue   []*waiter
+	seq     uint64
+	shed    int64
+}
+
+// New builds a Controller. MaxConcurrent below 1 is raised to 1; a
+// negative QueueDepth is treated as 0.
+func New(cfg Config) *Controller {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Controller{cfg: cfg, clock: clock, tenants: make(map[string]int)}
+}
+
+// QueueLen returns the number of queries waiting for admission.
+func (c *Controller) QueueLen() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Running returns the number of admitted, unreleased queries.
+func (c *Controller) Running() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.running
+}
+
+// Shed returns the cumulative count of shed queries.
+func (c *Controller) Shed() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shed
+}
+
+// canRun reports whether a query for the tenant may start now, ignoring
+// the queue. Caller holds c.mu.
+func (c *Controller) canRun(tenant string) bool {
+	if c.running >= c.cfg.MaxConcurrent {
+		return false
+	}
+	if c.cfg.PerTenantMax > 0 && tenant != "" && c.tenants[tenant] >= c.cfg.PerTenantMax {
+		return false
+	}
+	return true
+}
+
+// admitLocked marks one query running. Caller holds c.mu.
+func (c *Controller) admitLocked(tenant string) {
+	c.running++
+	if tenant != "" {
+		c.tenants[tenant]++
+	}
+}
+
+// beats reports whether waiter a should be admitted before waiter b:
+// higher priority first, then FIFO by arrival sequence.
+func beats(a, b *waiter) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
+// pump admits every eligible waiter, best first. A tenant at its quota is
+// skipped without blocking the waiters behind it. Caller holds c.mu.
+func (c *Controller) pump() {
+	for c.running < c.cfg.MaxConcurrent {
+		var best *waiter
+		bestIdx := -1
+		for i, w := range c.queue {
+			if !c.canRun(w.tenant) {
+				continue
+			}
+			if best == nil || beats(w, best) {
+				best = w
+				bestIdx = i
+			}
+		}
+		if best == nil {
+			return
+		}
+		c.queue = append(c.queue[:bestIdx], c.queue[bestIdx+1:]...)
+		best.admitted = true
+		c.admitLocked(best.tenant)
+		close(best.ready)
+	}
+}
+
+// Admit blocks until the query may run, returning a Ticket to release, or
+// sheds it with ErrQueueFull when the queue is at capacity. A canceled
+// context abandons the wait with ctx.Err(). A nil Controller admits
+// immediately with a no-op ticket.
+func (c *Controller) Admit(ctx context.Context, tenant string, priority int) (*Ticket, error) {
+	if c == nil {
+		return &Ticket{}, nil
+	}
+	c.mu.Lock()
+	// Fast path: free slot and nothing queued that should go first.
+	if c.canRun(tenant) && !c.hasEligibleWaiterLocked(priority) {
+		c.admitLocked(tenant)
+		c.mu.Unlock()
+		c.observeQueue(0)
+		return &Ticket{c: c, tenant: tenant}, nil
+	}
+	if len(c.queue) >= c.cfg.QueueDepth {
+		c.shed++
+		c.mu.Unlock()
+		if c.cfg.Metrics != nil {
+			c.cfg.Metrics.Counter("query.shed").Inc()
+		}
+		return nil, ErrQueueFull
+	}
+	c.seq++
+	w := &waiter{
+		tenant:   tenant,
+		priority: priority,
+		seq:      c.seq,
+		enqueued: c.clock.Now(),
+		ready:    make(chan struct{}),
+	}
+	c.queue = append(c.queue, w)
+	c.pump()
+	c.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		queued := c.clock.Now().Sub(w.enqueued)
+		c.observeQueue(queued)
+		return &Ticket{c: c, tenant: tenant, Queued: queued}, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.admitted {
+			// Lost the race: admitted between cancel and lock. Give the
+			// slot back and dispatch the next waiter.
+			c.releaseLocked(tenant)
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		for i, qw := range c.queue {
+			if qw == w {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// hasEligibleWaiterLocked reports whether some queued waiter could run
+// right now with priority >= the arriving query's. When true, the arrival
+// must queue behind it rather than jump the line. Caller holds c.mu.
+func (c *Controller) hasEligibleWaiterLocked(priority int) bool {
+	for _, w := range c.queue {
+		if w.priority >= priority && c.canRun(w.tenant) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) observeQueue(d time.Duration) {
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Histogram("query.queue_ms").Observe(float64(d) / float64(time.Millisecond))
+	}
+}
+
+// releaseLocked returns one running slot. Caller holds c.mu.
+func (c *Controller) releaseLocked(tenant string) {
+	c.running--
+	if tenant != "" {
+		if c.tenants[tenant] <= 1 {
+			delete(c.tenants, tenant)
+		} else {
+			c.tenants[tenant]--
+		}
+	}
+	c.pump()
+}
+
+func (c *Controller) release(tenant string) {
+	c.mu.Lock()
+	c.releaseLocked(tenant)
+	c.mu.Unlock()
+}

@@ -1,11 +1,13 @@
 package cubrick
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"cubrick/internal/admission"
 	"cubrick/internal/brick"
 	"cubrick/internal/cluster"
 	"cubrick/internal/core"
@@ -64,6 +66,11 @@ type NodeConfig struct {
 	// HotnessDecay is the per-decay-tick multiplier applied to brick
 	// hotness counters.
 	HotnessDecay float64
+	// FoldScans routes partial execution through the per-store scan
+	// scheduler so concurrent queries with equal fold keys share one
+	// brick pass. Off in the zero value (solo ExecuteParallel, the
+	// pre-scheduler behaviour); on in the production default.
+	FoldScans bool
 }
 
 // DefaultNodeConfig returns the production-like configuration.
@@ -73,6 +80,7 @@ func DefaultNodeConfig() NodeConfig {
 		MetricGen:           Gen2,
 		AvgCompressionRatio: 3,
 		HotnessDecay:        0.8,
+		FoldScans:           true,
 	}
 }
 
@@ -106,6 +114,13 @@ type Node struct {
 	replicated map[string]*brick.Store
 	// insertsSinceSweep amortizes memory-monitor runs across ingests.
 	insertsSinceSweep atomic.Int64
+
+	// admit gates partial execution when set (nil admits everything).
+	admit *admission.Controller
+	// scheds lazily holds one scan scheduler per store when FoldScans is
+	// on, so concurrent same-shape queries share brick passes.
+	schedMu sync.Mutex
+	scheds  map[*brick.Store]*engine.Scheduler
 }
 
 // NewNode constructs a Cubrick server for a host in a region.
@@ -118,6 +133,7 @@ func NewNode(host *cluster.Host, region string, catalog *Catalog, cfg NodeConfig
 		shards:   make(map[int64]map[string]*brick.Store),
 		staged:   make(map[int64]map[string]*brick.Store),
 		forwards: make(map[int64]string),
+		scheds:   make(map[*brick.Store]*engine.Scheduler),
 	}
 }
 
@@ -421,11 +437,84 @@ func (n *Node) InsertBatch(shard int64, partName string, dims [][]uint32, metric
 // brick-parallel: the partition's bricks are morsels consumed by a worker
 // pool sized by GOMAXPROCS.
 func (n *Node) ExecutePartial(shard int64, partName string, q *engine.Query) (*engine.Partial, error) {
+	return n.ExecutePartialCtx(context.Background(), shard, partName, q)
+}
+
+// ExecutePartialCtx is ExecutePartial with a context: the query passes the
+// node's admission controller (queueing or shedding under load, with
+// tenant and priority drawn from admission.MetaFrom(ctx)), and with
+// FoldScans on it runs through the store's scan scheduler so concurrent
+// queries with equal fold keys share one brick pass.
+func (n *Node) ExecutePartialCtx(ctx context.Context, shard int64, partName string, q *engine.Query) (*engine.Partial, error) {
 	st, err := n.store(shard, partName)
 	if err != nil {
 		return nil, err
 	}
-	return engine.ExecuteParallel(st, q)
+	if ac := n.admission(); ac != nil {
+		meta := admission.MetaFrom(ctx)
+		tkt, err := ac.Admit(ctx, meta.Tenant, meta.Priority)
+		if err != nil {
+			return nil, err
+		}
+		defer tkt.Release()
+	}
+	if !n.foldScans() {
+		return engine.ExecuteParallel(st, q)
+	}
+	return n.scheduler(st).Execute(ctx, q)
+}
+
+// SetAdmission installs (or with nil removes) the node's admission
+// controller.
+func (n *Node) SetAdmission(c *admission.Controller) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.admit = c
+}
+
+func (n *Node) admission() *admission.Controller {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.admit
+}
+
+// SetFoldScans toggles shared-scan folding at runtime.
+func (n *Node) SetFoldScans(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.FoldScans = on
+}
+
+func (n *Node) foldScans() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.FoldScans
+}
+
+// scheduler returns the store's scan scheduler, creating it on first use.
+func (n *Node) scheduler(st *brick.Store) *engine.Scheduler {
+	n.schedMu.Lock()
+	defer n.schedMu.Unlock()
+	s := n.scheds[st]
+	if s == nil {
+		s = engine.NewScheduler(st, engine.SchedulerConfig{})
+		n.scheds[st] = s
+	}
+	return s
+}
+
+// FoldStats sums folding counters across the node's schedulers.
+func (n *Node) FoldStats() engine.FoldStats {
+	n.schedMu.Lock()
+	defer n.schedMu.Unlock()
+	var total engine.FoldStats
+	for _, s := range n.scheds {
+		st := s.Stats()
+		total.Solo += st.Solo
+		total.Attached += st.Attached
+		total.CatchupBricks += st.CatchupBricks
+	}
+	return total
 }
 
 // enforceBudget runs the memory monitor when a budget is configured:

@@ -127,7 +127,9 @@ func (d *Deployment) Query(region, table string, q *engine.Query, coordinatorPar
 	merged := engine.NewPartial(q)
 	for i := range targets {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("%w: %v", ErrRegionUnavailable, errs[i])
+			// Both %w: callers match ErrRegionUnavailable for routing and
+			// the underlying cause (e.g. admission.ErrQueueFull → 429).
+			return nil, fmt.Errorf("%w: %w", ErrRegionUnavailable, errs[i])
 		}
 		if err := merged.Merge(partials[i]); err != nil {
 			return nil, err

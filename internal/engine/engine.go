@@ -515,34 +515,16 @@ func NewPartial(q *Query) *Partial {
 }
 
 // compatible reports whether two queries produce structurally and
-// semantically mergeable partials: same GROUP BY columns and the same
-// aggregate functions over the same inputs, position by position.
-// Comparing only aggregate *counts* would silently merge different
-// queries into garbage. Cosmetic fields (aliases, order, limit, having)
-// do not affect accumulator state and are ignored.
+// semantically mergeable partials: equal QuerySignatures, i.e. the same
+// GROUP BY columns and the same aggregate functions over the same inputs,
+// position by position. Comparing only aggregate *counts* would silently
+// merge different queries into garbage. Cosmetic fields (aliases, order,
+// limit, having) do not affect accumulator state and are ignored.
 func compatible(a, b *Query) bool {
 	if a == nil || b == nil || a == b {
 		return true
 	}
-	if len(a.Aggregates) != len(b.Aggregates) || len(a.GroupBy) != len(b.GroupBy) {
-		return false
-	}
-	for i := range a.Aggregates {
-		x, y := a.Aggregates[i], b.Aggregates[i]
-		if x.Func != y.Func {
-			return false
-		}
-		// Count ignores its metric; any metric name merges fine.
-		if x.Func != Count && x.Metric != y.Metric {
-			return false
-		}
-	}
-	for i := range a.GroupBy {
-		if a.GroupBy[i] != b.GroupBy[i] {
-			return false
-		}
-	}
-	return true
+	return QuerySignature(a) == QuerySignature(b)
 }
 
 // Merge folds another partial of the same query into p.

@@ -1,0 +1,403 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/metrics"
+	"cubrick/internal/randutil"
+)
+
+// TestSchedulerSoloMatchesParallel: sequential queries through the
+// scheduler (no concurrency, so no folding) must match ExecuteParallel
+// exactly, fold on or off.
+func TestSchedulerSoloMatchesParallel(t *testing.T) {
+	s := loadStore(t)
+	queries := []*Query{
+		{Aggregates: []Aggregate{{Func: Sum, Metric: "events"}}, GroupBy: []string{"region"}},
+		{Aggregates: []Aggregate{{Func: Count}}},
+		{Aggregates: []Aggregate{{Func: Avg, Metric: "latency"}},
+			Filter: map[string][2]uint32{"app": {2, 7}}},
+	}
+	for _, noFold := range []bool{false, true} {
+		sched := NewScheduler(s, SchedulerConfig{NoFold: noFold})
+		for i, q := range queries {
+			want, err := ExecuteParallel(s, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, info, err := sched.ExecuteInfo(context.Background(), q)
+			if err != nil {
+				t.Fatalf("noFold=%v query %d: %v", noFold, i, err)
+			}
+			if info.Folded {
+				t.Fatalf("noFold=%v query %d: sequential query reported folded", noFold, i)
+			}
+			if err := resultsEqual(want.Finalize(), got.Finalize()); err != nil {
+				t.Fatalf("noFold=%v query %d: %v", noFold, i, err)
+			}
+		}
+	}
+	if st := NewScheduler(s, SchedulerConfig{}).Stats(); st.Solo != 0 || st.Attached != 0 {
+		t.Fatalf("fresh scheduler has stats %+v", st)
+	}
+}
+
+// TestSchedulerAttachMidPass pins the fold mechanics deterministically:
+// with a single pass worker held after claiming brick 0, a second
+// identical query must attach at cursor 1, catch up exactly one brick,
+// and still produce the bit-identical result.
+func TestSchedulerAttachMidPass(t *testing.T) {
+	s := loadStore(t)
+	reg := metrics.NewRegistry()
+	sched := NewScheduler(s, SchedulerConfig{Parallelism: 1, Metrics: reg})
+	q := &Query{Aggregates: []Aggregate{{Func: Sum, Metric: "events"}, {Func: Count}},
+		GroupBy: []string{"app"}}
+	serial, err := Execute(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Finalize()
+
+	claimed := make(chan struct{})
+	release := make(chan struct{})
+	sched.testClaimHook = func(i int) {
+		if i == 0 {
+			close(claimed)
+			<-release
+		}
+	}
+
+	type out struct {
+		p    *Partial
+		info ExecInfo
+		err  error
+	}
+	creator := make(chan out, 1)
+	go func() {
+		p, info, err := sched.ExecuteInfo(context.Background(), q)
+		creator <- out{p, info, err}
+	}()
+	<-claimed // the pass has claimed brick 0 and is held mid-visit
+
+	follower := make(chan out, 1)
+	go func() {
+		// Same fold key via a cosmetically different query: folding keys
+		// on semantics, not on aliases/order/limit.
+		q2 := &Query{Aggregates: []Aggregate{
+			{Func: Sum, Metric: "events", Alias: "total"}, {Func: Count}},
+			GroupBy: []string{"app"}, OrderBy: "total", Desc: true}
+		p, info, err := sched.ExecuteInfo(context.Background(), q2)
+		follower <- out{p, info, err}
+	}()
+	waitFor(t, func() bool { return sched.Stats().Attached == 1 })
+	close(release)
+
+	cr := <-creator
+	fo := <-follower
+	if cr.err != nil || fo.err != nil {
+		t.Fatalf("errors: creator %v follower %v", cr.err, fo.err)
+	}
+	if cr.info.Folded {
+		t.Fatal("creator reported folded")
+	}
+	if !fo.info.Folded {
+		t.Fatal("follower did not fold")
+	}
+	if fo.info.CatchupBricks != 1 {
+		t.Fatalf("follower catch-up bricks = %d, want 1", fo.info.CatchupBricks)
+	}
+	if err := resultsEqual(want, cr.p.Finalize()); err != nil {
+		t.Fatalf("creator result: %v", err)
+	}
+	// The follower ordered by total desc with a different alias; compare
+	// against the serial reference for its own query.
+	st := sched.Stats()
+	if st.Solo != 1 || st.Attached != 1 || st.CatchupBricks != 1 {
+		t.Fatalf("stats = %+v, want solo=1 attached=1 catchup=1", st)
+	}
+	cv := reg.CounterValues()
+	if cv["engine.fold.attached"] != 1 || cv["engine.fold.solo"] != 1 || cv["engine.fold.catchup_bricks"] != 1 {
+		t.Fatalf("fold counters = %v", cv)
+	}
+	// Bit-identical accumulator state: the follower's partial must merge
+	// cleanly and finalize to its own query's serial reference.
+	q2serial, err := Execute(s, &Query{Aggregates: []Aggregate{
+		{Func: Sum, Metric: "events", Alias: "total"}, {Func: Count}},
+		GroupBy: []string{"app"}, OrderBy: "total", Desc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultsEqual(q2serial.Finalize(), fo.p.Finalize()); err != nil {
+		t.Fatalf("follower result: %v", err)
+	}
+}
+
+// TestSchedulerDetachOnCancel: a subscriber that cancels mid-pass detaches
+// without disturbing the remaining subscriber, and a pass whose every
+// subscriber cancels aborts without poisoning later queries.
+func TestSchedulerDetachOnCancel(t *testing.T) {
+	s := loadStore(t)
+	sched := NewScheduler(s, SchedulerConfig{Parallelism: 1})
+	q := &Query{Aggregates: []Aggregate{{Func: Sum, Metric: "events"}}, GroupBy: []string{"region"}}
+	serial, err := Execute(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Finalize()
+
+	claimed := make(chan struct{})
+	release := make(chan struct{})
+	sched.testClaimHook = func(i int) {
+		if i == 0 {
+			close(claimed)
+			<-release
+		}
+	}
+	creator := make(chan error, 1)
+	go func() {
+		p, _, err := sched.ExecuteInfo(context.Background(), q)
+		if err == nil {
+			err = resultsEqual(want, p.Finalize())
+		}
+		creator <- err
+	}()
+	<-claimed
+
+	ctx, cancel := context.WithCancel(context.Background())
+	follower := make(chan error, 1)
+	go func() {
+		_, _, err := sched.ExecuteInfo(ctx, q)
+		follower <- err
+	}()
+	waitFor(t, func() bool { return sched.Stats().Attached == 1 })
+	cancel()
+	// The canceled follower must return promptly even though the pass is
+	// still held at brick 0.
+	select {
+	case err := <-follower:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled follower did not detach")
+	}
+	close(release)
+	if err := <-creator; err != nil {
+		t.Fatalf("creator after follower detach: %v", err)
+	}
+
+	// All-subscriber cancellation: the pass aborts, and the next query
+	// (retried internally onto a fresh pass) still succeeds.
+	sched2 := NewScheduler(s, SchedulerConfig{Parallelism: 1})
+	claimed2 := make(chan struct{})
+	release2 := make(chan struct{})
+	sched2.testClaimHook = func(i int) {
+		if i == 0 {
+			close(claimed2)
+			<-release2
+		}
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	solo := make(chan error, 1)
+	go func() {
+		_, _, err := sched2.ExecuteInfo(ctx2, q)
+		solo <- err
+	}()
+	<-claimed2
+	cancel2()
+	if err := <-solo; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled creator error = %v", err)
+	}
+	close(release2)
+	sched2.testClaimHook = nil
+	p, info, err := sched2.ExecuteInfo(context.Background(), q)
+	if err != nil {
+		t.Fatalf("query after aborted pass: %v", err)
+	}
+	if info.Folded {
+		t.Fatal("fresh query folded into aborted pass")
+	}
+	if err := resultsEqual(want, p.Finalize()); err != nil {
+		t.Fatalf("result after aborted pass: %v", err)
+	}
+}
+
+// TestFoldedSerialEquivalence is the tentpole property test: N concurrent
+// queries with identical fold keys, racing through one scheduler (some
+// attaching mid-pass and catching up), must each finalize bit-identically
+// to the serial reference — including exact float aggregation order and
+// HLL CountDistinct register state.
+func TestFoldedSerialEquivalence(t *testing.T) {
+	rnd := randutil.New(20260807)
+	aggFuncs := []AggFunc{Sum, Count, Min, Max, Avg, CountDistinct}
+	const subscribers = 6
+	for trial := 0; trial < 25; trial++ {
+		nDims := 1 + rnd.Intn(4)
+		schema := brick.Schema{}
+		for d := 0; d < nDims; d++ {
+			max := uint32(2 + rnd.Intn(40))
+			buckets := uint32(1 + rnd.Intn(int(max)))
+			schema.Dimensions = append(schema.Dimensions, brick.Dimension{
+				Name: fmt.Sprintf("d%d", d), Max: max, Buckets: buckets,
+			})
+		}
+		nMetrics := 1 + rnd.Intn(2)
+		for m := 0; m < nMetrics; m++ {
+			schema.Metrics = append(schema.Metrics, brick.Metric{Name: fmt.Sprintf("m%d", m)})
+		}
+		s, err := brick.NewStore(schema)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rows := 200 + rnd.Intn(1500)
+		dimVals := make([]uint32, nDims)
+		metVals := make([]float64, nMetrics)
+		for r := 0; r < rows; r++ {
+			for d := range dimVals {
+				dimVals[d] = uint32(rnd.Intn(int(schema.Dimensions[d].Max)))
+			}
+			for m := range metVals {
+				metVals[m] = float64(rnd.Intn(1<<16)) / 4 // dyadic: exact sums
+			}
+			if err := s.Insert(dimVals, metVals); err != nil {
+				t.Fatalf("trial %d insert: %v", trial, err)
+			}
+		}
+		if trial%3 == 0 {
+			if _, _, err := s.EnsureBudget(0, 0.5); err != nil {
+				t.Fatalf("trial %d compress: %v", trial, err)
+			}
+		}
+
+		q := &Query{}
+		nAggs := 1 + rnd.Intn(3)
+		for a := 0; a < nAggs; a++ {
+			f := aggFuncs[rnd.Intn(len(aggFuncs))]
+			agg := Aggregate{Func: f, Alias: fmt.Sprintf("a%d", a)}
+			switch f {
+			case Count:
+			case CountDistinct:
+				agg.Metric = schema.Dimensions[rnd.Intn(nDims)].Name
+			default:
+				agg.Metric = schema.Metrics[rnd.Intn(nMetrics)].Name
+			}
+			q.Aggregates = append(q.Aggregates, agg)
+		}
+		for _, d := range rnd.Perm(nDims)[:rnd.Intn(nDims+1)] {
+			q.GroupBy = append(q.GroupBy, schema.Dimensions[d].Name)
+		}
+		if rnd.Bernoulli(0.5) {
+			d := schema.Dimensions[rnd.Intn(nDims)]
+			lo := uint32(rnd.Intn(int(d.Max)))
+			hi := lo + uint32(rnd.Intn(int(d.Max-lo)))
+			q.Filter = map[string][2]uint32{d.Name: {lo, hi}}
+		}
+
+		serial, err := Execute(s, q)
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		want := serial.Finalize()
+
+		sched := NewScheduler(s, SchedulerConfig{Parallelism: 2})
+		errs := make([]error, subscribers)
+		var wg sync.WaitGroup
+		for i := 0; i < subscribers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p, _, err := sched.ExecuteInfo(context.Background(), q)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				errs[i] = resultsEqual(want, p.Finalize())
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("trial %d subscriber %d (groupby %v, filter %v): %v",
+					trial, i, q.GroupBy, q.Filter, err)
+			}
+		}
+	}
+}
+
+// TestSchedulerConcurrentMixedShapes races two distinct fold keys plus
+// random cancellations through one scheduler under load; surviving
+// queries must match their serial references exactly.
+func TestSchedulerConcurrentMixedShapes(t *testing.T) {
+	s := loadStore(t)
+	qa := &Query{Aggregates: []Aggregate{{Func: Sum, Metric: "events"}}, GroupBy: []string{"region"}}
+	qb := &Query{Aggregates: []Aggregate{{Func: Avg, Metric: "latency"}, {Func: Count}},
+		GroupBy: []string{"app"}, Filter: map[string][2]uint32{"region": {1, 3}}}
+	wantA, err := Execute(s, qa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := Execute(s, qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wA, wB := wantA.Finalize(), wantB.Finalize()
+
+	sched := NewScheduler(s, SchedulerConfig{Parallelism: 2})
+	rnd := randutil.New(7)
+	cancelAfter := make([]bool, 24)
+	for i := range cancelAfter {
+		cancelAfter[i] = rnd.Bernoulli(0.3)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(cancelAfter)*4)
+	for round := 0; round < 4; round++ {
+		for i := range cancelAfter {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				if cancelAfter[i] {
+					cancel() // canceled before/while running: must error cleanly
+				}
+				q, want := qa, wA
+				if i%2 == 1 {
+					q, want = qb, wB
+				}
+				p, _, err := sched.ExecuteInfo(ctx, q)
+				if err != nil {
+					if !errors.Is(err, context.Canceled) {
+						errCh <- fmt.Errorf("query %d: %v", i, err)
+					}
+					return
+				}
+				if err := resultsEqual(want, p.Finalize()); err != nil {
+					errCh <- fmt.Errorf("query %d: %v", i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls until cond holds or the deadline expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"cubrick/internal/admission"
 	"cubrick/internal/brick"
 	"cubrick/internal/engine"
 	"cubrick/internal/metrics"
@@ -107,9 +108,22 @@ type Worker struct {
 	Tracer *trace.Tracer
 	// Metrics, when set, receives request counters and latency histograms.
 	Metrics *metrics.Registry
+	// Admission, when set, gates /partial execution: queries queue for a
+	// slot (queue time goes to the query.queue_ms histogram and the
+	// request span) and shed with 429 when the queue is full. Nil admits
+	// everything.
+	Admission *admission.Controller
+	// FoldScans routes /partial execution through per-store scan
+	// schedulers so concurrent queries with equal fold keys share one
+	// brick pass. A request can opt out per query with the
+	// X-Cubrick-Fold: off header. Off in the zero value.
+	FoldScans bool
 
 	mu     sync.Mutex
 	stores map[string]*brick.Store
+
+	schedMu sync.Mutex
+	scheds  map[*brick.Store]*engine.Scheduler
 }
 
 func (w *Worker) countAdd(name string, delta int64) {
@@ -126,7 +140,25 @@ func (w *Worker) observe(name string, d time.Duration) {
 
 // NewWorker returns an empty worker.
 func NewWorker() *Worker {
-	return &Worker{stores: make(map[string]*brick.Store)}
+	return &Worker{
+		stores: make(map[string]*brick.Store),
+		scheds: make(map[*brick.Store]*engine.Scheduler),
+	}
+}
+
+// scheduler returns the store's scan scheduler, creating it on first use.
+func (w *Worker) scheduler(st *brick.Store) *engine.Scheduler {
+	w.schedMu.Lock()
+	defer w.schedMu.Unlock()
+	if w.scheds == nil {
+		w.scheds = make(map[*brick.Store]*engine.Scheduler)
+	}
+	s := w.scheds[st]
+	if s == nil {
+		s = engine.NewScheduler(st, engine.SchedulerConfig{Metrics: w.Metrics})
+		w.scheds[st] = s
+	}
+	return s
 }
 
 // AddPartition creates a partition store.
@@ -343,6 +375,18 @@ func (w *Worker) Handler() http.Handler {
 	return mux
 }
 
+// Admission metadata travels worker-ward in HTTP headers: the coordinator
+// stamps its context's tenant and priority onto /partial requests so
+// worker-side quotas account the right tenant, and can switch folding off
+// per request.
+const (
+	HeaderTenant   = "X-Cubrick-Tenant"
+	HeaderPriority = "X-Cubrick-Priority"
+	// HeaderFold set to "off" bypasses the shared-scan scheduler for the
+	// request (solo ExecuteParallel, the pre-scheduler path).
+	HeaderFold = "X-Cubrick-Fold"
+)
+
 // attrMS annotates a span with a duration in fractional milliseconds.
 func attrMS(s *trace.Span, key string, d time.Duration) {
 	if s != nil {
@@ -366,12 +410,38 @@ func (w *Worker) servePartial(ctx context.Context, rw http.ResponseWriter, r *ht
 	if err != nil {
 		return http.StatusNotFound, err
 	}
+	if w.Admission != nil {
+		priority, _ := strconv.Atoi(r.Header.Get(HeaderPriority))
+		tkt, err := w.Admission.Admit(ctx, r.Header.Get(HeaderTenant), priority)
+		if err != nil {
+			if errors.Is(err, admission.ErrQueueFull) {
+				// 429 is classified retryable by the coordinator's
+				// resilience policy, so shed queries retry or fail over.
+				return http.StatusTooManyRequests, err
+			}
+			return http.StatusServiceUnavailable, err
+		}
+		defer tkt.Release()
+		attrMS(trace.SpanFromContext(ctx), "queue_ms", tkt.Queued)
+	}
 	// The execute span carries the PR 1 scan accounting (bricks visited
 	// and pruned, rows scanned, decompressions) plus the engine's own
 	// plan/scan/combine stage split, so a slow partial is attributable
 	// from the trace alone.
 	_, espan := w.Tracer.StartSpan(ctx, "worker.execute")
-	partial, tm, err := engine.ExecuteParallelTimed(st, &req.Query)
+	var partial *engine.Partial
+	var tm engine.Timings
+	if w.FoldScans && r.Header.Get(HeaderFold) != "off" {
+		var info engine.ExecInfo
+		partial, info, err = w.scheduler(st).ExecuteInfo(ctx, &req.Query)
+		if err == nil {
+			tm = info.Timings
+			espan.SetAttr("folded", strconv.FormatBool(info.Folded))
+			espan.SetAttrInt("catchup_bricks", int64(info.CatchupBricks))
+		}
+	} else {
+		partial, tm, err = engine.ExecuteParallelTimed(st, &req.Query)
+	}
 	if err != nil {
 		espan.EndErr(err)
 		return http.StatusBadRequest, err
@@ -503,6 +573,16 @@ type Coordinator struct {
 	// MaxPartialBytes bounds each worker response read; 0 means
 	// DefaultMaxPartialBytes, negative disables the bound.
 	MaxPartialBytes int64
+	// Admission, when set, gates whole queries before fan-out: per-tenant
+	// quotas and a bounded priority queue, with queue time recorded on
+	// the fan-out span and the query.queue_ms histogram, and
+	// ErrQueueFull shedding when the queue is at capacity. Tenant and
+	// priority come from admission.WithMeta on the request context. Nil
+	// admits everything.
+	Admission *admission.Controller
+	// NoFold stamps X-Cubrick-Fold: off on worker requests, bypassing
+	// worker-side shared-scan folding for queries from this coordinator.
+	NoFold bool
 
 	// latMu guards lat, the observed partial-fetch latency distribution
 	// behind quantile-based hedge delays.
@@ -606,8 +686,24 @@ func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Que
 	if c.Metrics != nil {
 		qstart = time.Now()
 	}
+	var queued time.Duration
+	if c.Admission != nil {
+		meta := admission.MetaFrom(ctx)
+		tkt, err := c.Admission.Admit(ctx, meta.Tenant, meta.Priority)
+		if err != nil {
+			if errors.Is(err, admission.ErrQueueFull) {
+				c.count("netexec.query.shed")
+			}
+			return nil, err
+		}
+		defer tkt.Release()
+		queued = tkt.Queued
+	}
 	ctx, fanSpan := c.Tracer.StartSpan(ctx, "coordinator.fanout")
 	fanSpan.SetAttrInt("targets", int64(len(targets)))
+	if c.Admission != nil {
+		attrMS(fanSpan, "queue_ms", queued)
+	}
 	res, err := c.queryFanout(ctx, targets, q)
 	fanSpan.EndErr(err)
 	if c.Metrics != nil {
@@ -868,6 +964,19 @@ func (c *Coordinator) doPartial(ctx context.Context, url string, body []byte) ([
 	// Propagate trace context so the worker's spans join this query's
 	// trace (the fetch span in ctx becomes their remote parent).
 	trace.Inject(ctx, req.Header)
+	// Propagate admission metadata so worker-side quotas account the
+	// right tenant at the right priority.
+	if meta := admission.MetaFrom(ctx); meta.Tenant != "" || meta.Priority != 0 {
+		if meta.Tenant != "" {
+			req.Header.Set(HeaderTenant, meta.Tenant)
+		}
+		if meta.Priority != 0 {
+			req.Header.Set(HeaderPriority, strconv.Itoa(meta.Priority))
+		}
+	}
+	if c.NoFold {
+		req.Header.Set(HeaderFold, "off")
+	}
 	resp, err := c.client().Do(req)
 	if err != nil {
 		return nil, err

@@ -212,5 +212,7 @@ func (p *Proxy) run(table string, exec func(region string, coord int) (*cubrick.
 	}
 	p.Failures.Inc()
 	p.noteFailure(table)
-	return nil, fmt.Errorf("%w: %v", ErrAllRegionsFailed, lastErr)
+	// Both %w: the last region's cause stays matchable (a query shed by
+	// every region's admission control still maps to 429 at the edge).
+	return nil, fmt.Errorf("%w: %w", ErrAllRegionsFailed, lastErr)
 }

@@ -103,3 +103,14 @@ RLE_BENCH_OUT="$RLE_RAW" \
 rm -f "$STORAGE_RAW" "$RLE_RAW"
 echo "== wrote BENCH_storage.json"
 cat BENCH_storage.json
+
+# Shared-scan folding under concurrency: aggregate QPS and p50/p99 at
+# 1/8/64/512 concurrent queries over a zipf-skewed shape population,
+# folded (scan scheduler) vs unfolded (solo passes). Acceptance: >=2x
+# aggregate QPS at 64 concurrent same-table queries, p99 at concurrency 1
+# no worse than unfolded.
+echo "== concurrency bench (shared-scan folding vs solo)"
+CONCURRENCY_BENCH_OUT="$(pwd)/BENCH_concurrency.json" \
+    go test ./internal/engine/ -run '^TestConcurrencyBench$' -count=1 -timeout 30m
+echo "== wrote BENCH_concurrency.json"
+cat BENCH_concurrency.json
