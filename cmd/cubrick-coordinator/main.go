@@ -45,6 +45,7 @@ import (
 	"cubrick/internal/cql"
 	"cubrick/internal/metrics"
 	"cubrick/internal/netexec"
+	"cubrick/internal/rescache"
 	"cubrick/internal/trace"
 )
 
@@ -69,6 +70,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent-queries", 0, "cap on concurrently executing queries; excess queries queue (0 disables admission control)")
 	queueDepth := flag.Int("queue-depth", 64, "bound on the admission queue; arrivals beyond it are shed with 429")
 	fold := flag.String("fold", "on", "worker-side shared-scan folding for queries from this coordinator (on/off)")
+	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "byte budget for the finished-result cache with ingest-epoch invalidation (0 disables)")
 	flag.Parse()
 	if *fold != "on" && *fold != "off" {
 		log.Fatalf("cubrick-coordinator: -fold must be on or off, got %q", *fold)
@@ -111,6 +113,11 @@ func main() {
 	coord.Metrics = reg
 	coord.MaxPartialBytes = *maxPartialBytes
 	coord.NoFold = *fold == "off"
+	if *resultCacheBytes > 0 {
+		coord.ResultCache = rescache.New(*resultCacheBytes)
+		coord.ResultCache.SetMetrics(reg)
+		log.Printf("cubrick-coordinator result cache: result-cache-bytes=%d", *resultCacheBytes)
+	}
 	if *maxConcurrent > 0 {
 		coord.Admission = admission.New(admission.Config{
 			MaxConcurrent: *maxConcurrent,
@@ -265,6 +272,12 @@ func (s *coordServer) query(w http.ResponseWriter, r *http.Request) {
 	if tenant, prio := r.Header.Get(netexec.HeaderTenant), r.Header.Get(netexec.HeaderPriority); tenant != "" || prio != "" {
 		priority, _ := strconv.Atoi(prio)
 		ctx = admission.WithMeta(ctx, admission.Meta{Tenant: tenant, Priority: priority})
+	}
+	// X-Cubrick-Cache: off forces a fully recomputed answer — the result
+	// cache is skipped here and the header propagates to workers, which
+	// bypass their brick and decoded-column caches too.
+	if r.Header.Get(netexec.HeaderCache) == "off" {
+		ctx = netexec.WithCacheBypass(ctx)
 	}
 	// The root span covers parse-to-response; its trace ID goes back to
 	// the client so a slow query is immediately retrievable from

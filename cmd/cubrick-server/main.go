@@ -42,6 +42,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent-queries", 0, "per-node cap on concurrently executing partials; excess queries queue (0 disables admission control)")
 	queueDepth := flag.Int("queue-depth", 64, "bound on each node's admission queue; arrivals beyond it are shed")
 	fold := flag.String("fold", "on", "shared-scan folding: concurrent queries with equal fold keys share one brick pass (on/off)")
+	brickCacheBytes := flag.Int64("brick-cache-bytes", 0, "per-node byte budget for the per-brick partial cache (fold key + ingest epoch keyed; 0 disables)")
+	decodedCacheBytes := flag.Int64("decoded-cache-bytes", 0, "per-node byte budget for the decoded-column cache pinning hot compressed bricks (0 disables)")
 	flag.Parse()
 	if *fold != "on" && *fold != "off" {
 		log.Fatalf("cubrick-server: -fold must be on or off, got %q", *fold)
@@ -54,12 +56,18 @@ func main() {
 	}
 	for _, n := range db.Deployment().Nodes() {
 		n.SetFoldScans(*fold == "on")
+		if *brickCacheBytes > 0 || *decodedCacheBytes > 0 {
+			n.SetCacheBudgets(*brickCacheBytes, *decodedCacheBytes)
+		}
 		if *maxConcurrent > 0 {
 			n.SetAdmission(admission.New(admission.Config{
 				MaxConcurrent: *maxConcurrent,
 				QueueDepth:    *queueDepth,
 			}))
 		}
+	}
+	if *brickCacheBytes > 0 || *decodedCacheBytes > 0 {
+		log.Printf("cubrick-server caches: per-node brick-cache-bytes=%d decoded-cache-bytes=%d", *brickCacheBytes, *decodedCacheBytes)
 	}
 	if *maxConcurrent > 0 {
 		log.Printf("cubrick-server admission: per-node max-concurrent=%d queue-depth=%d", *maxConcurrent, *queueDepth)

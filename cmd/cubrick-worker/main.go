@@ -52,6 +52,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent-queries", 0, "cap on concurrently executing partials; excess queries queue (0 disables admission control)")
 	queueDepth := flag.Int("queue-depth", 64, "bound on the admission queue; arrivals beyond it are shed with 429")
 	fold := flag.String("fold", "on", "shared-scan folding: concurrent queries with equal fold keys share one brick pass (on/off)")
+	brickCacheBytes := flag.Int64("brick-cache-bytes", 0, "byte budget for the per-brick partial cache (fold key + ingest epoch keyed; 0 disables)")
+	decodedCacheBytes := flag.Int64("decoded-cache-bytes", 0, "byte budget for the decoded-column cache pinning hot compressed bricks (0 disables)")
 	flag.Parse()
 	if *fold != "on" && *fold != "off" {
 		log.Fatalf("cubrick-worker: -fold must be on or off, got %q", *fold)
@@ -66,6 +68,11 @@ func main() {
 		w.Metrics = metrics.NewRegistry()
 	}
 	w.FoldScans = *fold == "on"
+	w.BrickCacheBytes = *brickCacheBytes
+	w.DecodedCacheBytes = *decodedCacheBytes
+	if *brickCacheBytes > 0 || *decodedCacheBytes > 0 {
+		log.Printf("cubrick-worker caches: brick-cache-bytes=%d decoded-cache-bytes=%d", *brickCacheBytes, *decodedCacheBytes)
+	}
 	if *maxConcurrent > 0 {
 		w.Admission = admission.New(admission.Config{
 			MaxConcurrent: *maxConcurrent,

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -46,14 +47,57 @@ type Brick struct {
 	// hotness is incremented whenever a query touches the brick and
 	// decays stochastically over time (§IV-F2, inspired by LeanStore).
 	hotness float64
+
+	// epoch is the brick's ingest epoch: the value of the store-wide
+	// counter at the brick's most recent row append. It only ever grows,
+	// is bumped inside the same critical section as the append (so a
+	// reader holding b.mu can never see new rows under an old epoch), and
+	// is what cache entries key on for exact invalidation. Tier changes
+	// (Compress/Decompress/evict) do not bump it — the data is unchanged.
+	epoch uint64
+	// epochSrc is the store-wide monotonic counter the epoch is drawn
+	// from, shared by every brick of a store; nil for store-less bricks
+	// (tests), which then keep epoch 0.
+	epochSrc *atomic.Uint64
+
+	// dcache points at the store's decoded-column cache holder; shared by
+	// all bricks so late attachment reaches existing bricks. May be nil.
+	dcache *dcacheRef
+
+	// uid distinguishes this brick from every other brick in the process
+	// (including re-imported bricks of the same id), so decoded-cache keys
+	// never collide across brick generations.
+	uid uint64
 }
+
+// brickUID hands out process-unique brick identities for cache keying.
+var brickUID atomic.Uint64
 
 func newBrick(nDims, nMetrics int) *Brick {
 	b := &Brick{
 		dims:    make([][]uint32, nDims),
 		metrics: make([][]float64, nMetrics),
+		uid:     brickUID.Add(1),
 	}
 	return b
+}
+
+// bumpEpochLocked advances the brick's ingest epoch from the store-wide
+// counter. Caller holds b.mu; every row-append path calls it inside the
+// same critical section as the append itself.
+func (b *Brick) bumpEpochLocked() {
+	if b.epochSrc != nil {
+		b.epoch = b.epochSrc.Add(1)
+	} else {
+		b.epoch++
+	}
+}
+
+// Epoch returns the brick's current ingest epoch.
+func (b *Brick) Epoch() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.epoch
 }
 
 // Rows returns the number of rows stored.
@@ -127,6 +171,7 @@ func (b *Brick) append(dims []uint32, metrics []float64) {
 		b.metrics[i] = append(b.metrics[i], metrics[i])
 	}
 	b.rows++
+	b.bumpEpochLocked()
 }
 
 // appendColumns adds the rows selected by idx from a column-major batch
@@ -171,6 +216,7 @@ func (b *Brick) appendColumns(dimCols [][]uint32, metricCols [][]float64, idx []
 		b.metrics[i] = col
 	}
 	b.rows += len(idx)
+	b.bumpEpochLocked()
 }
 
 // encodeColumnsV1 serializes the columns in the legacy (version-1) format:
@@ -345,37 +391,70 @@ func (b *Brick) visit(fn func(dims [][]uint32, metrics [][]float64, rows int) er
 // transient decode — exactly the cost adaptive compression minimizes for
 // hot data. The batch and its views are valid only for the call.
 func (b *Brick) visitBatch(proj *Projection, fn func(*Batch) error) error {
+	_, _, err := b.visitBatchEpoch(proj, fn)
+	return err
+}
+
+// visitBatchEpoch is visitBatch plus exact epoch observation: the returned
+// epoch is read under the same b.mu critical section as the data, so it is
+// precisely the ingest state the callback saw — the property worker-side
+// caches key on. decoded reports whether a transient column decode was paid
+// (false on raw bricks and decoded-cache hits).
+func (b *Brick) visitBatchEpoch(proj *Projection, fn func(*Batch) error) (epoch uint64, decoded bool, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	epoch = b.epoch
 	if b.rows == 0 {
-		return nil
+		return epoch, false, nil
 	}
 	if b.encoded == nil && b.ssd == nil {
 		batch := Batch{Dims: b.dims, Metrics: b.metrics, Rows: b.rows}
-		return fn(&batch)
+		return epoch, false, fn(&batch)
 	}
-	sc := visitPool.Get().(*visitScratch)
-	defer visitPool.Put(sc)
+
+	// Decoded-column cache: serve an earlier decode of this exact
+	// (brick generation, epoch, projection) if one is pinned. The key
+	// carries the epoch, so an ingest into the brick simply orphans old
+	// entries — they age out of the LRU without any explicit purge.
+	dc := b.dcache.load()
+	useCache := dc != nil && (proj == nil || !proj.NoCache)
+	var cacheKey string
+	if useCache {
+		cacheKey = dcacheKey(b.uid, epoch, proj)
+		if batch, ok := dc.get(cacheKey, b.hotness); ok {
+			return epoch, false, fn(batch)
+		}
+	}
+
+	var sc *visitScratch
+	if useCache {
+		// The decode is headed for the cache: use owned buffers, not the
+		// pool — pooled scratch would be recycled under the cached batch.
+		sc = &visitScratch{}
+	} else {
+		sc = visitPool.Get().(*visitScratch)
+		defer visitPool.Put(sc)
+	}
 	start := time.Now()
 	data, _, err := b.blobLocked(sc)
 	if err != nil {
-		return err
+		return epoch, false, err
 	}
 	var batch *Batch
 	if isV2Blob(data) {
 		batch, err = decodeBlobInto(data, len(b.dims), len(b.metrics), b.rows, proj, sc)
 		if err != nil {
-			return err
+			return epoch, false, err
 		}
 	} else {
 		// Legacy v1 payloads (pre-adaptive evictions) have no column
 		// boundaries, so projection cannot skip anything.
 		dims, metrics, rows, err := decodeColumns(data, len(b.dims), len(b.metrics))
 		if err != nil {
-			return err
+			return epoch, false, err
 		}
 		if rows != b.rows {
-			return fmt.Errorf("brick: row count mismatch in blob: %d != %d", rows, b.rows)
+			return epoch, false, fmt.Errorf("brick: row count mismatch in blob: %d != %d", rows, b.rows)
 		}
 		batch = &sc.batch
 		batch.Dims = dims
@@ -386,5 +465,12 @@ func (b *Brick) visitBatch(proj *Projection, fn func(*Batch) error) error {
 		batch.Rows = rows
 	}
 	b.obs.observeDecode(time.Since(start))
-	return fn(batch)
+	if useCache {
+		// The decode copies values out of the blob bytes, so the batch
+		// does not reference sc's inflate buffer; drop it before pinning
+		// so a cached evicted-brick batch costs only its decoded columns.
+		sc.inflate = nil
+		dc.put(cacheKey, batch, b.hotness)
+	}
+	return epoch, true, fn(batch)
 }

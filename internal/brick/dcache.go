@@ -1,0 +1,134 @@
+package brick
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"cubrick/internal/metrics"
+	"cubrick/internal/scancache"
+)
+
+// DecodedCache keeps hot compressed bricks' decoded columns pinned in
+// memory so the dict/RLE/Gorilla unpack cost is paid once per (brick
+// generation, ingest epoch, projection) instead of on every scan. Entries
+// are keyed on the exact epoch observed under the brick lock during the
+// decode, so an ingest simply strands the old entry — no purge protocol —
+// and eviction is driven by the brick's live hotness (scancache's
+// heat-aware LRU), which is the PR-5 ladder deciding residency.
+//
+// A nil *DecodedCache is valid and never hits.
+type DecodedCache struct {
+	c *scancache.Cache
+}
+
+// NewDecodedCache returns a cache bounded to maxBytes; non-positive
+// budgets return nil (caching off).
+func NewDecodedCache(maxBytes int64) *DecodedCache {
+	c := scancache.New(maxBytes)
+	if c == nil {
+		return nil
+	}
+	return &DecodedCache{c: c}
+}
+
+// SetMetrics routes hit/miss/evict/bytes instrumentation into reg under
+// the cache.decoded.* names.
+func (d *DecodedCache) SetMetrics(reg *metrics.Registry) {
+	if d == nil {
+		return
+	}
+	d.c.SetMetrics(reg, "cache.decoded")
+}
+
+// Stats returns the underlying cache counters.
+func (d *DecodedCache) Stats() scancache.Stats {
+	if d == nil {
+		return scancache.Stats{}
+	}
+	return d.c.Stats()
+}
+
+func (d *DecodedCache) get(key string, heat float64) (*Batch, bool) {
+	v, ok := d.c.Get(key, heat)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Batch), true
+}
+
+func (d *DecodedCache) put(key string, b *Batch, heat float64) {
+	d.c.Put(key, b, batchBytes(b), heat)
+}
+
+// dcacheKey derives the cache key for one decode: the brick's process-wide
+// generation uid (Import creates fresh uids, so replaced bricks can never
+// alias), the exact ingest epoch the decode observed, and the projection
+// shape (which columns were materialized vs delivered encoded).
+func dcacheKey(uid, epoch uint64, proj *Projection) string {
+	buf := make([]byte, 0, 48)
+	buf = strconv.AppendUint(buf, uid, 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendUint(buf, epoch, 10)
+	buf = append(buf, ':')
+	if proj == nil {
+		buf = append(buf, '*')
+		return string(buf)
+	}
+	for _, d := range proj.Dims {
+		switch d {
+		case ColSkip:
+			buf = append(buf, 's')
+		case ColNeed:
+			buf = append(buf, 'n')
+		default:
+			buf = append(buf, 'g')
+		}
+	}
+	buf = append(buf, '|')
+	for _, m := range proj.Metrics {
+		if m {
+			buf = append(buf, '1')
+		} else {
+			buf = append(buf, '0')
+		}
+	}
+	return string(buf)
+}
+
+// batchBytes prices a cached batch: the decoded column views it pins.
+func batchBytes(b *Batch) int64 {
+	var n int64 = 64
+	for _, col := range b.Dims {
+		n += int64(4 * len(col))
+	}
+	for _, col := range b.Metrics {
+		n += int64(8 * len(col))
+	}
+	for _, runs := range b.DimRuns {
+		n += int64(8 * len(runs))
+	}
+	for _, codes := range b.DimCodes {
+		n += int64(4 * len(codes))
+	}
+	for _, dict := range b.DimDict {
+		n += int64(4 * len(dict))
+	}
+	return n
+}
+
+// dcacheRef is the nil-safe holder bricks share with their store, so
+// attaching a cache after bricks exist still reaches them.
+type dcacheRef struct {
+	p atomic.Pointer[DecodedCache]
+}
+
+func (r *dcacheRef) load() *DecodedCache {
+	if r == nil {
+		return nil
+	}
+	return r.p.Load()
+}
+
+func (r *dcacheRef) store(dc *DecodedCache) {
+	r.p.Store(dc)
+}

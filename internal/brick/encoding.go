@@ -103,6 +103,9 @@ const (
 type Projection struct {
 	Dims    []ColRequest
 	Metrics []bool
+	// NoCache bypasses the decoded-column cache for this scan: neither
+	// serving from it nor filling it. Set for cache-bypassed queries.
+	NoCache bool
 }
 
 func (p *Projection) dim(i int) ColRequest {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cubrick/internal/metrics"
 )
@@ -95,6 +96,17 @@ type Store struct {
 	// optional metrics registry (see SetMetricsRegistry); shared by every
 	// brick so late registry attachment reaches existing bricks.
 	obs *storeObs
+
+	// epoch is the store-wide monotonic ingest counter. Every row append
+	// draws the owning brick's new epoch from it inside the brick's own
+	// append critical section, so the store-level value is a cheap upper
+	// summary: if Epoch() is unchanged, no brick changed. Import bumps it
+	// too (fresh brick generation). Tier moves never touch it.
+	epoch atomic.Uint64
+
+	// dcache holds the optional decoded-column cache, shared with every
+	// brick so late attachment reaches existing bricks.
+	dcache dcacheRef
 }
 
 // NewStore creates an empty store for the schema.
@@ -115,6 +127,24 @@ func (s *Store) SetMetricsRegistry(reg *metrics.Registry) {
 
 // Schema returns the store's schema.
 func (s *Store) Schema() Schema { return s.schema }
+
+// Epoch returns the store-level ingest epoch summary: the highest epoch
+// any brick has been stamped with. Two Epoch() reads with equal values
+// bracket a window in which no row was ingested, which is exactly the
+// validity condition result caches check. Reading it before executing a
+// query yields a conservative tag: any ingest that lands mid-scan bumps
+// the counter past the tag, so a result cached under the tag can never
+// hide rows it did not see.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// SetDecodedCache attaches (or, with nil, detaches) a decoded-column
+// cache: scans over compressed bricks consult it before paying the column
+// decode, and pin their decode for the next scan. The cache may be shared
+// by several stores — keys are per-brick-generation. Safe to call at any
+// time, including concurrently with scans.
+func (s *Store) SetDecodedCache(dc *DecodedCache) {
+	s.dcache.store(dc)
+}
 
 // Rows returns the total number of stored rows.
 func (s *Store) Rows() int64 {
@@ -146,6 +176,8 @@ func (s *Store) Insert(dims []uint32, metrics []float64) error {
 	if !ok {
 		b = newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
 		b.obs = s.obs
+		b.epochSrc = &s.epoch
+		b.dcache = &s.dcache
 		s.bricks[id] = b
 	}
 	s.rows++
@@ -221,6 +253,8 @@ func (s *Store) InsertBatch(dimCols [][]uint32, metricCols [][]float64) error {
 		if !ok {
 			b = newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
 			b.obs = s.obs
+			b.epochSrc = &s.epoch
+			b.dcache = &s.dcache
 			s.bricks[id] = b
 		}
 		targets = append(targets, target{b, idx})
@@ -316,6 +350,15 @@ func (t *ScanTask) Rows() int { return t.brick.Rows() }
 // decompression.
 func (t *ScanTask) Compressed() bool { return t.brick.IsCompressed() }
 
+// Epoch returns the brick's current ingest epoch. It is advisory when read
+// outside a visit (an ingest may land right after); VisitBatchEpoch returns
+// the exact epoch the visited data belongs to.
+func (t *ScanTask) Epoch() uint64 { return t.brick.Epoch() }
+
+// Touch adds one unit of query heat to the brick without visiting it —
+// cache hits call it so reuse keeps a brick exactly as hot as a scan would.
+func (t *ScanTask) Touch() { t.brick.Touch(1) }
+
 // Visit streams the brick's fully materialized columnar batch to fn,
 // adding heat and counting decompressions/SSD reads on the store. The
 // column slices are valid only for the duration of the call.
@@ -331,8 +374,21 @@ func (t *ScanTask) Visit(fn func(dims [][]uint32, metrics [][]float64, rows int)
 // reads on the store. The batch and its views are valid only for the
 // duration of the call.
 func (t *ScanTask) VisitBatch(proj *Projection, fn func(*Batch) error) error {
+	_, err := t.VisitBatchEpoch(proj, fn)
+	return err
+}
+
+// VisitBatchEpoch is VisitBatch plus exact epoch observation: the returned
+// epoch is read inside the same brick critical section as the data, so the
+// batch fn saw belongs to precisely that epoch — an ingest racing with the
+// visit lands either wholly before it (and is in the batch) or wholly
+// after (and has already bumped past the returned epoch). Decompression /
+// SSD-read accounting counts only visits that actually paid a decode, so
+// decoded-cache hits do not inflate the cost counters.
+func (t *ScanTask) VisitBatchEpoch(proj *Projection, fn func(*Batch) error) (uint64, error) {
 	t.brick.Touch(1)
-	if t.brick.IsCompressed() {
+	epoch, decoded, err := t.brick.visitBatchEpoch(proj, fn)
+	if decoded {
 		t.store.mu.Lock()
 		t.store.decompressions++
 		if t.brick.IsEvicted() {
@@ -340,7 +396,7 @@ func (t *ScanTask) VisitBatch(proj *Projection, fn func(*Batch) error) error {
 		}
 		t.store.mu.Unlock()
 	}
-	return t.brick.visitBatch(proj, fn)
+	return epoch, err
 }
 
 // ScanPlan is a stable snapshot of the bricks a filtered scan must visit,

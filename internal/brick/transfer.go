@@ -105,9 +105,15 @@ func (s *Store) Import(blob []byte) error {
 		}
 		b := newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
 		b.obs = s.obs
+		b.epochSrc = &s.epoch
+		b.dcache = &s.dcache
 		b.dims = dims
 		b.metrics = metrics
 		b.rows = rows
+		// Imported bricks are a fresh data generation: stamp each with a
+		// new epoch so caches keyed on the replaced bricks cannot serve
+		// for the imported ones.
+		b.epoch = s.epoch.Add(1)
 		bricks[id] = b
 		total += int64(rows)
 	}

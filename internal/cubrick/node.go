@@ -12,6 +12,7 @@ import (
 	"cubrick/internal/cluster"
 	"cubrick/internal/core"
 	"cubrick/internal/engine"
+	"cubrick/internal/scancache"
 	"cubrick/internal/shardmgr"
 )
 
@@ -71,6 +72,13 @@ type NodeConfig struct {
 	// brick pass. Off in the zero value (solo ExecuteParallel, the
 	// pre-scheduler behaviour); on in the production default.
 	FoldScans bool
+	// BrickCacheBytes budgets the node's per-brick partial cache (fold
+	// key + brick ingest epoch -> finished per-task accumulator), shared
+	// by every partition store on the node. Zero disables.
+	BrickCacheBytes int64
+	// DecodedCacheBytes budgets the decoded-column cache keeping hot
+	// compressed bricks' decoded columns resident. Zero disables.
+	DecodedCacheBytes int64
 }
 
 // DefaultNodeConfig returns the production-like configuration.
@@ -121,6 +129,81 @@ type Node struct {
 	// on, so concurrent same-shape queries share brick passes.
 	schedMu sync.Mutex
 	scheds  map[*brick.Store]*engine.Scheduler
+
+	// cacheMu guards the node-wide brick and decoded-column caches,
+	// lazily built from the configured byte budgets (nil when zero).
+	cacheMu      sync.Mutex
+	cachesBuilt  bool
+	brickCache   *engine.BrickCache
+	decodedCache *brick.DecodedCache
+}
+
+// caches returns the node-wide cache levels, building them on first use.
+func (n *Node) caches() (*engine.BrickCache, *brick.DecodedCache) {
+	n.cacheMu.Lock()
+	defer n.cacheMu.Unlock()
+	if !n.cachesBuilt {
+		n.brickCache = engine.NewBrickCache(n.cfg.BrickCacheBytes)
+		n.decodedCache = brick.NewDecodedCache(n.cfg.DecodedCacheBytes)
+		n.cachesBuilt = true
+	}
+	return n.brickCache, n.decodedCache
+}
+
+// SetCacheBudgets rebuilds the node's cache levels with new byte budgets
+// (zero disables a level), attaches the decoded-column cache to every
+// existing store, and drops the scan schedulers so future queries pick up
+// the new brick cache. Existing cached entries are discarded. Intended for
+// startup-time configuration, like SetFoldScans.
+func (n *Node) SetCacheBudgets(brickBytes, decodedBytes int64) {
+	n.cacheMu.Lock()
+	n.brickCache = engine.NewBrickCache(brickBytes)
+	n.decodedCache = brick.NewDecodedCache(decodedBytes)
+	n.cachesBuilt = true
+	dc := n.decodedCache
+	n.cacheMu.Unlock()
+
+	n.mu.Lock()
+	for _, parts := range n.shards {
+		for _, st := range parts {
+			st.SetDecodedCache(dc)
+		}
+	}
+	for _, parts := range n.staged {
+		for _, st := range parts {
+			st.SetDecodedCache(dc)
+		}
+	}
+	for _, st := range n.replicated {
+		st.SetDecodedCache(dc)
+	}
+	n.mu.Unlock()
+
+	// In-flight passes keep their scheduler; new queries build fresh ones
+	// configured with the new brick cache.
+	n.schedMu.Lock()
+	n.scheds = make(map[*brick.Store]*engine.Scheduler)
+	n.schedMu.Unlock()
+}
+
+// CacheStats reports the node's brick and decoded-column cache counters.
+func (n *Node) CacheStats() (brickCache, decodedCache scancache.Stats) {
+	bc, dc := n.caches()
+	return bc.Stats(), dc.Stats()
+}
+
+// newStore creates a partition store with the node's decoded-column cache
+// attached (keys carry a process-unique brick uid, so stores sharing the
+// cache cannot collide).
+func (n *Node) newStore(schema brick.Schema) (*brick.Store, error) {
+	st, err := brick.NewStore(schema)
+	if err != nil {
+		return nil, err
+	}
+	if _, dc := n.caches(); dc != nil {
+		st.SetDecodedCache(dc)
+	}
+	return st, nil
 }
 
 // NewNode constructs a Cubrick server for a host in a region.
@@ -217,7 +300,7 @@ func (n *Node) AddShard(shard int64, _ shardmgr.Role) error {
 			n.shards[shard][name] = st
 			continue
 		}
-		st, err := brick.NewStore(ref.Schema)
+		st, err := n.newStore(ref.Schema)
 		if err != nil {
 			return err
 		}
@@ -287,7 +370,7 @@ func (n *Node) PrepareAddShard(shard int64, from string) error {
 	}
 	staged := make(map[string]*brick.Store, len(refs))
 	for _, ref := range refs {
-		st, err := brick.NewStore(ref.Schema)
+		st, err := n.newStore(ref.Schema)
 		if err != nil {
 			return err
 		}
@@ -376,7 +459,7 @@ func (n *Node) EnsurePartition(shard int64, ref PartitionRef) error {
 	if _, ok := parts[ref.Name()]; ok {
 		return nil
 	}
-	st, err := brick.NewStore(ref.Schema)
+	st, err := n.newStore(ref.Schema)
 	if err != nil {
 		return err
 	}
@@ -459,9 +542,13 @@ func (n *Node) ExecutePartialCtx(ctx context.Context, shard int64, partName stri
 		defer tkt.Release()
 	}
 	if !n.foldScans() {
+		if bc, _ := n.caches(); bc != nil {
+			p, _, _, _, err := engine.ExecuteParallelCachedTimed(st, q, bc, partName)
+			return p, err
+		}
 		return engine.ExecuteParallel(st, q)
 	}
-	return n.scheduler(st).Execute(ctx, q)
+	return n.scheduler(partName, st).Execute(ctx, q)
 }
 
 // SetAdmission installs (or with nil removes) the node's admission
@@ -492,12 +579,18 @@ func (n *Node) foldScans() bool {
 }
 
 // scheduler returns the store's scan scheduler, creating it on first use.
-func (n *Node) scheduler(st *brick.Store) *engine.Scheduler {
+// partName scopes the node-wide brick cache so partitions sharing it never
+// collide on keys.
+func (n *Node) scheduler(partName string, st *brick.Store) *engine.Scheduler {
+	bc, _ := n.caches()
 	n.schedMu.Lock()
 	defer n.schedMu.Unlock()
 	s := n.scheds[st]
 	if s == nil {
-		s = engine.NewScheduler(st, engine.SchedulerConfig{})
+		s = engine.NewScheduler(st, engine.SchedulerConfig{
+			BrickCache: bc,
+			CacheScope: partName,
+		})
 		n.scheds[st] = s
 	}
 	return s

@@ -29,7 +29,7 @@ func (n *Node) EnsureReplicated(name string, schema brick.Schema) error {
 	if _, ok := n.replicated[name]; ok {
 		return nil
 	}
-	st, err := brick.NewStore(schema)
+	st, err := n.newStore(schema)
 	if err != nil {
 		return err
 	}

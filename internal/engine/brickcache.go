@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"strconv"
+
+	"cubrick/internal/metrics"
+	"cubrick/internal/scancache"
+)
+
+// BrickCache is the worker-side per-brick partial cache: it remembers the
+// finished per-task accumulator snapshot of (fold key, brick) pairs, keyed
+// additionally on the brick's exact ingest epoch, so a repeated dashboard
+// shape skips re-scanning every brick that has not changed since the last
+// run. The epoch lives inside the key — an ingest into the brick simply
+// orphans the old entry (epochs are monotonic, a stale entry can never
+// become valid again) and it ages out of the LRU.
+//
+// Entries are deep-cloned on both put and get: the engine's combiners take
+// ownership of the group pointers they merge and mutate the aliased cells
+// on later merges, so a shared snapshot would be corrupted the second time
+// it was consumed. One cache may serve several stores; CacheScope in
+// SchedulerConfig keeps their keys apart.
+//
+// A nil *BrickCache is valid and never hits.
+type BrickCache struct {
+	c *scancache.Cache
+}
+
+// NewBrickCache returns a cache bounded to maxBytes; non-positive budgets
+// return nil (caching off).
+func NewBrickCache(maxBytes int64) *BrickCache {
+	c := scancache.New(maxBytes)
+	if c == nil {
+		return nil
+	}
+	return &BrickCache{c: c}
+}
+
+// SetMetrics routes hit/miss/evict/bytes instrumentation into reg under
+// the cache.brick.* names.
+func (bc *BrickCache) SetMetrics(reg *metrics.Registry) {
+	if bc == nil {
+		return
+	}
+	bc.c.SetMetrics(reg, "cache.brick")
+}
+
+// Stats returns the underlying cache counters.
+func (bc *BrickCache) Stats() scancache.Stats {
+	if bc == nil {
+		return scancache.Stats{}
+	}
+	return bc.c.Stats()
+}
+
+// brickCacheEntry is one cached per-task snapshot: the accumulator plus
+// the row count the scan would have reported (needed so a cache hit keeps
+// Partial.RowsScanned bit-identical to a cold run).
+type brickCacheEntry struct {
+	acc  accumulator
+	rows int64
+}
+
+// get returns a private deep copy of the snapshot under key, safe for the
+// caller to merge into its combiner.
+func (bc *BrickCache) get(key string) (accumulator, int64, bool) {
+	if bc == nil {
+		return nil, 0, false
+	}
+	v, ok := bc.c.Get(key, 0)
+	if !ok {
+		return nil, 0, false
+	}
+	e := v.(*brickCacheEntry)
+	return e.acc.clone(), e.rows, true
+}
+
+// put snapshots the accumulator (deep copy — the caller is about to merge
+// and thereby mutate the original) under key.
+func (bc *BrickCache) put(key string, acc accumulator, rows int64) {
+	if bc == nil {
+		return
+	}
+	snap := acc.clone()
+	bc.c.Put(key, &brickCacheEntry{acc: snap, rows: rows}, snap.memBytes()+int64(len(key))+64, 0)
+}
+
+// brickCacheKey derives the cache key for one (store, query shape, brick,
+// epoch) combination. scope isolates stores sharing one cache; the fold
+// key pins semantics + filter (everything that determines what a brick
+// contributes); the epoch pins the brick's exact ingest state.
+func brickCacheKey(scope, foldKey string, brickID, epoch uint64) string {
+	buf := make([]byte, 0, len(scope)+len(foldKey)+48)
+	buf = append(buf, scope...)
+	buf = append(buf, 0x1f)
+	buf = append(buf, foldKey...)
+	buf = append(buf, 0x1f)
+	buf = strconv.AppendUint(buf, brickID, 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendUint(buf, epoch, 10)
+	return string(buf)
+}

@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/randutil"
+)
+
+// normalizeDecomp zeroes the one counter that legitimately differs between
+// cached and cold executions: a decoded-column or brick-partial cache hit
+// skips the transient decode a cold run pays, so Decompressions is a cost
+// metric, not part of the answer. Everything else — rows, groups, HLL
+// cardinalities, scan accounting — must stay bit-identical.
+func normalizeDecomp(r *Result) *Result {
+	r.Decompressions = 0
+	return r
+}
+
+// TestCachedColdEquivalence is the property test for the caching tier:
+// over 30 random trials — random schemas, data, ingest interleavings,
+// compaction states (raw, encoded, evicted bricks), and queries covering
+// every kernel including CountDistinct's HLL sketches — executing with the
+// brick-partial and decoded-column caches enabled (twice: a fill pass and
+// a hit pass) must finalize to exactly the same Result as the fully
+// uncached path, before and after additional ingest.
+func TestCachedColdEquivalence(t *testing.T) {
+	rnd := randutil.New(20260808)
+	aggFuncs := []AggFunc{Sum, Count, Min, Max, Avg, CountDistinct}
+	for trial := 0; trial < 30; trial++ {
+		nDims := 1 + rnd.Intn(3)
+		schema := brick.Schema{}
+		for d := 0; d < nDims; d++ {
+			max := uint32(2 + rnd.Intn(30))
+			buckets := uint32(1 + rnd.Intn(int(max)))
+			schema.Dimensions = append(schema.Dimensions, brick.Dimension{
+				Name: fmt.Sprintf("d%d", d), Max: max, Buckets: buckets,
+			})
+		}
+		nMetrics := 1 + rnd.Intn(2)
+		for m := 0; m < nMetrics; m++ {
+			schema.Metrics = append(schema.Metrics, brick.Metric{Name: fmt.Sprintf("m%d", m)})
+		}
+		s, err := brick.NewStore(schema)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dc := brick.NewDecodedCache(8 << 20)
+		s.SetDecodedCache(dc)
+		bc := NewBrickCache(8 << 20)
+		scope := fmt.Sprintf("t%d", trial)
+
+		ingest := func(rows int) {
+			dimVals := make([]uint32, nDims)
+			metVals := make([]float64, nMetrics)
+			for r := 0; r < rows; r++ {
+				for d := range dimVals {
+					dimVals[d] = uint32(rnd.Intn(int(schema.Dimensions[d].Max)))
+				}
+				for m := range metVals {
+					metVals[m] = float64(rnd.Intn(1<<16)) / 4
+				}
+				if err := s.Insert(dimVals, metVals); err != nil {
+					t.Fatalf("trial %d insert: %v", trial, err)
+				}
+			}
+		}
+		// Random compaction state: encode (and sometimes flate+evict) a
+		// random fraction of bricks so the trial mix covers all three tiers.
+		compact := func() {
+			s.DecayHotness(rnd.Float64())
+			cfg := brick.CompactionConfig{EncodeBelow: rnd.Float64() * 2}
+			if rnd.Intn(2) == 0 {
+				cfg.EvictBelow = rnd.Float64()
+			}
+			if _, err := s.CompactOnce(cfg); err != nil {
+				t.Fatalf("trial %d compact: %v", trial, err)
+			}
+		}
+
+		ingest(100 + rnd.Intn(1500))
+		if rnd.Intn(3) > 0 {
+			compact()
+		}
+
+		q := &Query{}
+		nAggs := 1 + rnd.Intn(3)
+		for a := 0; a < nAggs; a++ {
+			fn := aggFuncs[rnd.Intn(len(aggFuncs))]
+			agg := Aggregate{Func: fn}
+			if fn == CountDistinct {
+				agg.Metric = schema.Dimensions[rnd.Intn(nDims)].Name
+			} else if fn != Count {
+				agg.Metric = schema.Metrics[rnd.Intn(nMetrics)].Name
+			}
+			q.Aggregates = append(q.Aggregates, agg)
+		}
+		if rnd.Intn(4) > 0 {
+			q.GroupBy = []string{schema.Dimensions[rnd.Intn(nDims)].Name}
+		}
+		if rnd.Intn(2) == 0 {
+			d := schema.Dimensions[rnd.Intn(nDims)]
+			lo := uint32(rnd.Intn(int(d.Max)))
+			hi := lo + uint32(rnd.Intn(int(d.Max-lo)))
+			q.Filter = map[string][2]uint32{d.Name: {lo, hi}}
+		}
+		if len(q.GroupBy) > 0 && rnd.Intn(2) == 0 {
+			q.OrderBy = q.Aggregates[0].Name()
+			q.Desc = rnd.Intn(2) == 0
+			q.Limit = 1 + rnd.Intn(10)
+		}
+
+		check := func(stage string) {
+			coldP, _, err := ExecuteParallelNoCacheTimed(s, q)
+			if err != nil {
+				t.Fatalf("trial %d %s cold: %v", trial, stage, err)
+			}
+			cold := normalizeDecomp(coldP.Finalize())
+			fillP, _, _, _, err := ExecuteParallelCachedTimed(s, q, bc, scope)
+			if err != nil {
+				t.Fatalf("trial %d %s fill: %v", trial, stage, err)
+			}
+			if err := resultsEqual(cold, normalizeDecomp(fillP.Finalize())); err != nil {
+				t.Fatalf("trial %d %s fill vs cold: %v", trial, stage, err)
+			}
+			hitP, _, hits, _, err := ExecuteParallelCachedTimed(s, q, bc, scope)
+			if err != nil {
+				t.Fatalf("trial %d %s hit: %v", trial, stage, err)
+			}
+			if hits == 0 && s.BrickCount() > 0 {
+				t.Fatalf("trial %d %s: repeat query got no cache hits over %d bricks", trial, stage, s.BrickCount())
+			}
+			if err := resultsEqual(cold, normalizeDecomp(hitP.Finalize())); err != nil {
+				t.Fatalf("trial %d %s hit vs cold: %v", trial, stage, err)
+			}
+		}
+		check("initial")
+
+		// Interleave more ingest (and sometimes compaction) and re-check:
+		// the epoch bump must orphan exactly the affected bricks' entries,
+		// never serve them stale, and never corrupt cached snapshots the
+		// earlier passes already consumed.
+		ingest(50 + rnd.Intn(500))
+		if rnd.Intn(2) == 0 {
+			compact()
+		}
+		check("after-ingest")
+	}
+}
+
+// TestConcurrentIngestCachedFreshness runs cached query replay against a
+// store under concurrent ingest (run with -race): every query issued after
+// the ingester has committed k batches must observe at least the rows of
+// those k batches — a cached partial from before an ingest may never stand
+// in for a brick that has since grown.
+func TestConcurrentIngestCachedFreshness(t *testing.T) {
+	schema := brick.Schema{
+		Dimensions: []brick.Dimension{{Name: "d0", Max: 16, Buckets: 4}},
+		Metrics:    []brick.Metric{{Name: "m0"}},
+	}
+	s, err := brick.NewStore(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetDecodedCache(brick.NewDecodedCache(4 << 20))
+	bc := NewBrickCache(4 << 20)
+
+	const batches = 60
+	const batchRows = 40
+	var committed atomic.Int64 // batches fully inserted
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rnd := randutil.New(7)
+		for b := 0; b < batches; b++ {
+			dims := make([][]uint32, batchRows)
+			mets := make([][]float64, batchRows)
+			for r := range dims {
+				dims[r] = []uint32{uint32(rnd.Intn(16))}
+				mets[r] = []float64{1}
+			}
+			if err := s.InsertBatchRows(dims, mets); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+			committed.Add(1)
+		}
+	}()
+
+	q := &Query{Aggregates: []Aggregate{{Func: Count}}}
+	for i := 0; i < 400; i++ {
+		floor := committed.Load() * batchRows
+		p, _, _, _, err := ExecuteParallelCachedTimed(s, q, bc, "live")
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		res := p.Finalize()
+		if got := res.Rows[0][0]; got < float64(floor) {
+			t.Fatalf("query %d: count %v below committed floor %d — stale cache entry served past an ingest epoch", i, got, floor)
+		}
+	}
+	wg.Wait()
+
+	// Quiesced: the cached answer must equal the exact final count.
+	p, _, _, _, err := ExecuteParallelCachedTimed(s, q, bc, "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Finalize().Rows[0][0]; got != float64(batches*batchRows) {
+		t.Fatalf("final count %v, want %d", got, batches*batchRows)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"cubrick/internal/brick"
+	"cubrick/internal/hll"
 )
 
 // Aggregation kernels for the vectorized execution path. Each kernel
@@ -93,6 +94,46 @@ type accumulator interface {
 	mergeFrom(o accumulator)
 	// addTo folds the kernel's groups into a canonical partial.
 	addTo(p *Partial)
+	// clone returns a deep copy: group keys, cells, and HLL sketches are
+	// all owned by the copy. Required for caching, because mergeFrom /
+	// addTo alias group pointers into their destination and later merges
+	// mutate the aliased cells — a shared snapshot would be corrupted the
+	// second time it was consumed.
+	clone() accumulator
+	// memBytes estimates the accumulator's resident footprint, for cache
+	// byte budgeting.
+	memBytes() int64
+}
+
+// groupOverheadBytes approximates one group's fixed cost (struct headers,
+// map bookkeeping) for cache budgeting; each cell adds cellBytes and a
+// live HLL sketch its register array.
+const (
+	groupOverheadBytes = 64
+	cellBytes          = 48
+)
+
+func cloneCells(cells []cell) []cell {
+	out := make([]cell, len(cells))
+	copy(out, cells)
+	for i := range out {
+		out[i].sketch = out[i].sketch.Clone()
+	}
+	return out
+}
+
+func cloneGroup(g *group) *group {
+	return &group{key: append([]uint32(nil), g.key...), cells: cloneCells(g.cells)}
+}
+
+func groupBytes(g *group) int64 {
+	n := int64(groupOverheadBytes) + int64(4*len(g.key)) + int64(cellBytes*len(g.cells))
+	for i := range g.cells {
+		if g.cells[i].sketch != nil {
+			n += hll.Bytes
+		}
+	}
+	return n
 }
 
 // newAccumulator picks the combiner kernel for the compiled query's
@@ -264,6 +305,20 @@ func (a *globalAcc) addTo(p *Partial) {
 	p.mergeGroup(nil, a.cells)
 }
 
+func (a *globalAcc) clone() accumulator {
+	return &globalAcc{c: a.c, cells: cloneCells(a.cells), touched: a.touched}
+}
+
+func (a *globalAcc) memBytes() int64 {
+	n := int64(groupOverheadBytes) + int64(cellBytes*len(a.cells))
+	for i := range a.cells {
+		if a.cells[i].sketch != nil {
+			n += hll.Bytes
+		}
+	}
+	return n
+}
+
 // denseAcc is the per-brick fast path for 1- and 2-dimension GROUP BY:
 // group slots are addressed directly by (value − brick lower bound), so
 // the hot loop does array indexing instead of map lookups.
@@ -390,6 +445,26 @@ func (a *denseAcc) addTo(p *Partial) {
 	a.each(func(g *group) { p.mergeGroup(g.key, g.cells) })
 }
 
+func (a *denseAcc) clone() accumulator {
+	groups := make([]*group, len(a.groups))
+	for i, g := range a.groups {
+		if g != nil {
+			groups[i] = cloneGroup(g)
+		}
+	}
+	return &denseAcc{c: a.c, lo: a.lo, width: a.width, groups: groups}
+}
+
+func (a *denseAcc) memBytes() int64 {
+	n := int64(8 * len(a.groups))
+	for _, g := range a.groups {
+		if g != nil {
+			n += groupBytes(g)
+		}
+	}
+	return n
+}
+
 // key1Acc groups by a single dimension: the raw uint32 value is the map
 // key, so the hot path allocates nothing per row beyond new groups.
 type key1Acc struct {
@@ -483,6 +558,22 @@ func (a *key1Acc) addTo(p *Partial) {
 	}
 }
 
+func (a *key1Acc) clone() accumulator {
+	groups := make(map[uint32]*group, len(a.groups))
+	for k, g := range a.groups {
+		groups[k] = cloneGroup(g)
+	}
+	return &key1Acc{c: a.c, groups: groups}
+}
+
+func (a *key1Acc) memBytes() int64 {
+	var n int64
+	for _, g := range a.groups {
+		n += groupBytes(g)
+	}
+	return n
+}
+
 // key2Acc groups by two dimensions packed into one uint64 key.
 type key2Acc struct {
 	c      *compiled
@@ -539,6 +630,22 @@ func (a *key2Acc) addTo(p *Partial) {
 	for _, g := range a.groups {
 		p.mergeGroup(g.key, g.cells)
 	}
+}
+
+func (a *key2Acc) clone() accumulator {
+	groups := make(map[uint64]*group, len(a.groups))
+	for k, g := range a.groups {
+		groups[k] = cloneGroup(g)
+	}
+	return &key2Acc{c: a.c, groups: groups}
+}
+
+func (a *key2Acc) memBytes() int64 {
+	var n int64
+	for _, g := range a.groups {
+		n += groupBytes(g)
+	}
+	return n
 }
 
 // keyNAcc is the fallback for three or more GROUP BY dimensions, keyed by
@@ -608,4 +715,25 @@ func (a *keyNAcc) addTo(p *Partial) {
 			pg.cells[i].merge(g.cells[i])
 		}
 	}
+}
+
+func (a *keyNAcc) clone() accumulator {
+	groups := make(map[string]*group, len(a.groups))
+	for k, g := range a.groups {
+		groups[k] = cloneGroup(g)
+	}
+	return &keyNAcc{
+		c:       a.c,
+		groups:  groups,
+		keyVals: make([]uint32, len(a.keyVals)),
+		keyBuf:  make([]byte, len(a.keyBuf)),
+	}
+}
+
+func (a *keyNAcc) memBytes() int64 {
+	var n int64
+	for k, g := range a.groups {
+		n += int64(len(k)) + groupBytes(g)
+	}
+	return n
 }

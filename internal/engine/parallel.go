@@ -22,7 +22,22 @@ type taskResult struct {
 	acc          accumulator
 	rowsScanned  int64
 	decompressed bool
+	cached       bool
 	err          error
+}
+
+// execOpts threads the optional cache plumbing through a solo parallel
+// execution; the zero value reproduces the plain uncached behavior.
+type execOpts struct {
+	parallelism int
+	// cache + scope enable the per-brick partial cache (see brickcache.go).
+	cache *BrickCache
+	scope string
+	// noDecodedCache bypasses the storage layer's decoded-column cache
+	// (the per-request "X-Cubrick-Cache: off" escape hatch).
+	noDecodedCache bool
+	// hits/misses, when non-nil, receive brick-cache lookup counts.
+	hits, misses *atomic.Int64
 }
 
 // Timings reports where one partition execution spent its wall time,
@@ -55,12 +70,54 @@ func ExecuteParallelN(store *brick.Store, q *Query, parallelism int) (*Partial, 
 	return p, err
 }
 
+// ExecuteParallelCachedTimed is ExecuteParallelTimed with the per-brick
+// partial cache consulted before each brick scan and filled after it,
+// returning the cache hit/miss counts alongside the timings. scope keys
+// the store (typically the partition name) so stores sharing one cache
+// never collide.
+func ExecuteParallelCachedTimed(store *brick.Store, q *Query, cache *BrickCache, scope string) (*Partial, Timings, int, int, error) {
+	var hits, misses atomic.Int64
+	p, tm, err := executeParallelOpts(store, q, execOpts{
+		parallelism: runtime.GOMAXPROCS(0),
+		cache:       cache,
+		scope:       scope,
+		hits:        &hits,
+		misses:      &misses,
+	})
+	return p, tm, int(hits.Load()), int(misses.Load()), err
+}
+
+// ExecuteParallelNoCacheTimed runs the query solo with every cache level
+// bypassed — no brick-partial cache (solo runs only use one when asked)
+// and the decoded-column cache neither consulted nor filled. It is the
+// execution path behind per-request cache bypass.
+func ExecuteParallelNoCacheTimed(store *brick.Store, q *Query) (*Partial, Timings, error) {
+	return executeParallelOpts(store, q, execOpts{
+		parallelism:    runtime.GOMAXPROCS(0),
+		noDecodedCache: true,
+	})
+}
+
 func executeParallelTimed(store *brick.Store, q *Query, parallelism int) (*Partial, Timings, error) {
+	return executeParallelOpts(store, q, execOpts{parallelism: parallelism})
+}
+
+func executeParallelOpts(store *brick.Store, q *Query, opts execOpts) (*Partial, Timings, error) {
 	var tm Timings
+	parallelism := opts.parallelism
 	planStart := time.Now()
 	c, err := compile(store.Schema(), q)
 	if err != nil {
 		return nil, tm, err
+	}
+	if opts.noDecodedCache {
+		c.proj.NoCache = true
+		c.projFull.NoCache = true
+		c.projFullSerial.NoCache = true
+	}
+	var foldKey string
+	if opts.cache != nil {
+		foldKey = FoldKey(q)
 	}
 	plan, err := store.PlanScan(c.filter)
 	if err != nil {
@@ -95,13 +152,26 @@ func executeParallelTimed(store *brick.Store, q *Query, parallelism int) (*Parti
 				}
 				t := &tasks[i]
 				res := &results[i]
+				if opts.cache != nil {
+					key := brickCacheKey(opts.scope, foldKey, t.BrickID, t.Epoch())
+					if acc, rows, ok := opts.cache.get(key); ok {
+						// Cache hit: the snapshot stands in for the whole
+						// scan. Heat still accrues — reuse keeps a brick
+						// exactly as hot as scanning it would.
+						t.Touch()
+						res.acc = acc
+						res.rowsScanned = rows
+						res.cached = true
+						continue
+					}
+				}
 				res.acc = newTaskAccumulator(c, t.Bounds)
 				res.decompressed = t.Compressed()
 				proj := &c.proj
 				if t.Full {
 					proj = &c.projFull
 				}
-				res.err = t.VisitBatch(proj, func(b *brick.Batch) error {
+				epoch, err := t.VisitBatchEpoch(proj, func(b *brick.Batch) error {
 					if t.Full || c.filter == nil {
 						res.rowsScanned += int64(b.Rows)
 						// Encoded fast path: a fully covered brick whose group
@@ -132,6 +202,14 @@ func executeParallelTimed(store *brick.Store, q *Query, parallelism int) (*Parti
 					res.acc.observeBatch(b.Dims, b.Metrics, b.Rows, sel)
 					return nil
 				})
+				res.err = err
+				if opts.cache != nil && err == nil {
+					// Key the fill on the epoch observed during the visit —
+					// never the pre-scan read — so an ingest that lands
+					// mid-scan can only push the entry under a key future
+					// lookups (which will see the newer epoch) already miss.
+					opts.cache.put(brickCacheKey(opts.scope, foldKey, t.BrickID, epoch), res.acc, res.rowsScanned)
+				}
 			}
 		}()
 	}
@@ -158,6 +236,13 @@ func executeParallelTimed(store *brick.Store, q *Query, parallelism int) (*Parti
 		p.RowsScanned += res.rowsScanned
 		if res.decompressed {
 			p.Decompressions++
+		}
+		if res.cached {
+			if opts.hits != nil {
+				opts.hits.Add(1)
+			}
+		} else if opts.cache != nil && opts.misses != nil {
+			opts.misses.Add(1)
 		}
 	}
 	base.addTo(p)

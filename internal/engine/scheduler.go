@@ -45,6 +45,14 @@ type SchedulerConfig struct {
 	// Metrics, when set, receives the fold counters
 	// engine.fold.{attached,solo,catchup_bricks}.
 	Metrics *metrics.Registry
+	// BrickCache, when set, caches per-brick accumulator snapshots keyed
+	// on (CacheScope, fold key, brick id, brick ingest epoch): passes skip
+	// re-scanning bricks that are unchanged since an earlier pass of the
+	// same shape. Results stay bit-identical to uncached execution.
+	BrickCache *BrickCache
+	// CacheScope isolates this store's keys when BrickCache is shared by
+	// several stores (typically the partition name).
+	CacheScope string
 }
 
 // FoldStats reports a scheduler's folding activity.
@@ -64,6 +72,9 @@ type ExecInfo struct {
 	Folded bool
 	// CatchupBricks is how many bricks the catch-up pass covered.
 	CatchupBricks int
+	// CacheHits / CacheMisses count brick-cache lookups over the bricks
+	// this result consumed (always zero without a configured BrickCache).
+	CacheHits, CacheMisses int
 }
 
 // Scheduler owns the scan passes over one store.
@@ -133,9 +144,18 @@ func (s *Scheduler) ExecuteInfo(ctx context.Context, q *Query) (*Partial, ExecIn
 		return p, info, err
 	}
 	var info ExecInfo
-	p, tm, err := executeParallelTimed(s.store, q, s.parallelism())
+	p, tm, err := s.executeSolo(q)
 	info.Timings = tm
 	return p, info, err
+}
+
+// executeSolo runs one unshared pass with the scheduler's cache wiring.
+func (s *Scheduler) executeSolo(q *Query) (*Partial, Timings, error) {
+	return executeParallelOpts(s.store, q, execOpts{
+		parallelism: s.parallelism(),
+		cache:       s.cfg.BrickCache,
+		scope:       s.cfg.CacheScope,
+	})
 }
 
 func (s *Scheduler) executeOnce(ctx context.Context, q *Query) (*Partial, ExecInfo, error) {
@@ -150,8 +170,17 @@ func (s *Scheduler) executeOnce(ctx context.Context, q *Query) (*Partial, ExecIn
 	}
 
 	if s.cfg.NoFold {
-		p, tm, err := executeParallelTimed(s.store, q, s.parallelism())
+		var hits, misses atomic.Int64
+		p, tm, err := executeParallelOpts(s.store, q, execOpts{
+			parallelism: s.parallelism(),
+			cache:       s.cfg.BrickCache,
+			scope:       s.cfg.CacheScope,
+			hits:        &hits,
+			misses:      &misses,
+		})
 		info.Timings = tm
+		info.CacheHits = int(hits.Load())
+		info.CacheMisses = int(misses.Load())
 		return p, info, err
 	}
 
@@ -177,6 +206,7 @@ func (s *Scheduler) executeOnce(ctx context.Context, q *Query) (*Partial, ExecIn
 			if err != nil {
 				return nil, info, err
 			}
+			info.CacheHits, info.CacheMisses = pass.cacheStats(sub)
 			info.Combine = time.Since(combineStart)
 			return p, info, nil
 		}
@@ -190,14 +220,15 @@ func (s *Scheduler) executeOnce(ctx context.Context, q *Query) (*Partial, ExecIn
 		return nil, info, err
 	}
 	pass := &scanPass{
-		sched:     s,
-		key:       key,
-		c:         c,
-		tasks:     plan.Tasks,
-		pruned:    plan.Pruned,
-		taskRows:  make([]int64, len(plan.Tasks)),
-		taskDecmp: make([]bool, len(plan.Tasks)),
-		done:      make(chan struct{}),
+		sched:      s,
+		key:        key,
+		c:          c,
+		tasks:      plan.Tasks,
+		pruned:     plan.Pruned,
+		taskRows:   make([]int64, len(plan.Tasks)),
+		taskDecmp:  make([]bool, len(plan.Tasks)),
+		taskCached: make([]bool, len(plan.Tasks)),
+		done:       make(chan struct{}),
 	}
 	sub := pass.newSub(q)
 	pass.subs = append(pass.subs, sub)
@@ -216,6 +247,7 @@ func (s *Scheduler) executeOnce(ctx context.Context, q *Query) (*Partial, ExecIn
 	if err != nil {
 		return nil, info, err
 	}
+	info.CacheHits, info.CacheMisses = pass.cacheStats(sub)
 	info.Combine = time.Since(combineStart)
 	return p, info, nil
 }
@@ -229,10 +261,11 @@ type foldSub struct {
 	joinedAt int
 	// accs holds the per-task accumulators, one slot per pass task.
 	accs []accumulator
-	// rows and decmp mirror taskRows/taskDecmp for catch-up tasks, which
-	// this subscriber visits itself.
-	rows  []int64
-	decmp []bool
+	// rows, decmp and cached mirror taskRows/taskDecmp/taskCached for
+	// catch-up tasks, which this subscriber visits itself.
+	rows   []int64
+	decmp  []bool
+	cached []bool
 	// canceled marks a detached subscriber; workers skip feeding it.
 	canceled atomic.Bool
 }
@@ -245,10 +278,11 @@ type scanPass struct {
 	tasks  []brick.ScanTask
 	pruned int
 
-	// taskRows and taskDecmp record per-task scan stats from the shared
-	// pass; identical for every subscriber, matching a solo run.
-	taskRows  []int64
-	taskDecmp []bool
+	// taskRows, taskDecmp and taskCached record per-task scan stats from
+	// the shared pass; identical for every subscriber, matching a solo run.
+	taskRows   []int64
+	taskDecmp  []bool
+	taskCached []bool
 
 	mu     sync.Mutex
 	cursor int // next unclaimed task index
@@ -261,10 +295,11 @@ type scanPass struct {
 
 func (p *scanPass) newSub(q *Query) *foldSub {
 	return &foldSub{
-		q:     q,
-		accs:  make([]accumulator, len(p.tasks)),
-		rows:  make([]int64, len(p.tasks)),
-		decmp: make([]bool, len(p.tasks)),
+		q:      q,
+		accs:   make([]accumulator, len(p.tasks)),
+		rows:   make([]int64, len(p.tasks)),
+		decmp:  make([]bool, len(p.tasks)),
+		cached: make([]bool, len(p.tasks)),
 	}
 }
 
@@ -360,6 +395,26 @@ func (p *scanPass) work() {
 func (p *scanPass) visitTask(i int, subs []*foldSub, selBuf *[]int32) error {
 	t := &p.tasks[i]
 	c := p.c
+	bc := p.sched.cfg.BrickCache
+	if bc != nil {
+		key := brickCacheKey(p.sched.cfg.CacheScope, p.key, t.BrickID, t.Epoch())
+		if acc, cachedRows, ok := bc.get(key); ok {
+			// The snapshot stands in for the scan for every live
+			// subscriber; each gets its own deep copy because combiners
+			// take ownership of (and later mutate) what they merge.
+			t.Touch()
+			p.taskRows[i] = cachedRows
+			p.taskCached[i] = true
+			for j, sub := range subs {
+				if j == 0 {
+					sub.accs[i] = acc
+				} else {
+					sub.accs[i] = acc.clone()
+				}
+			}
+			return nil
+		}
+	}
 	accs := make([]accumulator, len(subs))
 	for j := range subs {
 		accs[j] = newTaskAccumulator(c, t.Bounds)
@@ -370,7 +425,7 @@ func (p *scanPass) visitTask(i int, subs []*foldSub, selBuf *[]int32) error {
 		proj = &c.projFull
 	}
 	var rows int64
-	err := t.VisitBatch(proj, func(b *brick.Batch) error {
+	epoch, err := t.VisitBatchEpoch(proj, func(b *brick.Batch) error {
 		if t.Full || c.filter == nil {
 			rows += int64(b.Rows)
 			for j := range accs {
@@ -411,6 +466,13 @@ func (p *scanPass) visitTask(i int, subs []*foldSub, selBuf *[]int32) error {
 	p.taskRows[i] = rows
 	for j, sub := range subs {
 		sub.accs[i] = accs[j]
+	}
+	if bc != nil && len(accs) > 0 {
+		// All subscriber accumulators were fed identically; snapshot the
+		// first. The key uses the epoch observed during the visit, so a
+		// mid-scan ingest can only file the entry under a key future
+		// lookups already miss.
+		bc.put(brickCacheKey(p.sched.cfg.CacheScope, p.key, t.BrickID, epoch), accs[0], rows)
 	}
 	return nil
 }
@@ -474,6 +536,17 @@ func (p *scanPass) catchUp(ctx context.Context, sub *foldSub) error {
 func (p *scanPass) catchUpTask(i int, sub *foldSub, selBuf *[]int32) error {
 	t := &p.tasks[i]
 	c := p.c
+	bc := p.sched.cfg.BrickCache
+	if bc != nil {
+		key := brickCacheKey(p.sched.cfg.CacheScope, p.key, t.BrickID, t.Epoch())
+		if acc, cachedRows, ok := bc.get(key); ok {
+			t.Touch()
+			sub.rows[i] = cachedRows
+			sub.cached[i] = true
+			sub.accs[i] = acc
+			return nil
+		}
+	}
 	acc := newTaskAccumulator(c, t.Bounds)
 	sub.decmp[i] = t.Compressed()
 	proj := &c.proj
@@ -481,7 +554,7 @@ func (p *scanPass) catchUpTask(i int, sub *foldSub, selBuf *[]int32) error {
 		proj = &c.projFull
 	}
 	var rows int64
-	err := t.VisitBatch(proj, func(b *brick.Batch) error {
+	epoch, err := t.VisitBatchEpoch(proj, func(b *brick.Batch) error {
 		if t.Full || c.filter == nil {
 			rows += int64(b.Rows)
 			if c.encDim >= 0 {
@@ -515,6 +588,9 @@ func (p *scanPass) catchUpTask(i int, sub *foldSub, selBuf *[]int32) error {
 	}
 	sub.rows[i] = rows
 	sub.accs[i] = acc
+	if bc != nil {
+		bc.put(brickCacheKey(p.sched.cfg.CacheScope, p.key, t.BrickID, epoch), acc, rows)
+	}
 	return nil
 }
 
@@ -569,4 +645,25 @@ func (p *scanPass) wait(ctx context.Context, sub *foldSub) (*Partial, error) {
 	}
 	base.addTo(out)
 	return out, nil
+}
+
+// cacheStats counts brick-cache hits and misses over the bricks this
+// subscriber's result consumed (catch-up tasks the subscriber visited
+// itself, shared tasks from the pass).
+func (p *scanPass) cacheStats(sub *foldSub) (hits, misses int) {
+	if p.sched.cfg.BrickCache == nil {
+		return 0, 0
+	}
+	for i := range p.tasks {
+		cached := p.taskCached[i]
+		if i < sub.joinedAt {
+			cached = sub.cached[i]
+		}
+		if cached {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	return hits, misses
 }

@@ -1,10 +1,15 @@
 package engine
 
 import (
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// mathFloat64bits encodes a HAVING operand bit-exactly (so 0.1 and the
+// nearest float to it can never be conflated by decimal formatting).
+func mathFloat64bits(v float64) uint64 { return math.Float64bits(v) }
 
 // Query signatures: a canonical string encoding of the parts of a query
 // that determine accumulator structure and scan semantics. Two queries
@@ -71,6 +76,43 @@ func FoldKey(q *Query) string {
 		b.WriteByte(':')
 		b.WriteString(strconv.FormatUint(uint64(r[1]), 10))
 		b.WriteByte('\x01')
+	}
+	return b.String()
+}
+
+// ResidueKey canonically encodes everything FoldKey deliberately ignores:
+// aliases, ORDER BY, sort direction, LIMIT, and HAVING — the finalize-time
+// residue. Two queries with equal fold keys may still produce different
+// finished Results when their residues differ (a LIMIT 5 and a LIMIT 500
+// of the same aggregation, say), so result caches must key on
+// FoldKey + ResidueKey, never on FoldKey alone.
+func ResidueKey(q *Query) string {
+	if q == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range q.Aggregates {
+		b.WriteString(a.Name())
+		b.WriteByte('\x01')
+	}
+	b.WriteByte('\x02')
+	b.WriteString(q.OrderBy)
+	b.WriteByte('\x02')
+	if q.Desc {
+		b.WriteByte('1')
+	} else {
+		b.WriteByte('0')
+	}
+	b.WriteByte('\x02')
+	b.WriteString(strconv.Itoa(q.Limit))
+	b.WriteByte('\x02')
+	for _, h := range q.Having {
+		b.WriteString(h.Column)
+		b.WriteByte('\x01')
+		b.WriteString(h.Op)
+		b.WriteByte('\x01')
+		b.WriteString(strconv.FormatUint(mathFloat64bits(h.Value), 16))
+		b.WriteByte('\x03')
 	}
 	return b.String()
 }

@@ -19,6 +19,10 @@ const Precision = 12
 
 const m = 1 << Precision
 
+// Bytes is the fixed in-memory size of a sketch's register array — the
+// marginal cost of keeping one sketch resident, for cache budgeting.
+const Bytes = m
+
 // alpha is the bias-correction constant for m ≥ 128.
 var alpha = 0.7213 / (1 + 1.079/float64(m))
 
@@ -76,6 +80,16 @@ func (s *Sketch) Merge(o *Sketch) {
 			s.registers[i] = o.registers[i]
 		}
 	}
+}
+
+// Clone returns an independent copy of the sketch: mutating either side
+// never affects the other. A nil receiver clones to nil.
+func (s *Sketch) Clone() *Sketch {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	return &c
 }
 
 // Empty reports whether no element was ever added.

@@ -198,9 +198,23 @@ func (c *Cluster) Load(ctx context.Context, table string, dims [][]uint32, metri
 			bm[j] = metrics[i]
 		}
 		shard := c.mapper.Shard(table, p)
-		for _, url := range c.placement(shard, t.replicas) {
+		part := core.PartitionName(table, p)
+		for ri, url := range c.placement(shard, t.replicas) {
 			cl := &Client{BaseURL: url, HTTP: c.client}
-			if err := cl.LoadBin(ctx, core.PartitionName(table, p), bd, bm); err != nil {
+			if ri == 0 {
+				// The primary's response carries the partition's post-ingest
+				// epoch; feeding it to the coordinator invalidates any cached
+				// result over this partition before the next query can hit.
+				epoch, ok, err := cl.LoadBinEpoch(ctx, part, bd, bm)
+				if err != nil {
+					return err
+				}
+				if ok {
+					c.coord.ObserveEpoch(part, epoch)
+				}
+				continue
+			}
+			if err := cl.LoadBin(ctx, part, bd, bm); err != nil {
 				return err
 			}
 		}

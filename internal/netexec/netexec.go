@@ -34,6 +34,7 @@ import (
 	"cubrick/internal/brick"
 	"cubrick/internal/engine"
 	"cubrick/internal/metrics"
+	"cubrick/internal/rescache"
 	"cubrick/internal/trace"
 )
 
@@ -118,12 +119,37 @@ type Worker struct {
 	// brick pass. A request can opt out per query with the
 	// X-Cubrick-Fold: off header. Off in the zero value.
 	FoldScans bool
+	// BrickCacheBytes budgets the worker's per-brick partial cache (fold
+	// key + brick epoch -> finished per-task accumulator); 0 disables it.
+	// Set before the first request.
+	BrickCacheBytes int64
+	// DecodedCacheBytes budgets the storage layer's decoded-column cache
+	// (hot compressed bricks keep their decoded columns resident); 0
+	// disables it. Set before the first AddPartition.
+	DecodedCacheBytes int64
 
 	mu     sync.Mutex
 	stores map[string]*brick.Store
 
 	schedMu sync.Mutex
 	scheds  map[*brick.Store]*engine.Scheduler
+
+	cacheOnce    sync.Once
+	brickCache   *engine.BrickCache
+	decodedCache *brick.DecodedCache
+}
+
+// caches lazily builds the worker's two cache levels from the configured
+// byte budgets (both nil when the budgets are zero) and wires their
+// counters into the metrics registry.
+func (w *Worker) caches() (*engine.BrickCache, *brick.DecodedCache) {
+	w.cacheOnce.Do(func() {
+		w.brickCache = engine.NewBrickCache(w.BrickCacheBytes)
+		w.brickCache.SetMetrics(w.Metrics)
+		w.decodedCache = brick.NewDecodedCache(w.DecodedCacheBytes)
+		w.decodedCache.SetMetrics(w.Metrics)
+	})
+	return w.brickCache, w.decodedCache
 }
 
 func (w *Worker) countAdd(name string, delta int64) {
@@ -147,7 +173,10 @@ func NewWorker() *Worker {
 }
 
 // scheduler returns the store's scan scheduler, creating it on first use.
-func (w *Worker) scheduler(st *brick.Store) *engine.Scheduler {
+// partition becomes the scheduler's brick-cache scope so stores sharing
+// the worker-wide cache never collide on keys.
+func (w *Worker) scheduler(partition string, st *brick.Store) *engine.Scheduler {
+	bc, _ := w.caches()
 	w.schedMu.Lock()
 	defer w.schedMu.Unlock()
 	if w.scheds == nil {
@@ -155,7 +184,11 @@ func (w *Worker) scheduler(st *brick.Store) *engine.Scheduler {
 	}
 	s := w.scheds[st]
 	if s == nil {
-		s = engine.NewScheduler(st, engine.SchedulerConfig{Metrics: w.Metrics})
+		s = engine.NewScheduler(st, engine.SchedulerConfig{
+			Metrics:    w.Metrics,
+			BrickCache: bc,
+			CacheScope: partition,
+		})
 		w.scheds[st] = s
 	}
 	return s
@@ -169,6 +202,11 @@ func (w *Worker) AddPartition(name string, schema brick.Schema) error {
 	}
 	if w.Metrics != nil {
 		st.SetMetricsRegistry(w.Metrics)
+	}
+	// Every partition store shares the worker-wide decoded-column cache
+	// (keys carry a process-unique brick uid, so stores cannot collide).
+	if _, dc := w.caches(); dc != nil {
+		st.SetDecodedCache(dc)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -298,6 +336,7 @@ func (w *Worker) Handler() http.Handler {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
+		rw.Header().Set(HeaderEpoch, strconv.FormatUint(st.Epoch(), 10))
 		w.countAdd("worker.load.requests", 1)
 		w.countAdd("worker.load.rows", int64(len(req.Rows)))
 		fmt.Fprintf(rw, `{"loaded":%d}`, len(req.Rows))
@@ -328,6 +367,7 @@ func (w *Worker) Handler() http.Handler {
 				return
 			}
 		}
+		rw.Header().Set(HeaderEpoch, strconv.FormatUint(st.Epoch(), 10))
 		w.countAdd("worker.load.requests", 1)
 		w.countAdd("worker.load.rows", int64(rows))
 		fmt.Fprintf(rw, `{"loaded":%d}`, rows)
@@ -385,6 +425,19 @@ const (
 	// HeaderFold set to "off" bypasses the shared-scan scheduler for the
 	// request (solo ExecuteParallel, the pre-scheduler path).
 	HeaderFold = "X-Cubrick-Fold"
+	// HeaderCache set to "off" bypasses every cache level for one request:
+	// the coordinator skips its result cache and stamps the header
+	// worker-ward, where /partial neither consults nor fills the brick and
+	// decoded-column caches. The answer is then guaranteed fully
+	// recomputed — the debugging escape hatch.
+	HeaderCache = "X-Cubrick-Cache"
+	// HeaderEpoch carries ingest-epoch state coordinator-ward in HTTP
+	// responses: /partial reports the partition's epoch read before
+	// execution (conservative — a mid-scan ingest yields a higher epoch
+	// that invalidates), /load and /loadbin report the epoch after the
+	// batch committed. The coordinator's result cache validates its
+	// entries against the latest epoch seen per partition.
+	HeaderEpoch = "X-Cubrick-Epoch"
 )
 
 // attrMS annotates a span with a duration in fractional milliseconds.
@@ -410,6 +463,11 @@ func (w *Worker) servePartial(ctx context.Context, rw http.ResponseWriter, r *ht
 	if err != nil {
 		return http.StatusNotFound, err
 	}
+	// Epoch reported to the coordinator: read before execution so a batch
+	// landing mid-scan (which this scan may have missed) yields a higher
+	// epoch than the one the response carries — the coordinator's cached
+	// entry then invalidates the moment the newer epoch is learned.
+	epoch := st.Epoch()
 	if w.Admission != nil {
 		priority, _ := strconv.Atoi(r.Header.Get(HeaderPriority))
 		tkt, err := w.Admission.Admit(ctx, r.Header.Get(HeaderTenant), priority)
@@ -431,15 +489,36 @@ func (w *Worker) servePartial(ctx context.Context, rw http.ResponseWriter, r *ht
 	_, espan := w.Tracer.StartSpan(ctx, "worker.execute")
 	var partial *engine.Partial
 	var tm engine.Timings
-	if w.FoldScans && r.Header.Get(HeaderFold) != "off" {
+	noCache := r.Header.Get(HeaderCache) == "off"
+	bc, _ := w.caches()
+	switch {
+	case noCache:
+		// Per-request bypass: no brick-partial cache, and the decoded-column
+		// cache neither consulted nor filled. Bypassed requests also skip
+		// scan folding — sharing a pass with a cached peer would reuse its
+		// cached per-brick partials.
+		espan.SetAttr("cache.bypass", "true")
+		partial, tm, err = engine.ExecuteParallelNoCacheTimed(st, &req.Query)
+	case w.FoldScans && r.Header.Get(HeaderFold) != "off":
 		var info engine.ExecInfo
-		partial, info, err = w.scheduler(st).ExecuteInfo(ctx, &req.Query)
+		partial, info, err = w.scheduler(req.Partition, st).ExecuteInfo(ctx, &req.Query)
 		if err == nil {
 			tm = info.Timings
 			espan.SetAttr("folded", strconv.FormatBool(info.Folded))
 			espan.SetAttrInt("catchup_bricks", int64(info.CatchupBricks))
+			if bc != nil {
+				espan.SetAttrInt("cache.brick.hits", int64(info.CacheHits))
+				espan.SetAttrInt("cache.brick.misses", int64(info.CacheMisses))
+			}
 		}
-	} else {
+	case bc != nil:
+		var hits, misses int
+		partial, tm, hits, misses, err = engine.ExecuteParallelCachedTimed(st, &req.Query, bc, req.Partition)
+		if err == nil {
+			espan.SetAttrInt("cache.brick.hits", int64(hits))
+			espan.SetAttrInt("cache.brick.misses", int64(misses))
+		}
+	default:
 		partial, tm, err = engine.ExecuteParallelTimed(st, &req.Query)
 	}
 	if err != nil {
@@ -481,6 +560,7 @@ func (w *Worker) servePartial(ctx context.Context, rw http.ResponseWriter, r *ht
 	mspan.SetAttrInt("bytes", int64(len(payload)))
 	mspan.SetAttr("gzip", strconv.FormatBool(gzipped))
 	mspan.End()
+	rw.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	rw.Header().Set("Content-Length", strconv.Itoa(len(payload)))
 	if _, err := rw.Write(payload); err != nil {
@@ -583,11 +663,66 @@ type Coordinator struct {
 	// NoFold stamps X-Cubrick-Fold: off on worker requests, bypassing
 	// worker-side shared-scan folding for queries from this coordinator.
 	NoFold bool
+	// ResultCache, when set, remembers finished full-coverage Results keyed
+	// on the complete query identity (fold key + residue + partition set)
+	// and validated against the per-partition ingest epochs workers report
+	// in X-Cubrick-Epoch response headers. A hit answers with zero fan-out;
+	// any partition whose epoch advanced invalidates exactly. Requests can
+	// opt out with WithCacheBypass (the X-Cubrick-Cache: off path).
+	ResultCache *rescache.Cache
+
+	// epochMu guards epochs: the latest ingest epoch learned per partition
+	// (from /partial responses and, via ObserveEpoch, from ingest
+	// responses). Values only grow.
+	epochMu sync.Mutex
+	epochs  map[string]uint64
 
 	// latMu guards lat, the observed partial-fetch latency distribution
 	// behind quantile-based hedge delays.
 	latMu sync.Mutex
 	lat   *metrics.Histogram
+}
+
+// ObserveEpoch records a partition's ingest epoch (from a worker response
+// header) into the coordinator's freshness view. Epochs are monotonic;
+// stale observations — a lagging replica, a reordered response — are
+// ignored rather than rolling the view back.
+func (c *Coordinator) ObserveEpoch(partition string, epoch uint64) {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	if c.epochs == nil {
+		c.epochs = make(map[string]uint64)
+	}
+	if epoch > c.epochs[partition] {
+		c.epochs[partition] = epoch
+	}
+}
+
+// KnownEpoch returns the latest ingest epoch the coordinator has learned
+// for a partition, with ok=false before any response has reported one. It
+// is the validation source for ResultCache lookups.
+func (c *Coordinator) KnownEpoch(partition string) (uint64, bool) {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	e, ok := c.epochs[partition]
+	return e, ok
+}
+
+// cacheBypassCtxKey marks a request context as cache-bypassed.
+type cacheBypassCtxKey struct{}
+
+// WithCacheBypass marks the context so the query skips the coordinator's
+// result cache and carries X-Cubrick-Cache: off to workers, which then
+// bypass their brick and decoded-column caches too — a fully recomputed
+// answer.
+func WithCacheBypass(ctx context.Context) context.Context {
+	return context.WithValue(ctx, cacheBypassCtxKey{}, true)
+}
+
+// CacheBypassed reports whether the context carries the bypass mark.
+func CacheBypassed(ctx context.Context) bool {
+	v, _ := ctx.Value(cacheBypassCtxKey{}).(bool)
+	return v
 }
 
 func (c *Coordinator) client() *http.Client {
@@ -704,7 +839,36 @@ func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Que
 	if c.Admission != nil {
 		attrMS(fanSpan, "queue_ms", queued)
 	}
-	res, err := c.queryFanout(ctx, targets, q)
+	bypass := CacheBypassed(ctx)
+	var key rescache.Key
+	if c.ResultCache != nil && !bypass {
+		key = rescache.Key{
+			Table:   targetsKey(targets),
+			FoldKey: engine.FoldKey(q),
+			Residue: engine.ResidueKey(q),
+		}
+		if res, ok := c.ResultCache.Get(key, c.KnownEpoch); ok {
+			// Zero fan-out: the finished result replays straight from the
+			// cache, every contributing partition provably at the epoch the
+			// entry was computed at.
+			fanSpan.SetAttr("cache.hit", "true")
+			fanSpan.SetAttr("cache.level", "result")
+			fanSpan.End()
+			c.count("netexec.query.cached")
+			if c.Metrics != nil {
+				c.Metrics.Histogram("netexec.query.latency").Observe(time.Since(qstart).Seconds())
+			}
+			return res, nil
+		}
+		fanSpan.SetAttr("cache.hit", "false")
+	}
+	res, epochs, err := c.queryFanout(ctx, targets, q)
+	if err == nil && c.ResultCache != nil && !bypass && epochs != nil {
+		// Only full-epoch-vector, full-coverage results are cacheable (Put
+		// re-checks Coverage); epochs is nil whenever any partial arrived
+		// without an epoch header or a partition was dropped.
+		c.ResultCache.Put(key, res, epochs)
+	}
 	fanSpan.EndErr(err)
 	if c.Metrics != nil {
 		c.Metrics.Histogram("netexec.query.latency").Observe(time.Since(qstart).Seconds())
@@ -712,14 +876,32 @@ func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Que
 	return res, err
 }
 
-// queryFanout is the body of Query, running under the fan-out span.
-func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engine.Query) (*engine.Result, error) {
+// targetsKey canonically names the partition set a query fanned out over,
+// scoping result-cache keys: the same CQL against a different table (or a
+// repartitioned one) must never share an entry.
+func targetsKey(targets []Target) string {
+	parts := make([]string, len(targets))
+	for i, t := range targets {
+		parts[i] = t.Partition
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x1f")
+}
+
+// queryFanout is the body of Query, running under the fan-out span. The
+// second return value is the ingest-epoch vector the result was computed
+// at — one entry per partition, non-nil only when every partial carried an
+// epoch header and no partition was dropped — which is what makes the
+// result eligible for the coordinator's cache.
+func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engine.Query) (*engine.Result, map[string]uint64, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
-		idx  int
-		blob []byte
-		err  error
+		idx      int
+		blob     []byte
+		epoch    uint64
+		hasEpoch bool
+		err      error
 	}
 	// Buffered to the fan-out so late finishers never block: Query may
 	// return on the first error while peers are still draining.
@@ -731,18 +913,26 @@ func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engi
 			// so a retry or hedge shows up as extra fetch spans under it.
 			pctx, pspan := c.Tracer.StartSpan(ctx, "partition")
 			pspan.SetAttr("partition", t.Partition)
-			blob, err := c.fetchResilient(pctx, t, q)
+			blob, epoch, hasEpoch, err := c.fetchResilient(pctx, t, q)
 			pspan.EndErr(err)
-			ch <- outcome{i, blob, err}
+			ch <- outcome{i, blob, epoch, hasEpoch, err}
 		}(i, t)
 	}
 	exact := c.Policy.exact()
 	merged := engine.NewPartial(q)
 	var missing []string
+	epochs := make(map[string]uint64, len(targets))
+	allEpochs := true
 	for n := 0; n < len(targets); n++ {
 		o := <-ch
 		t := targets[o.idx]
 		if o.err == nil {
+			if o.hasEpoch {
+				epochs[t.Partition] = o.epoch
+				c.ObserveEpoch(t.Partition, o.epoch)
+			} else {
+				allEpochs = false
+			}
 			var mstart time.Time
 			if c.Metrics != nil {
 				mstart = time.Now()
@@ -752,7 +942,7 @@ func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engi
 				// accumulator may have absorbed a prefix of its groups, so
 				// the merged state can no longer be trusted.
 				c.count("netexec.query.failed")
-				return nil, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, err)
+				return nil, nil, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, err)
 			}
 			if c.Metrics != nil {
 				c.Metrics.Histogram("netexec.merge.latency").Observe(time.Since(mstart).Seconds())
@@ -761,7 +951,7 @@ func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engi
 		}
 		if exact {
 			c.count("netexec.query.failed")
-			return nil, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, o.err)
+			return nil, nil, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, o.err)
 		}
 		missing = append(missing, t.Partition)
 	}
@@ -773,15 +963,19 @@ func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engi
 		if coverage < c.Policy.MinCoverage {
 			c.count("netexec.query.failed")
 			sort.Strings(missing)
-			return nil, fmt.Errorf("%w: coverage %.3f below policy minimum %.3f (missing: %s)",
+			return nil, nil, fmt.Errorf("%w: coverage %.3f below policy minimum %.3f (missing: %s)",
 				ErrWorkerFailed, coverage, c.Policy.MinCoverage, strings.Join(missing, ", "))
 		}
 		sort.Strings(missing)
 		res.Coverage = coverage
 		res.MissingPartitions = missing
 		c.count("netexec.query.degraded")
+		allEpochs = false
 	}
-	return res, nil
+	if !allEpochs {
+		epochs = nil
+	}
+	return res, epochs, nil
 }
 
 // fetchResilient fetches one partition's wire partial under the policy:
@@ -790,13 +984,13 @@ func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engi
 // a replica after the hedge delay; breaker-open hosts are skipped. Errors
 // classify as retryable or terminal (ClassifyError); terminal errors and
 // query-context expiry end the loop immediately.
-func (c *Coordinator) fetchResilient(ctx context.Context, t Target, q *engine.Query) ([]byte, error) {
+func (c *Coordinator) fetchResilient(ctx context.Context, t Target, q *engine.Query) ([]byte, uint64, bool, error) {
 	body, err := json.Marshal(struct {
 		Partition string        `json:"partition"`
 		Query     *engine.Query `json:"query"`
 	}{t.Partition, q})
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	urls := t.urls()
 	attempts := c.Policy.attempts()
@@ -806,29 +1000,29 @@ func (c *Coordinator) fetchResilient(ctx context.Context, t Target, q *engine.Qu
 			if lastErr == nil {
 				lastErr = err
 			}
-			return nil, lastErr
+			return nil, 0, false, lastErr
 		}
 		start := time.Now()
-		blob, url, err := c.fetchAttempt(ctx, urls, a, body)
+		blob, epoch, hasEpoch, url, err := c.fetchAttempt(ctx, urls, a, body)
 		if err == nil {
 			if c.Breakers != nil {
 				c.Breakers.ReportSuccess(url)
 			}
 			c.observeLatency(time.Since(start))
-			return blob, nil
+			return blob, epoch, hasEpoch, nil
 		}
 		lastErr = err
 		if ClassifyError(err) == Terminal || ctx.Err() != nil {
-			return nil, lastErr
+			return nil, 0, false, lastErr
 		}
 		if a < attempts-1 {
 			c.count("netexec.fetch.retries")
 			if serr := sleepCtx(ctx, jitter(c.Policy.backoffFor(a))); serr != nil {
-				return nil, lastErr
+				return nil, 0, false, lastErr
 			}
 		}
 	}
-	return nil, lastErr
+	return nil, 0, false, lastErr
 }
 
 // pickURL chooses the attempt's URL: rotate through the candidates
@@ -872,7 +1066,7 @@ func (c *Coordinator) hedgeCandidate(urls []string, attempt int, primary string)
 // the loser. Returns the blob and the URL that produced it; on failure the
 // error is the last failure observed and url names its host. Per-URL
 // failures are reported to the breaker group as they happen.
-func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt int, body []byte) (blob []byte, url string, err error) {
+func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt int, body []byte) (blob []byte, epoch uint64, hasEpoch bool, url string, err error) {
 	primary := c.pickURL(urls, attempt)
 	var actx context.Context
 	var cancel context.CancelFunc
@@ -884,9 +1078,11 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 	defer cancel()
 
 	type res struct {
-		blob []byte
-		url  string
-		err  error
+		blob     []byte
+		epoch    uint64
+		hasEpoch bool
+		url      string
+		err      error
 	}
 	// Buffered to the maximum in-flight count so the losing request's
 	// goroutine never blocks after the winner returns.
@@ -904,9 +1100,9 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 			if breakerSkip {
 				fspan.SetAttr("breaker_skip", "true")
 			}
-			b, e := c.doPartial(fctx, u, body)
+			b, ep, hasEp, e := c.doPartial(fctx, u, body)
 			fspan.EndErr(e)
-			ch <- res{b, u, e}
+			ch <- res{b, ep, hasEp, u, e}
 		}()
 	}
 	launch(primary, "primary", primary != urls[attempt%len(urls)])
@@ -929,7 +1125,7 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 				if hedged && r.url != primary {
 					c.count("netexec.fetch.hedge_wins")
 				}
-				return r.blob, r.url, nil
+				return r.blob, r.epoch, r.hasEpoch, r.url, nil
 			}
 			// Don't poison the breaker when the query itself was abandoned.
 			if c.Breakers != nil && !errors.Is(r.err, context.Canceled) {
@@ -937,7 +1133,7 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 			}
 			lastErr, lastURL = r.err, r.url
 			if inflight == 0 {
-				return nil, lastURL, lastErr
+				return nil, 0, false, lastURL, lastErr
 			}
 		case <-timerC:
 			timerC = nil
@@ -955,10 +1151,10 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 // response read bounded by MaxPartialBytes. The transport advertises gzip
 // and transparently decompresses, so large partials cross the wire
 // compressed without any handling here.
-func (c *Coordinator) doPartial(ctx context.Context, url string, body []byte) ([]byte, error) {
+func (c *Coordinator) doPartial(ctx context.Context, url string, body []byte) ([]byte, uint64, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/partial", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	// Propagate trace context so the worker's spans join this query's
@@ -977,24 +1173,34 @@ func (c *Coordinator) doPartial(ctx context.Context, url string, body []byte) ([
 	if c.NoFold {
 		req.Header.Set(HeaderFold, "off")
 	}
+	if CacheBypassed(ctx) {
+		req.Header.Set(HeaderCache, "off")
+	}
 	resp, err := c.client().Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, &HTTPStatusError{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
+		return nil, 0, false, &HTTPStatusError{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
+	}
+	var epoch uint64
+	var hasEpoch bool
+	if h := resp.Header.Get(HeaderEpoch); h != "" {
+		if e, perr := strconv.ParseUint(h, 10, 64); perr == nil {
+			epoch, hasEpoch = e, true
+		}
 	}
 	limit := c.maxPartialBytes()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	if int64(len(data)) > limit {
-		return nil, &PartialSizeError{Limit: limit}
+		return nil, 0, false, &PartialSizeError{Limit: limit}
 	}
-	return data, nil
+	return data, epoch, hasEpoch, nil
 }
 
 // DefaultAdminTimeout bounds admin calls (partition create, ingest) made
@@ -1033,14 +1239,20 @@ func (cl *Client) checkResp(path string, resp *http.Response, err error) error {
 	return nil
 }
 
-func (cl *Client) do(ctx context.Context, path, contentType string, body []byte) error {
+// do posts and returns the response headers (valid even on error) so
+// callers can read the ingest-epoch header off successful loads.
+func (cl *Client) do(ctx context.Context, path, contentType string, body []byte) (http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
 	resp, err := cl.http().Do(req)
-	return cl.checkResp(path, resp, err)
+	var hdr http.Header
+	if resp != nil {
+		hdr = resp.Header
+	}
+	return hdr, cl.checkResp(path, resp, err)
 }
 
 func (cl *Client) post(ctx context.Context, path string, v interface{}) error {
@@ -1048,7 +1260,24 @@ func (cl *Client) post(ctx context.Context, path string, v interface{}) error {
 	if err != nil {
 		return err
 	}
-	return cl.do(ctx, path, "application/json", body)
+	_, err = cl.do(ctx, path, "application/json", body)
+	return err
+}
+
+// epochFromHeader parses the worker's X-Cubrick-Epoch response header.
+func epochFromHeader(hdr http.Header) (uint64, bool) {
+	if hdr == nil {
+		return 0, false
+	}
+	h := hdr.Get(HeaderEpoch)
+	if h == "" {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
 }
 
 // CreatePartition creates a partition on the worker.
@@ -1075,9 +1304,23 @@ func (cl *Client) Load(ctx context.Context, partition string, dims [][]uint32, m
 // LoadBin ingests rows into a partition through the binary columnar batch
 // endpoint: one packed blob, one request, one store lock on the worker.
 func (cl *Client) LoadBin(ctx context.Context, partition string, dims [][]uint32, metrics [][]float64) error {
+	_, _, err := cl.LoadBinEpoch(ctx, partition, dims, metrics)
+	return err
+}
+
+// LoadBinEpoch is LoadBin returning the partition's post-ingest epoch from
+// the X-Cubrick-Epoch response header (ok=false against workers that
+// predate the header). Coordinators feed it to ObserveEpoch so cached
+// results over the partition invalidate the moment the load commits.
+func (cl *Client) LoadBinEpoch(ctx context.Context, partition string, dims [][]uint32, metrics [][]float64) (uint64, bool, error) {
 	blob, err := EncodeBatch(partition, dims, metrics)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
-	return cl.do(ctx, "/loadbin", "application/octet-stream", blob)
+	hdr, err := cl.do(ctx, "/loadbin", "application/octet-stream", blob)
+	if err != nil {
+		return 0, false, err
+	}
+	e, ok := epochFromHeader(hdr)
+	return e, ok, nil
 }

@@ -1,0 +1,303 @@
+// Package rescache implements the coordinator-side result cache: finished
+// query Results keyed on the full query identity (fold key plus residue —
+// aliases, ORDER BY, LIMIT, HAVING) and validated against a per-partition
+// ingest-epoch vector. A hit returns the completed Result with zero
+// fan-out; any partition whose epoch has advanced past the cached vector
+// invalidates the entry exactly (epochs are monotonic, so a stale entry
+// can never become valid again and is deleted on sight rather than
+// revalidated).
+//
+// Only exact results are cacheable: entries with Coverage < 1 were built
+// under a degradation policy from a partial partition set and must never
+// be replayed as answers.
+package rescache
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+
+	"cubrick/internal/engine"
+	"cubrick/internal/metrics"
+)
+
+// Key identifies one cacheable query against one table. FoldKey pins the
+// scan semantics (aggregates, grouping, filters); Residue pins the
+// finalize-time parameters FoldKey deliberately ignores. Two dashboard
+// tiles sharing a fold key but differing in LIMIT land in different
+// entries.
+type Key struct {
+	Table   string
+	FoldKey string
+	Residue string
+}
+
+// String flattens the key for map storage with unambiguous separators.
+func (k Key) String() string {
+	var b strings.Builder
+	b.Grow(len(k.Table) + len(k.FoldKey) + len(k.Residue) + 2)
+	b.WriteString(k.Table)
+	b.WriteByte(0x1e)
+	b.WriteString(k.FoldKey)
+	b.WriteByte(0x1e)
+	b.WriteString(k.Residue)
+	return b.String()
+}
+
+// KeyFor derives the cache key for a query against a table.
+func KeyFor(table string, q *engine.Query) Key {
+	return Key{Table: table, FoldKey: engine.FoldKey(q), Residue: engine.ResidueKey(q)}
+}
+
+// entry is one cached finished result plus the epoch vector it was
+// computed at: one (partition, epoch) pair per partition that contributed.
+type entry struct {
+	key    string
+	res    *engine.Result
+	epochs map[string]uint64
+	bytes  int64
+	elem   *list.Element
+}
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	Hits, Misses, Evictions, Invalidations int64
+	Bytes, Entries                         int64
+}
+
+// Cache is a bounded-byte LRU of finished results. A nil *Cache is valid
+// and never hits.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*entry
+	lru      *list.List // front = most recent
+
+	hits, misses, evictions, invalidations int64
+
+	mHit, mMiss, mEvict, mInval *metrics.Counter
+	mBytes, mEntries            *metrics.Gauge
+}
+
+// New returns a result cache bounded to maxBytes; non-positive budgets
+// return nil (caching off).
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+	}
+}
+
+// SetMetrics routes hit/miss/evict/invalidate/bytes instrumentation into
+// reg under the cache.result.* names.
+func (c *Cache) SetMetrics(reg *metrics.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mHit = reg.Counter("cache.result.hit")
+	c.mMiss = reg.Counter("cache.result.miss")
+	c.mEvict = reg.Counter("cache.result.evict")
+	c.mInval = reg.Counter("cache.result.invalidate")
+	c.mBytes = reg.Gauge("cache.result.bytes")
+	c.mEntries = reg.Gauge("cache.result.entries")
+}
+
+// Get returns a private deep copy of the cached Result for key, provided
+// every partition the entry was computed over still reports the epoch the
+// entry was built at. current reports a partition's latest known epoch
+// (ok=false when the coordinator has no epoch knowledge for it — treated
+// as unverifiable, so the entry is kept but not served). A vector mismatch
+// deletes the entry immediately: epochs only grow, so the stored result
+// can never become fresh again.
+func (c *Cache) Get(key Key, current func(partition string) (uint64, bool)) (*engine.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	ks := key.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[ks]
+	if !ok {
+		c.miss()
+		return nil, false
+	}
+	stale := false
+	for part, cachedEpoch := range e.epochs {
+		cur, known := current(part)
+		if !known {
+			// No epoch knowledge for this partition (coordinator restart,
+			// membership change): cannot prove freshness, so miss without
+			// destroying an entry that may validate later.
+			c.miss()
+			return nil, false
+		}
+		if cur != cachedEpoch {
+			stale = true
+			break
+		}
+	}
+	if stale {
+		c.removeLocked(e)
+		c.invalidations++
+		if c.mInval != nil {
+			c.mInval.Inc()
+		}
+		c.miss()
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits++
+	if c.mHit != nil {
+		c.mHit.Inc()
+	}
+	return cloneResult(e.res), true
+}
+
+func (c *Cache) miss() {
+	c.misses++
+	if c.mMiss != nil {
+		c.mMiss.Inc()
+	}
+}
+
+// Put stores a deep copy of res under key, recording the epoch vector it
+// was computed at. Results with Coverage < 1 are rejected — a degraded
+// answer must never be replayed as the answer. Entries larger than the
+// whole budget are rejected.
+func (c *Cache) Put(key Key, res *engine.Result, epochs map[string]uint64) {
+	if c == nil || res == nil || res.Coverage < 1 {
+		return
+	}
+	snap := cloneResult(res)
+	ev := make(map[string]uint64, len(epochs))
+	for p, e := range epochs {
+		ev[p] = e
+	}
+	ks := key.String()
+	size := resultBytes(snap) + int64(len(ks)) + int64(len(ev))*48 + 96
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.maxBytes {
+		return
+	}
+	if old, ok := c.entries[ks]; ok {
+		c.removeLocked(old)
+	}
+	for c.bytes+size > c.maxBytes {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		c.removeLocked(tail.Value.(*entry))
+		c.evictions++
+		if c.mEvict != nil {
+			c.mEvict.Inc()
+		}
+	}
+	e := &entry{key: ks, res: snap, epochs: ev, bytes: size}
+	e.elem = c.lru.PushFront(e)
+	c.entries[ks] = e
+	c.bytes += size
+	c.gauges()
+}
+
+// Invalidate drops every entry whose epoch vector includes partition —
+// used when the coordinator learns of an ingest before it knows the new
+// epoch value (so validation-on-get cannot be relied on).
+func (c *Cache) Invalidate(partition string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if _, ok := e.epochs[partition]; ok {
+			c.removeLocked(e)
+			c.invalidations++
+			if c.mInval != nil {
+				c.mInval.Inc()
+			}
+		}
+	}
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	c.bytes -= e.bytes
+	c.gauges()
+}
+
+func (c *Cache) gauges() {
+	if c.mBytes != nil {
+		c.mBytes.Set(float64(c.bytes))
+	}
+	if c.mEntries != nil {
+		c.mEntries.Set(float64(len(c.entries)))
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Bytes:         c.bytes,
+		Entries:       int64(len(c.entries)),
+	}
+}
+
+// cloneResult deep-copies a Result so cached state is never aliased by a
+// caller that sorts, truncates or otherwise mutates what it received.
+func cloneResult(r *engine.Result) *engine.Result {
+	out := *r
+	out.Columns = append([]string(nil), r.Columns...)
+	out.Rows = make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = append([]float64(nil), row...)
+	}
+	out.MissingPartitions = append([]string(nil), r.MissingPartitions...)
+	return &out
+}
+
+// resultBytes prices a Result for the byte budget: cells, headers, and
+// fixed struct overhead.
+func resultBytes(r *engine.Result) int64 {
+	var n int64 = 128
+	for _, c := range r.Columns {
+		n += int64(len(c)) + 16
+	}
+	for _, row := range r.Rows {
+		n += int64(len(row))*8 + 24
+	}
+	for _, p := range r.MissingPartitions {
+		n += int64(len(p)) + 16
+	}
+	return n
+}
+
+// SortedPartitions returns the partitions of an epoch vector in sorted
+// order — handy for deterministic tests and logging.
+func SortedPartitions(epochs map[string]uint64) []string {
+	out := make([]string, 0, len(epochs))
+	for p := range epochs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -114,3 +114,14 @@ CONCURRENCY_BENCH_OUT="$(pwd)/BENCH_concurrency.json" \
     go test ./internal/engine/ -run '^TestConcurrencyBench$' -count=1 -timeout 30m
 echo "== wrote BENCH_concurrency.json"
 cat BENCH_concurrency.json
+
+# Multi-level caching tier: p50/p99 of a zipf-2.0 dashboard replay (4 hot
+# shapes) against a 2-worker cluster, caches on/off x ingest on/off, plus
+# result-cache hit rates and invalidation counts. Acceptance: >=5x p50
+# speedup with caches on (idle), hit rate >=80%, p99 under ingest no worse
+# than the uncached tier under the same ingest.
+echo "== caching bench (zipf dashboard replay, caches on/off x ingest on/off)"
+CACHING_BENCH_OUT="$(pwd)/BENCH_caching.json" \
+    go test ./internal/netexec/ -run '^TestCachingBench$' -count=1 -timeout 30m
+echo "== wrote BENCH_caching.json"
+cat BENCH_caching.json
