@@ -10,6 +10,8 @@
 //	POST /tables {"name":..., "partitions":8, "schema":{...}}
 //	POST /load   {"table":..., "rows":[...]}
 //	POST /query  {"cql": "SELECT ..."}
+//	POST /move   {"table":..., "partition":0, "target":"http://..."}
+//	GET  /move?table=...&partition=0   observe a migration checkpoint
 //	GET  /tables
 //	GET  /health
 //	GET  /stats   legacy JSON counter alias (retries, hedges, breaker trips, ...)
@@ -25,6 +27,11 @@
 // The resilience layer is configured by flags: -retries, -hedge-quantile,
 // -per-try-timeout, -min-coverage, -breaker-failures, -breaker-open,
 // -replication, -max-partial-bytes, -deadline.
+//
+// Online shard migration (POST /move) is tuned by -cutover-pause-ms (how
+// long a source may stay fenced while the final delta ships) and
+// -dual-read-window (how long after the ownership flip queries read both
+// placements and keep the fresher answer).
 package main
 
 import (
@@ -42,11 +49,14 @@ import (
 	"time"
 
 	"cubrick/internal/admission"
+	"cubrick/internal/core"
 	"cubrick/internal/cql"
 	"cubrick/internal/metrics"
+	"cubrick/internal/migrate"
 	"cubrick/internal/netexec"
 	"cubrick/internal/rescache"
 	"cubrick/internal/trace"
+	"cubrick/internal/zk"
 )
 
 func main() {
@@ -71,6 +81,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 64, "bound on the admission queue; arrivals beyond it are shed with 429")
 	fold := flag.String("fold", "on", "worker-side shared-scan folding for queries from this coordinator (on/off)")
 	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "byte budget for the finished-result cache with ingest-epoch invalidation (0 disables)")
+	cutoverPauseMS := flag.Int("cutover-pause-ms", 2000, "bound on how long a migrating partition's source stays fenced while the final delta ships")
+	dualReadWindow := flag.Duration("dual-read-window", 2*time.Second, "how long after an ownership flip queries read both placements and keep the fresher answer")
 	flag.Parse()
 	if *fold != "on" && *fold != "off" {
 		log.Fatalf("cubrick-coordinator: -fold must be on or off, got %q", *fold)
@@ -132,10 +144,20 @@ func main() {
 	})
 	coord.Tracer = tracer
 	s := &coordServer{cluster: cluster, metrics: reg, tracer: tracer, deadline: *deadline}
+	s.migrator = &migrate.Driver{
+		ZK:      zk.NewStore(nil),
+		Router:  cluster,
+		Metrics: reg,
+		Config: migrate.Config{
+			CutoverPause:   time.Duration(*cutoverPauseMS) * time.Millisecond,
+			DualReadWindow: *dualReadWindow,
+		},
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/tables", s.tables)
 	mux.HandleFunc("/load", s.load)
 	mux.HandleFunc("/query", s.query)
+	mux.HandleFunc("/move", s.move)
 	mux.HandleFunc("/health", s.health)
 	mux.HandleFunc("/stats", s.stats)
 	mux.Handle("/debug/trace", tracer.Handler())
@@ -160,6 +182,7 @@ type coordServer struct {
 	metrics  *metrics.Registry
 	tracer   *trace.Tracer
 	deadline time.Duration
+	migrator *migrate.Driver
 }
 
 // reqCtx derives a request context bounded by the server deadline
@@ -312,6 +335,79 @@ func (s *coordServer) query(w http.ResponseWriter, r *http.Request) {
 		resp["missingPartitions"] = res.MissingPartitions
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// move runs (POST) or observes (GET) an online shard migration.
+//
+//	POST /move {"table":"events","partition":0,"target":"http://host:9003"}
+//	GET  /move?table=events&partition=0
+//
+// The POST runs the full prepare→copy→catchup→cutover→flip→drop state
+// machine synchronously and returns the completed record; a target URL
+// that is not yet a cluster member joins as an empty worker first (the
+// scale-out path). The GET returns the durable checkpoint, which is how
+// an operator watches or post-mortems a move.
+func (s *coordServer) move(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		table := r.URL.Query().Get("table")
+		p, err := strconv.Atoi(r.URL.Query().Get("partition"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad partition: %w", err))
+			return
+		}
+		rec, ok, err := s.migrator.LoadRecord(table, core.PartitionName(table, p))
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no migration recorded for %s partition %d", table, p))
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	case http.MethodPost:
+		var req struct {
+			Table     string `json:"table"`
+			Partition int    `json:"partition"`
+			Target    string `json:"target"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		urls, _, err := s.cluster.PartitionPlacement(req.Table, req.Partition)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(urls) == 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("no placement for %s partition %d", req.Table, req.Partition))
+			return
+		}
+		s.cluster.AddWorker(req.Target) // no-op when already a member
+		// The move is detached from the client connection: a migration must
+		// not abort because the operator's curl timed out mid-cutover.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		rec, err := s.migrator.Start(ctx, &migrate.Record{
+			Service:   req.Table,
+			Shard:     int64(req.Partition),
+			Partition: core.PartitionName(req.Table, req.Partition),
+			Source:    urls[0],
+			Target:    req.Target,
+		})
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, map[string]interface{}{
+				"error":  err.Error(),
+				"record": rec,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 func (s *coordServer) health(w http.ResponseWriter, r *http.Request) {

@@ -44,12 +44,21 @@ func main() {
 	fold := flag.String("fold", "on", "shared-scan folding: concurrent queries with equal fold keys share one brick pass (on/off)")
 	brickCacheBytes := flag.Int64("brick-cache-bytes", 0, "per-node byte budget for the per-brick partial cache (fold key + ingest epoch keyed; 0 disables)")
 	decodedCacheBytes := flag.Int64("decoded-cache-bytes", 0, "per-node byte budget for the decoded-column cache pinning hot compressed bricks (0 disables)")
+	dualReadWindow := flag.Duration("dual-read-window", 0, "how long a migrated shard's old copy keeps serving after a move (the in-process deployment's discovery propagation wait; 0 keeps the default)")
 	flag.Parse()
 	if *fold != "on" && *fold != "off" {
 		log.Fatalf("cubrick-server: -fold must be on or off, got %q", *fold)
 	}
 
-	db, err := cubrick.Open(cubrick.Defaults())
+	cfg := cubrick.Defaults()
+	if *dualReadWindow > 0 {
+		// In the in-process deployment the dual-read window IS the §IV-E
+		// propagation wait: the old replica keeps its data (and keeps
+		// answering) until the window elapses, then the delayed drop fires.
+		cfg.Deployment.PropagationWait = *dualReadWindow
+		log.Printf("cubrick-server migration dual-read window: %s", *dualReadWindow)
+	}
+	db, err := cubrick.Open(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open deployment:", err)
 		os.Exit(1)

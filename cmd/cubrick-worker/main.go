@@ -54,6 +54,7 @@ func main() {
 	fold := flag.String("fold", "on", "shared-scan folding: concurrent queries with equal fold keys share one brick pass (on/off)")
 	brickCacheBytes := flag.Int64("brick-cache-bytes", 0, "byte budget for the per-brick partial cache (fold key + ingest epoch keyed; 0 disables)")
 	decodedCacheBytes := flag.Int64("decoded-cache-bytes", 0, "byte budget for the decoded-column cache pinning hot compressed bricks (0 disables)")
+	migrateRateBytes := flag.Int64("migrate-rate-bytes", 0, "pace /export shard-migration streams to this many bytes per second (0 = unthrottled)")
 	flag.Parse()
 	if *fold != "on" && *fold != "off" {
 		log.Fatalf("cubrick-worker: -fold must be on or off, got %q", *fold)
@@ -70,6 +71,10 @@ func main() {
 	w.FoldScans = *fold == "on"
 	w.BrickCacheBytes = *brickCacheBytes
 	w.DecodedCacheBytes = *decodedCacheBytes
+	w.ExportRateBytes = *migrateRateBytes
+	if *migrateRateBytes > 0 {
+		log.Printf("cubrick-worker migration export rate: %d bytes/s", *migrateRateBytes)
+	}
 	if *brickCacheBytes > 0 || *decodedCacheBytes > 0 {
 		log.Printf("cubrick-worker caches: brick-cache-bytes=%d decoded-cache-bytes=%d", *brickCacheBytes, *decodedCacheBytes)
 	}

@@ -11,6 +11,7 @@
 //	failover       kill a host, let heartbeats lapse, show failovers
 //	balance        skew load and run the balancer
 //	resize         add a host, balance onto it, then decommission another
+//	move           ask the balancer to plan one move, execute it, observe it
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: smctl placements|drain|failover|balance|resize")
+		fmt.Fprintln(os.Stderr, "usage: smctl placements|drain|failover|balance|resize|move")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -100,6 +101,39 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("decommissioned %s via graceful drain\n", victim)
+		printMigrations(migrations)
+	case "move":
+		// The balancer brain proposes the single best move; the graceful
+		// migration executes it. This is the control-plane trigger the HTTP
+		// data plane's /move endpoint mirrors (internal/migrate).
+		svc := cubrick.ServiceName("east")
+		victim := d.Fleet.Region("east")[0].Name
+		shards, _ := d.SM.ShardsOn(svc, victim)
+		for _, sh := range shards {
+			d.SM.SetShardLoad(svc, sh, 100<<20)
+		}
+		d.SM.CollectMetrics(svc)
+		shard, from, to, ok, err := d.SM.PlanMove(svc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plan move:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			fmt.Println("balancer reports the service is already balanced; no move planned")
+			return
+		}
+		fmt.Printf("planned move: shard %d from %s to %s\n", shard, from, to)
+		if err := d.SM.MigrateShard(svc, shard, from, to); err != nil {
+			fmt.Fprintln(os.Stderr, "migrate:", err)
+			os.Exit(1)
+		}
+		d.Clock.Advance(time.Minute) // let discovery propagate and the delayed drop fire
+		a, err := d.SM.Assignment(svc, shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "assignment after move:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("shard %d now on %s\n", shard, a.Primary())
 		printMigrations(migrations)
 	default:
 		flag.Usage()

@@ -63,63 +63,182 @@ func (s *Store) Export() ([]byte, error) {
 	return out.Bytes(), nil
 }
 
+// ExportSince serializes only the bricks whose epoch is newer than since,
+// in the same wire format as Export. It returns the blob together with the
+// epoch the delta covers: every row stamped with an epoch in (since,
+// covered] is contained in the blob. The covered epoch is read before the
+// brick snapshot, so it is a conservative claim — rows appended between
+// the read and the snapshot ship now and again on the next delta, which
+// is harmless because import replaces whole bricks by id.
+//
+// A shard migration ships the full store first (since = 0 is equivalent
+// to Export), then loops ExportSince(prevCovered) to tail live ingest
+// until the epoch gap closes under the cutover pause.
+func (s *Store) ExportSince(since uint64) ([]byte, uint64, error) {
+	covered := s.Epoch()
+	var raw bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		raw.Write(scratch[:n])
+	}
+	entries := s.snapshotBricks()
+	changed := entries[:0]
+	for _, e := range entries {
+		if e.b.Epoch() > since {
+			changed = append(changed, e)
+		}
+	}
+	put(uint64(len(changed)))
+	for _, e := range changed {
+		put(e.id)
+		payload, err := e.b.exportBlob()
+		if err != nil {
+			return nil, 0, err
+		}
+		put(uint64(len(payload)))
+		raw.Write(payload)
+	}
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := w.Write(raw.Bytes()); err != nil {
+		return nil, 0, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, 0, err
+	}
+	return out.Bytes(), covered, nil
+}
+
+// decodeTransfer parses an Export/ExportSince blob into per-brick columns.
+// All payloads decode before any store state changes, so a truncated or
+// forged blob cannot leave a store half-imported.
+func (s *Store) decodeTransfer(blob []byte) ([]transferBrick, error) {
+	fr := flate.NewReader(bytes.NewReader(blob))
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("brick: import: %w", err)
+	}
+	r := bytes.NewReader(raw)
+	nBricks, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("brick: import header: %w", err)
+	}
+	if nBricks > uint64(r.Len()) {
+		return nil, fmt.Errorf("brick: import claims %d bricks in %d bytes", nBricks, r.Len())
+	}
+	decoded := make([]transferBrick, 0, nBricks)
+	for i := uint64(0); i < nBricks; i++ {
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("brick: import brick id: %w", err)
+		}
+		plen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("brick: import brick len: %w", err)
+		}
+		if plen > uint64(r.Len()) {
+			return nil, fmt.Errorf("brick: import brick payload claims %d bytes, %d remain", plen, r.Len())
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("brick: import brick payload: %w", err)
+		}
+		dims, metrics, rows, err := decodeBlobOwned(payload, len(s.schema.Dimensions), len(s.schema.Metrics), -1)
+		if err != nil {
+			return nil, err
+		}
+		decoded = append(decoded, transferBrick{id: id, dims: dims, metrics: metrics, rows: rows})
+	}
+	return decoded, nil
+}
+
+type transferBrick struct {
+	id      uint64
+	dims    [][]uint32
+	metrics [][]float64
+	rows    int
+}
+
+// buildBrick wires a decoded transfer payload into a live brick attached
+// to this store's observer, epoch source and dictionary cache. Imported
+// bricks are a fresh data generation: each is stamped with a new epoch so
+// caches keyed on the replaced bricks cannot serve for the imported ones.
+func (s *Store) buildBrick(tb transferBrick) *Brick {
+	b := newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
+	b.obs = s.obs
+	b.epochSrc = &s.epoch
+	b.dcache = &s.dcache
+	b.dims = tb.dims
+	b.metrics = tb.metrics
+	b.rows = tb.rows
+	b.epoch = s.epoch.Add(1)
+	return b
+}
+
 // Import replaces the store's contents with a previously Exported blob.
 // Both version-2 (adaptive) and legacy version-1 brick payloads are
 // accepted. Bricks arrive uncompressed; the memory monitor will compress
 // them later if there is pressure.
 func (s *Store) Import(blob []byte) error {
-	fr := flate.NewReader(bytes.NewReader(blob))
-	raw, err := io.ReadAll(fr)
+	decoded, err := s.decodeTransfer(blob)
 	if err != nil {
-		return fmt.Errorf("brick: import: %w", err)
+		return err
 	}
-	r := bytes.NewReader(raw)
-	nBricks, err := binary.ReadUvarint(r)
-	if err != nil {
-		return fmt.Errorf("brick: import header: %w", err)
-	}
-	if nBricks > uint64(r.Len()) {
-		return fmt.Errorf("brick: import claims %d bricks in %d bytes", nBricks, r.Len())
-	}
-	bricks := make(map[uint64]*Brick, nBricks)
+	bricks := make(map[uint64]*Brick, len(decoded))
 	var total int64
-	for i := uint64(0); i < nBricks; i++ {
-		id, err := binary.ReadUvarint(r)
-		if err != nil {
-			return fmt.Errorf("brick: import brick id: %w", err)
-		}
-		plen, err := binary.ReadUvarint(r)
-		if err != nil {
-			return fmt.Errorf("brick: import brick len: %w", err)
-		}
-		if plen > uint64(r.Len()) {
-			return fmt.Errorf("brick: import brick payload claims %d bytes, %d remain", plen, r.Len())
-		}
-		payload := make([]byte, plen)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return fmt.Errorf("brick: import brick payload: %w", err)
-		}
-		dims, metrics, rows, err := decodeBlobOwned(payload, len(s.schema.Dimensions), len(s.schema.Metrics), -1)
-		if err != nil {
-			return err
-		}
-		b := newBrick(len(s.schema.Dimensions), len(s.schema.Metrics))
-		b.obs = s.obs
-		b.epochSrc = &s.epoch
-		b.dcache = &s.dcache
-		b.dims = dims
-		b.metrics = metrics
-		b.rows = rows
-		// Imported bricks are a fresh data generation: stamp each with a
-		// new epoch so caches keyed on the replaced bricks cannot serve
-		// for the imported ones.
-		b.epoch = s.epoch.Add(1)
-		bricks[id] = b
-		total += int64(rows)
+	for _, tb := range decoded {
+		bricks[tb.id] = s.buildBrick(tb)
+		total += int64(tb.rows)
 	}
 	s.mu.Lock()
 	s.bricks = bricks
 	s.rows = total
 	s.mu.Unlock()
 	return nil
+}
+
+// ImportBricks merges an Export/ExportSince blob into the store by brick
+// id: bricks already present are replaced wholesale, new ids are added,
+// ids absent from the blob are untouched. Because each shipped brick
+// carries its complete row set, re-applying the same delta is idempotent
+// in content — a migration driver that crashed after a partially acked
+// import simply re-ships the delta. Returns the number of rows the store
+// gained (negative if replaced bricks shrank, which cannot happen for
+// append-only ingest but keeps the accounting honest).
+func (s *Store) ImportBricks(blob []byte) (int64, error) {
+	decoded, err := s.decodeTransfer(blob)
+	if err != nil {
+		return 0, err
+	}
+	var delta int64
+	s.mu.Lock()
+	for _, tb := range decoded {
+		if old, ok := s.bricks[tb.id]; ok {
+			delta -= int64(old.Rows())
+		}
+		s.bricks[tb.id] = s.buildBrick(tb)
+		delta += int64(tb.rows)
+	}
+	s.rows += delta
+	s.mu.Unlock()
+	return delta, nil
+}
+
+// AdvanceEpochTo raises the store's epoch counter to at least e. A
+// migration target calls this with the source's covered epoch after each
+// delta import so the target's epochs continue where the source's left
+// off — coordinators compare epochs across the ownership flip, and a
+// target that restarted from zero would look staler than cached results
+// pinned to the source's higher epochs.
+func (s *Store) AdvanceEpochTo(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if cur >= e || s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }

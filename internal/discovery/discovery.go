@@ -122,6 +122,12 @@ func (d *Directory) Snapshot() (map[ShardKey]Mapping, uint64) {
 	return out, d.version
 }
 
+// Subscribe registers fn to run synchronously with each published delta.
+// External planes — a migration binder applying ownership flips to a
+// coordinator's routing table — observe the root directly; in-tree cache
+// levels use the jittered propagation tree instead.
+func (d *Directory) Subscribe(fn func(Mapping)) { d.subscribe(fn) }
+
 // subscribe registers fn to run synchronously with each published delta.
 func (d *Directory) subscribe(fn func(Mapping)) {
 	d.mu.Lock()

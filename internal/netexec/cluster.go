@@ -33,8 +33,18 @@ type Cluster struct {
 
 	mu          sync.Mutex
 	workers     []string // worker base URLs
+	joiners     []string // workers added after creation; receive only migrated partitions
 	replication int      // replica copies per partition beyond the primary
 	tables      map[string]clusterTable
+	// overrides maps partition names routed away from the static modulo
+	// placement by a migration (see MovePartition in dualread.go).
+	overrides map[string]*placementOverride
+
+	// loadRetry configures ingest retries: a load hitting a fenced or
+	// briefly unavailable partition backs off and re-resolves placement,
+	// so a bounded cutover pause costs latency, never rows. Zero value =
+	// single attempt (the pre-migration behavior).
+	loadRetry QueryPolicy
 }
 
 type clusterTable struct {
@@ -91,11 +101,22 @@ func (c *Cluster) SetReplication(n int) {
 	c.replication = n
 }
 
-// Workers returns the cluster's worker URLs.
+// Workers returns the cluster's worker URLs, joiners included.
 func (c *Cluster) Workers() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]string(nil), c.workers...)
+	out := append([]string(nil), c.workers...)
+	return append(out, c.joiners...)
+}
+
+// SetLoadRetry configures ingest retries (attempts, backoff). Loads that
+// fail with a retryable error — a fenced partition mid-cutover, a worker
+// briefly down — re-resolve the partition's placement and try again with
+// capped jittered backoff.
+func (c *Cluster) SetLoadRetry(p QueryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.loadRetry = p
 }
 
 // placement returns the worker URLs holding a shard: the primary followed
@@ -199,24 +220,69 @@ func (c *Cluster) Load(ctx context.Context, table string, dims [][]uint32, metri
 		}
 		shard := c.mapper.Shard(table, p)
 		part := core.PartitionName(table, p)
-		for ri, url := range c.placement(shard, t.replicas) {
-			cl := &Client{BaseURL: url, HTTP: c.client}
-			if ri == 0 {
-				// The primary's response carries the partition's post-ingest
-				// epoch; feeding it to the coordinator invalidates any cached
-				// result over this partition before the next query can hit.
-				epoch, ok, err := cl.LoadBinEpoch(ctx, part, bd, bm)
-				if err != nil {
-					return err
-				}
-				if ok {
-					c.coord.ObserveEpoch(part, epoch)
-				}
-				continue
+		if err := c.loadPartition(ctx, part, shard, t.replicas, bd, bm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadPartition ships one partition's batch to its placement, retrying
+// retryable failures under the cluster's load policy. Placement is
+// re-resolved on every attempt: a batch that hit a fenced source during a
+// cutover pause retries into the new owner once the flip lands, which is
+// what makes the migration's ingest unavailability a latency bump instead
+// of lost rows.
+func (c *Cluster) loadPartition(ctx context.Context, part string, shard int64, replicas int, bd [][]uint32, bm [][]float64) error {
+	c.mu.Lock()
+	policy := c.loadRetry
+	c.mu.Unlock()
+	attempts := policy.attempts()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
 			}
-			if err := cl.LoadBin(ctx, part, bd, bm); err != nil {
+			return lastErr
+		}
+		urls, _ := c.route(part, shard, replicas)
+		lastErr = c.loadOnce(ctx, part, urls, bd, bm)
+		if lastErr == nil {
+			return nil
+		}
+		if ClassifyError(lastErr) == Terminal {
+			return lastErr
+		}
+		if a < attempts-1 {
+			c.coord.count("netexec.load.retries")
+			if serr := sleepCtx(ctx, jitter(policy.backoffFor(a))); serr != nil {
+				return lastErr
+			}
+		}
+	}
+	return lastErr
+}
+
+// loadOnce ships the batch to the primary and every replica once.
+func (c *Cluster) loadOnce(ctx context.Context, part string, urls []string, bd [][]uint32, bm [][]float64) error {
+	for ri, url := range urls {
+		cl := &Client{BaseURL: url, HTTP: c.client}
+		if ri == 0 {
+			// The primary's response carries the partition's post-ingest
+			// epoch; feeding it to the coordinator invalidates any cached
+			// result over this partition before the next query can hit.
+			epoch, ok, err := cl.LoadBinEpoch(ctx, part, bd, bm)
+			if err != nil {
 				return err
 			}
+			if ok {
+				c.coord.ObserveEpoch(part, epoch)
+			}
+			continue
+		}
+		if err := cl.LoadBin(ctx, part, bd, bm); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -231,9 +297,9 @@ func (c *Cluster) Targets(table string) ([]Target, error) {
 	}
 	targets := make([]Target, t.partitions)
 	for p := 0; p < t.partitions; p++ {
-		shard := c.mapper.Shard(table, p)
-		urls := c.placement(shard, t.replicas)
-		targets[p] = Target{URL: urls[0], Partition: core.PartitionName(table, p), Replicas: urls[1:]}
+		part := core.PartitionName(table, p)
+		urls, dual := c.route(part, c.mapper.Shard(table, p), t.replicas)
+		targets[p] = Target{URL: urls[0], Partition: part, Replicas: urls[1:], Dual: dual}
 	}
 	return targets, nil
 }

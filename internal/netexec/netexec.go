@@ -127,9 +127,18 @@ type Worker struct {
 	// (hot compressed bricks keep their decoded columns resident); 0
 	// disables it. Set before the first AddPartition.
 	DecodedCacheBytes int64
+	// ExportRateBytes throttles /export responses to this many bytes per
+	// second (the -migrate-rate-bytes flag); 0 streams at full speed. A
+	// paced export bounds the load a live migration puts on the source.
+	ExportRateBytes int64
 
 	mu     sync.Mutex
 	stores map[string]*brick.Store
+
+	// fenceMu guards fenced: partitions mid-cutover that reject ingest
+	// with a retryable 503 while their migration flips ownership.
+	fenceMu sync.Mutex
+	fenced  map[string]bool
 
 	schedMu sync.Mutex
 	scheds  map[*brick.Store]*engine.Scheduler
@@ -323,6 +332,11 @@ func (w *Worker) Handler() http.Handler {
 			http.Error(rw, err.Error(), http.StatusNotFound)
 			return
 		}
+		if w.IsFenced(req.Partition) {
+			w.countAdd("worker.load.fenced_rejects", 1)
+			http.Error(rw, fencedMsg, http.StatusServiceUnavailable)
+			return
+		}
 		// Route through the batch path so ingest is all-or-nothing like
 		// /loadbin: the whole batch is validated (arity, domains, with the
 		// offending row index in the error) before any row commits. A
@@ -359,6 +373,11 @@ func (w *Worker) Handler() http.Handler {
 		st, err := w.Store(partition)
 		if err != nil {
 			http.Error(rw, err.Error(), http.StatusNotFound)
+			return
+		}
+		if w.IsFenced(partition) {
+			w.countAdd("worker.load.fenced_rejects", 1)
+			http.Error(rw, fencedMsg, http.StatusServiceUnavailable)
 			return
 		}
 		if rows > 0 {
@@ -412,6 +431,7 @@ func (w *Worker) Handler() http.Handler {
 		mux.Handle("/debug/trace", th)
 		mux.Handle("/debug/trace/", th)
 	}
+	w.registerMigration(mux)
 	return mux
 }
 
@@ -582,6 +602,13 @@ type Target struct {
 	// Replicas are alternate worker URLs serving the same partition's
 	// data; attempts rotate primary-then-replicas.
 	Replicas []string
+	// Dual, when non-empty, is the partition's previous placement during
+	// a migration's dual-read window: the coordinator queries both
+	// placements and keeps the answer with the higher ingest epoch, so a
+	// query racing the ownership flip never sees a hole (the old owner
+	// still holds the data, the new owner may be one propagation hop
+	// ahead).
+	Dual []string
 }
 
 // urls returns the primary followed by the replicas.
@@ -913,7 +940,15 @@ func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engi
 			// so a retry or hedge shows up as extra fetch spans under it.
 			pctx, pspan := c.Tracer.StartSpan(ctx, "partition")
 			pspan.SetAttr("partition", t.Partition)
-			blob, epoch, hasEpoch, err := c.fetchResilient(pctx, t, q)
+			var blob []byte
+			var epoch uint64
+			var hasEpoch bool
+			var err error
+			if len(t.Dual) > 0 {
+				blob, epoch, hasEpoch, err = c.fetchDual(pctx, t, q)
+			} else {
+				blob, epoch, hasEpoch, err = c.fetchResilient(pctx, t, q)
+			}
 			pspan.EndErr(err)
 			ch <- outcome{i, blob, epoch, hasEpoch, err}
 		}(i, t)
@@ -1234,7 +1269,11 @@ func (cl *Client) checkResp(path string, resp *http.Response, err error) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%w: %s: status %d: %s", ErrWorkerFailed, path, resp.StatusCode, bytes.TrimSpace(msg))
+		// Keep the status structured so callers can classify the failure:
+		// a fenced partition's 503 is retryable, a schema error's 400 is
+		// terminal.
+		return fmt.Errorf("%w: %s: %w", ErrWorkerFailed, path,
+			&HTTPStatusError{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))})
 	}
 	return nil
 }

@@ -46,6 +46,22 @@ func (s *Server) BalanceOnce(serviceName string) (int, error) {
 	return moves, nil
 }
 
+// PlanMove exposes the balancer's next proposed move without executing
+// it: the (shard, from, to) that best narrows the load gap, ok=false when
+// the service is already balanced. External migration drivers — the HTTP
+// data plane's online shard migration (internal/migrate) — ask the
+// balancer brain where to move and run the copy/cutover themselves.
+func (s *Server) PlanMove(serviceName string) (shard int64, from, to string, ok bool, err error) {
+	s.mu.Lock()
+	svc, found := s.services[serviceName]
+	s.mu.Unlock()
+	if !found {
+		return 0, "", "", false, fmt.Errorf("%w: %s", ErrUnknownService, serviceName)
+	}
+	shard, from, to, ok = s.pickMove(svc)
+	return shard, from, to, ok, nil
+}
+
 // pickMove selects the next (shard, from, to) move that best narrows the
 // load gap, or ok=false if the service is already balanced.
 func (s *Server) pickMove(svc *service) (shard int64, from, to string, ok bool) {
@@ -184,6 +200,7 @@ func (s *Server) MigrateShard(serviceName string, shard int64, from, to string) 
 		_ = app.DropShard(shard)
 	})
 
+	s.countAdd("shardmgr.migrations", 1)
 	s.emit(MigrationEvent{Service: serviceName, Shard: shard, From: from, To: to, Kind: LiveMigration, At: at})
 	return nil
 }

@@ -50,12 +50,26 @@ func TestFailoverRetriesWhenNoCapacity(t *testing.T) {
 		t.Fatal("shard still assigned despite failed failover")
 	}
 
-	// Capacity returns: the survivor stops rejecting; the next sweep
-	// places the shard.
+	// Capacity returns: the survivor stops rejecting. Retries are paced by
+	// capped jittered backoff (not every tick), so advance the clock until
+	// the parked replica's next retry fires; the cap is two minutes, so a
+	// few minutes of ticks is guaranteed to cover it.
 	r.apps[survivorName].mu.Lock()
 	delete(r.apps[survivorName].reject, 7)
 	r.apps[survivorName].mu.Unlock()
-	r.sm.Sweep()
+	placed := false
+	for i := 0; i < 60 && !placed; i++ {
+		r.clk.Advance(5 * time.Second)
+		for name, sess := range sessions {
+			h, _ := r.fleet.Host(name)
+			if h.Available() {
+				sess.Heartbeat()
+			}
+		}
+		r.sm.Sweep()
+		_, err := r.sm.Assignment("svc", 7)
+		placed = err == nil
+	}
 
 	got, err := r.sm.Assignment("svc", 7)
 	if err != nil {
@@ -104,7 +118,18 @@ func TestUnassignClearsPending(t *testing.T) {
 	r.apps[other].mu.Lock()
 	delete(r.apps[other].reject, 3)
 	r.apps[other].mu.Unlock()
-	r.sm.Sweep()
+	// Sweep well past the retry-backoff cap: if the parked replica had
+	// survived the unassign it would fire in this window.
+	for i := 0; i < 60; i++ {
+		r.clk.Advance(5 * time.Second)
+		for name, sess := range sessions {
+			hh, _ := r.fleet.Host(name)
+			if hh.Available() {
+				sess.Heartbeat()
+			}
+		}
+		r.sm.Sweep()
+	}
 	if _, err := r.sm.Assignment("svc", 3); err == nil {
 		t.Fatal("dropped shard resurrected from pending queue")
 	}

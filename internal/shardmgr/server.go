@@ -3,11 +3,14 @@ package shardmgr
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"cubrick/internal/cluster"
 	"cubrick/internal/discovery"
+	"cubrick/internal/metrics"
 	"cubrick/internal/simclock"
 	"cubrick/internal/zk"
 )
@@ -29,6 +32,27 @@ type Server struct {
 	mu        sync.Mutex
 	services  map[string]*service
 	listeners []func(MigrationEvent)
+	metrics   *metrics.Registry
+	// rnd jitters pending-retry backoff; seeded constant so simulated
+	// runs stay reproducible.
+	rnd *rand.Rand
+}
+
+// Pending-failover retry backoff: a parked replica that keeps failing to
+// place backs off exponentially (jittered) instead of hammering every
+// sweep tick — capacity usually returns in bulk (a rack powering back
+// up), and a thundering retry herd at that moment is exactly what the
+// jitter spreads out.
+const (
+	pendingBaseBackoff = 5 * time.Second
+	pendingMaxBackoff  = 2 * time.Minute
+)
+
+// pendingReplica is a parked replica placement with its retry schedule.
+type pendingReplica struct {
+	role      Role
+	attempts  int
+	nextRetry time.Time
 }
 
 type service struct {
@@ -42,9 +66,9 @@ type service struct {
 	// hostShards indexes shard replicas by hostname.
 	hostShards map[string]map[int64]Role
 	// pending holds replicas whose failover placement failed (e.g. every
-	// candidate was down or collided); Sweep retries them until capacity
-	// returns.
-	pending map[int64]Role
+	// candidate was down or collided); Sweep retries them, with capped
+	// jittered backoff per shard, until capacity returns.
+	pending map[int64]*pendingReplica
 	// loadCache maintains each host's total load incrementally, so
 	// placement scans are O(hosts) instead of O(hosts × shards/host).
 	loadCache map[string]float64
@@ -64,6 +88,34 @@ func NewServer(clock simclock.Scheduler, store *zk.Store, dir *discovery.Directo
 		dir:      dir,
 		fleet:    fleet,
 		services: make(map[string]*service),
+		rnd:      rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetMetrics wires a registry: the shardmgr.pending gauge (parked
+// replicas awaiting capacity), failover/migration counters, and the
+// pending-retry counters land there.
+func (s *Server) SetMetrics(reg *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = reg
+}
+
+func (s *Server) countAdd(name string, delta int64) {
+	s.mu.Lock()
+	reg := s.metrics
+	s.mu.Unlock()
+	if reg != nil {
+		reg.Counter(name).Add(delta)
+	}
+}
+
+func (s *Server) gaugeSet(name string, v float64) {
+	s.mu.Lock()
+	reg := s.metrics
+	s.mu.Unlock()
+	if reg != nil {
+		reg.Gauge(name).Set(v)
 	}
 }
 
@@ -101,7 +153,7 @@ func (s *Server) RegisterService(cfg ServiceConfig) error {
 		assignments: make(map[int64]*Assignment),
 		loads:       make(map[int64]float64),
 		hostShards:  make(map[string]map[int64]Role),
-		pending:     make(map[int64]Role),
+		pending:     make(map[int64]*pendingReplica),
 		loadCache:   make(map[string]float64),
 	}
 	return s.store.CreateAll("/sm/"+cfg.Name+"/servers", nil)
@@ -539,7 +591,15 @@ func (s *Server) Sweep() int {
 	for _, d := range deads {
 		s.failoverServer(d.svc, d.name)
 	}
+	s.countAdd("shardmgr.failovers", int64(len(deads)))
 	s.retryPending()
+	s.mu.Lock()
+	var parked int
+	for _, svc := range s.services {
+		parked += len(svc.pending)
+	}
+	s.mu.Unlock()
+	s.gaugeSet("shardmgr.pending", float64(parked))
 	return len(deads)
 }
 
@@ -581,8 +641,9 @@ func (s *Server) failoverShard(svc *service, shard int64, deadHost string, deadR
 	newHost, err := s.placeReplica(svc, shard, role, map[string]bool{deadHost: true})
 	if err != nil {
 		// No eligible server right now (all down, at capacity, or every
-		// candidate collides); park the replica for Sweep to retry.
-		svc.pending[shard] = role
+		// candidate collides); park the replica for Sweep to retry — first
+		// retry immediately, then with capped jittered backoff.
+		svc.pending[shard] = &pendingReplica{role: role, nextRetry: s.clock.Now()}
 	}
 	pub := s.publishLocked(svc, shard)
 	name := svc.cfg.Name
@@ -594,19 +655,26 @@ func (s *Server) failoverShard(svc *service, shard int64, deadHost string, deadR
 	}
 }
 
-// retryPending re-attempts placement of parked replicas; it returns how
-// many were placed.
+// retryPending re-attempts placement of parked replicas whose backoff has
+// elapsed; it returns how many were placed. A failed attempt reschedules
+// the shard with capped jittered exponential backoff, so a long capacity
+// outage costs O(log) placement attempts per shard instead of one per
+// sweep tick.
 func (s *Server) retryPending() int {
+	now := s.clock.Now()
 	s.mu.Lock()
 	type job struct {
 		svc   *service
 		shard int64
-		role  Role
+		p     *pendingReplica
 	}
 	var jobs []job
 	for _, svc := range s.services {
-		for shard, role := range svc.pending {
-			jobs = append(jobs, job{svc, shard, role})
+		for shard, p := range svc.pending {
+			if now.Before(p.nextRetry) {
+				continue
+			}
+			jobs = append(jobs, job{svc, shard, p})
 		}
 	}
 	s.mu.Unlock()
@@ -614,17 +682,33 @@ func (s *Server) retryPending() int {
 	placed := 0
 	for _, j := range jobs {
 		s.mu.Lock()
-		host, err := s.placeReplica(j.svc, j.shard, j.role, nil)
+		host, err := s.placeReplica(j.svc, j.shard, j.p.role, nil)
 		if err == nil {
 			delete(j.svc.pending, j.shard)
+		} else if cur, ok := j.svc.pending[j.shard]; ok && cur == j.p {
+			// Still parked (UnassignShard may have raced the attempt):
+			// back off before the next try.
+			backoff := pendingBaseBackoff
+			for i := 0; i < j.p.attempts && backoff < pendingMaxBackoff; i++ {
+				backoff *= 2
+			}
+			if backoff > pendingMaxBackoff {
+				backoff = pendingMaxBackoff
+			}
+			// Jitter into [backoff/2, backoff].
+			backoff = backoff/2 + time.Duration(s.rnd.Int63n(int64(backoff/2)+1))
+			j.p.attempts++
+			j.p.nextRetry = now.Add(backoff)
 		}
 		pub := s.publishLocked(j.svc, j.shard)
 		name := j.svc.cfg.Name
 		at := s.clock.Now()
 		s.mu.Unlock()
+		s.countAdd("shardmgr.pending.retries", 1)
 		if err == nil {
 			pub()
 			placed++
+			s.countAdd("shardmgr.pending.placed", 1)
 			s.emit(MigrationEvent{Service: name, Shard: j.shard, From: "", To: host, Kind: Failover, At: at})
 		}
 	}

@@ -125,3 +125,15 @@ CACHING_BENCH_OUT="$(pwd)/BENCH_caching.json" \
     go test ./internal/netexec/ -run '^TestCachingBench$' -count=1 -timeout 30m
 echo "== wrote BENCH_caching.json"
 cat BENCH_caching.json
+
+# Online rebalance: a loaded 4-worker cluster gains an empty worker and
+# three partitions migrate onto it while a zipf replay keeps running.
+# Reports the cost of the move (bytes/rows shipped, catch-up rounds, the
+# fence→flip write-unavailability window per partition) and p50/p99 during
+# the migration versus steady state before and after. Acceptance: zero
+# failed queries in every phase (the test itself fails otherwise).
+echo "== rebalance bench (online shard migration under zipf replay)"
+REBALANCE_BENCH_OUT="$(pwd)/BENCH_rebalance.json" \
+    go test ./internal/migrate/ -run '^TestRebalanceBench$' -count=1 -timeout 30m
+echo "== wrote BENCH_rebalance.json"
+cat BENCH_rebalance.json

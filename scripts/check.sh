@@ -26,10 +26,13 @@ go test ./...
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/engine ./internal/brick ./internal/cubrick ./internal/netexec \
     ./internal/trace ./internal/metrics ./internal/admission ./internal/workload \
-    ./internal/rescache ./internal/scancache
+    ./internal/rescache ./internal/scancache ./internal/migrate
 
 echo "== chaos test (seeded fault injection, -race)"
 go test -race -count=1 -run 'TestChaos' ./internal/netexec
+
+echo "== migration e2e (scale-out under live ingest + chaos kills, -race)"
+go test -race -count=1 -run 'TestScaleOut|TestMigration' ./internal/migrate
 
 echo "== fuzz smoke (wire decode, 10s)"
 go test -run '^$' -fuzz '^FuzzUnmarshalPartial$' -fuzztime 10s ./internal/engine
@@ -39,6 +42,9 @@ go test -run '^$' -fuzz '^FuzzLoadBin$' -fuzztime 10s ./internal/netexec
 
 echo "== fuzz smoke (brick blob decode, 10s)"
 go test -run '^$' -fuzz '^FuzzDecodeBrick$' -fuzztime 10s ./internal/brick
+
+echo "== fuzz smoke (shard transfer decode, 10s)"
+go test -run '^$' -fuzz '^FuzzTransfer$' -fuzztime 10s ./internal/brick
 
 echo "== fuzz smoke (brick column decoders, 5s each)"
 go test -run '^$' -fuzz '^FuzzDecodeDimColumn$' -fuzztime 5s ./internal/brick
@@ -51,7 +57,7 @@ go test -run '^$' -fuzz '^FuzzDecodeMetricColumn$' -fuzztime 5s ./internal/brick
 # the floor is fine, lowering it needs a written reason.
 echo "== coverage gate (>= 70%)"
 for pkg in ./internal/netexec ./internal/engine ./internal/trace ./internal/metrics ./internal/brick \
-    ./internal/admission ./internal/rescache ./internal/scancache; do
+    ./internal/admission ./internal/rescache ./internal/scancache ./internal/migrate; do
     line="$(go test -cover "$pkg" | tail -1)"
     echo "$line"
     pct="$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"
