@@ -55,6 +55,7 @@ func main() {
 	brickCacheBytes := flag.Int64("brick-cache-bytes", 0, "byte budget for the per-brick partial cache (fold key + ingest epoch keyed; 0 disables)")
 	decodedCacheBytes := flag.Int64("decoded-cache-bytes", 0, "byte budget for the decoded-column cache pinning hot compressed bricks (0 disables)")
 	migrateRateBytes := flag.Int64("migrate-rate-bytes", 0, "pace /export shard-migration streams to this many bytes per second (0 = unthrottled)")
+	dictCapacity := flag.Uint("dict-capacity", 0, "fallback id capacity for global dictionaries created over /dict when the column names no schema dimension (0 = schema-derived only)")
 	flag.Parse()
 	if *fold != "on" && *fold != "off" {
 		log.Fatalf("cubrick-worker: -fold must be on or off, got %q", *fold)
@@ -72,6 +73,7 @@ func main() {
 	w.BrickCacheBytes = *brickCacheBytes
 	w.DecodedCacheBytes = *decodedCacheBytes
 	w.ExportRateBytes = *migrateRateBytes
+	w.DictCapacity = uint32(*dictCapacity)
 	if *migrateRateBytes > 0 {
 		log.Printf("cubrick-worker migration export rate: %d bytes/s", *migrateRateBytes)
 	}

@@ -1349,6 +1349,157 @@ func skipDimColumn(r *colReader, rows int) (enc byte, width int, err error) {
 	return 0, 0, fmt.Errorf("brick: unknown dim encoding %d", enc)
 }
 
+// rleBoundsMaxRuns caps the run-header walk blobBoundsPrune performs on an
+// RLE column; beyond it the min/max scan costs more than it saves and the
+// column is treated as unbounded.
+const rleBoundsMaxRuns = 4096
+
+// blobBoundsPrune reports whether the v2 blob's per-column statistics prove
+// that no row can match the filter, without decoding any column. Only FOR
+// columns (base and width give an exact lower and a conservative upper
+// bound) and dictionary columns (sorted values: the first entry and the
+// summed deltas are the exact min/max) carry usable bounds; other encodings
+// are walked past. Any structural inconsistency returns false — pruning is
+// an optimization, and the full decoder is the authority on corrupt blobs.
+func blobBoundsPrune(data []byte, rows, nDims int, f *Filter) bool {
+	if f == nil || len(f.Ranges) == 0 || !isV2Blob(data) {
+		return false
+	}
+	maxIdx := -1
+	for di := range f.Ranges {
+		if di > maxIdx {
+			maxIdx = di
+		}
+	}
+	if maxIdx >= nDims {
+		return false
+	}
+	r := colReader{data: data}
+	if err := r.skip(2); err != nil {
+		return false
+	}
+	if hdrRows, err := r.readUvarint(); err != nil || hdrRows != uint64(rows) {
+		return false
+	}
+	for di := 0; di <= maxIdx; di++ {
+		rng, filtered := f.Ranges[di]
+		if !filtered {
+			if _, _, err := skipDimColumn(&r, rows); err != nil {
+				return false
+			}
+			continue
+		}
+		enc, err := r.readByte()
+		if err != nil {
+			return false
+		}
+		switch enc {
+		case dimEncFOR:
+			base, err := r.readUvarint()
+			if err != nil || base > 0xFFFFFFFF {
+				return false
+			}
+			wb, err := r.readByte()
+			if err != nil || wb > 32 {
+				return false
+			}
+			if r.skip(packedLen(rows, int(wb))) != nil {
+				return false
+			}
+			hi := base
+			if wb > 0 {
+				hi += uint64(1)<<wb - 1
+			}
+			if hi > 0xFFFFFFFF {
+				hi = 0xFFFFFFFF
+			}
+			if uint64(rng[1]) < base || uint64(rng[0]) > hi {
+				return true
+			}
+		case dimEncDict:
+			plen, err := r.readUvarint()
+			if err != nil {
+				return false
+			}
+			payload, err := r.take(int(plen))
+			if err != nil {
+				return false
+			}
+			pr := colReader{data: payload}
+			k, err := pr.readUvarint()
+			if err != nil || k == 0 || k > dictMaxCard {
+				return false
+			}
+			v, err := pr.readUvarint()
+			if err != nil || v > 0xFFFFFFFF {
+				return false
+			}
+			lo := uint32(v)
+			for i := uint64(1); i < k; i++ {
+				d, err := pr.readUvarint()
+				if err != nil || d == 0 {
+					return false
+				}
+				v += d
+				if v > 0xFFFFFFFF {
+					return false
+				}
+			}
+			if uint64(rng[1]) < uint64(lo) || uint64(rng[0]) > v {
+				return true
+			}
+		case dimEncRaw:
+			if r.skip(4*rows) != nil {
+				return false
+			}
+		case dimEncRLE:
+			plen, err := r.readUvarint()
+			if err != nil {
+				return false
+			}
+			payload, err := r.take(int(plen))
+			if err != nil {
+				return false
+			}
+			pr := colReader{data: payload}
+			k, err := pr.readUvarint()
+			// Run values are plain uvarints, so min/max cost one walk over
+			// the run headers — worth it only while the run count stays
+			// small; a noisy column falls through unpruned.
+			if err != nil || k == 0 || k > rleBoundsMaxRuns {
+				continue
+			}
+			var lo, hi uint64 = 0xFFFFFFFFFF, 0
+			for i := uint64(0); i < k; i++ {
+				v, err := pr.readUvarint()
+				if err != nil || v > 0xFFFFFFFF {
+					return false
+				}
+				if _, err := pr.readUvarint(); err != nil { // run length
+					return false
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if uint64(rng[1]) < lo || uint64(rng[0]) > hi {
+				return true
+			}
+		case dimEncDelta:
+			plen, err := r.readUvarint()
+			if err != nil || r.skip(int(plen)) != nil {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return false
+}
+
 func skipMetricColumn(r *colReader, rows int) (enc byte, err error) {
 	enc, err = r.readByte()
 	if err != nil {

@@ -399,6 +399,32 @@ func (t *ScanTask) VisitBatchEpoch(proj *Projection, fn func(*Batch) error) (uin
 	return epoch, err
 }
 
+// PruneEncoded inspects the brick's encoded blob header and reports whether
+// the filter provably matches no row — FOR base/width and dictionary
+// min/max bounds — without decoding any column. The returned epoch belongs
+// to the inspected data (read in the same critical section), so cache
+// entries keyed on it stay exact under racing ingest. Raw and evicted
+// bricks return false: there is no resident blob to inspect without paying
+// a decode or I/O.
+func (t *ScanTask) PruneEncoded(f *Filter) (bool, uint64) {
+	b := t.brick
+	b.mu.Lock()
+	data := b.encoded
+	rows := b.rows
+	epoch := b.epoch
+	b.mu.Unlock()
+	if data == nil {
+		return false, 0
+	}
+	if !blobBoundsPrune(data, rows, len(t.store.schema.Dimensions), f) {
+		return false, 0
+	}
+	// The query touched (and answered from) this brick; heat accrues just
+	// as a real visit would.
+	t.brick.Touch(1)
+	return true, epoch
+}
+
 // ScanPlan is a stable snapshot of the bricks a filtered scan must visit,
 // with index-free pruning already applied.
 type ScanPlan struct {

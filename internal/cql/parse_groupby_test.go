@@ -1,0 +1,103 @@
+package cql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cubrick/internal/engine"
+)
+
+// TestParseMultiDimGroupBy pins the parse of composite GROUP BYs — the
+// shape the encoded composite-key kernels execute — including echoed bare
+// columns, per-dimension filters riding along, and HLL aggregates over a
+// grouped dimension.
+func TestParseMultiDimGroupBy(t *testing.T) {
+	sel := parseSelect(t, `
+		SELECT region, app, SUM(value), COUNT(DISTINCT device)
+		FROM metrics
+		WHERE ds BETWEEN 10 AND 20 AND region < 8
+		GROUP BY region, app, ds`)
+	q := sel.Query
+	if len(q.GroupBy) != 3 || q.GroupBy[0] != "region" || q.GroupBy[1] != "app" || q.GroupBy[2] != "ds" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	if len(q.Aggregates) != 2 {
+		t.Fatalf("aggregates = %+v", q.Aggregates)
+	}
+	if q.Aggregates[1].Func != engine.CountDistinct || q.Aggregates[1].Metric != "device" {
+		t.Fatalf("COUNT(DISTINCT device) parsed as %+v", q.Aggregates[1])
+	}
+	if q.Filter["ds"] != [2]uint32{10, 20} || q.Filter["region"] != [2]uint32{0, 7} {
+		t.Fatalf("filters = %v", q.Filter)
+	}
+
+	// Bare columns must each be covered by the GROUP BY, in any order.
+	sel = parseSelect(t, "SELECT b, a, COUNT(*) FROM t GROUP BY a, b")
+	if len(sel.Query.GroupBy) != 2 {
+		t.Fatalf("group by = %v", sel.Query.GroupBy)
+	}
+	if _, err := Parse("SELECT a, c, COUNT(*) FROM t GROUP BY a, b"); !errors.Is(err, ErrSyntax) {
+		t.Fatalf("ungrouped bare column accepted: %v", err)
+	}
+
+	// A trailing comma in the dimension list is a syntax error, not a
+	// silent truncation.
+	if _, err := Parse("SELECT COUNT(*) FROM t GROUP BY a, b,"); !errors.Is(err, ErrSyntax) {
+		t.Fatalf("trailing comma accepted: %v", err)
+	}
+}
+
+// TestParseFilterForms pins every predicate spelling against the numeric
+// range filter it must fold to.
+func TestParseFilterForms(t *testing.T) {
+	cases := []struct {
+		where string
+		col   string
+		want  [2]uint32
+	}{
+		{"a = 5", "a", [2]uint32{5, 5}},
+		{"a >= 5", "a", [2]uint32{5, 4294967295}},
+		{"a <= 5", "a", [2]uint32{0, 5}},
+		{"a > 5", "a", [2]uint32{6, 4294967295}},
+		{"a < 5", "a", [2]uint32{0, 4}},
+		{"a BETWEEN 2 AND 9", "a", [2]uint32{2, 9}},
+		{"a >= 3 AND a < 10", "a", [2]uint32{3, 9}},
+	}
+	for _, tc := range cases {
+		sel := parseSelect(t, "SELECT COUNT(*) FROM t WHERE "+tc.where)
+		if sel.Query.Filter[tc.col] != tc.want {
+			t.Errorf("WHERE %s: filter = %v, want %v", tc.where, sel.Query.Filter[tc.col], tc.want)
+		}
+	}
+
+	// Contradictory predicates produce an empty range, not an error — the
+	// query legitimately returns nothing.
+	sel := parseSelect(t, "SELECT COUNT(*) FROM t WHERE a > 10 AND a < 5")
+	if r := sel.Query.Filter["a"]; r[0] <= r[1] {
+		t.Fatalf("contradiction folded to satisfiable range %v", r)
+	}
+}
+
+// TestParseErrorPositions pins that syntax errors name the offending
+// byte offset, so a client can point at the mistake.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		input  string
+		wantAt string
+	}{
+		//        0123456789...
+		{"SELECT SUM(value) FROM t WHERE a !! 3", "at 33"}, // lexer error: raw offset
+		{"SELECT SUM(value) FROM t GROUP region", "position 31"},
+		{"SELECT SUM() FROM t", "position 11"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.input)
+		if !errors.Is(err, ErrSyntax) {
+			t.Fatalf("Parse(%q) = %v, want ErrSyntax", tc.input, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantAt) {
+			t.Errorf("Parse(%q) error %q does not carry %q", tc.input, err, tc.wantAt)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package dict
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Global dictionary IDs travel between nodes as deltas: because ids are
+// assigned densely in first-sight order and never reassigned, a replica
+// that holds the first `since` entries needs only the tail [since, Len) to
+// catch up. The delta blob is self-describing and hardened against forged
+// input — a peer can never corrupt an existing assignment, only (validly)
+// extend it.
+//
+// Blob layout:
+//
+//	0xCD 0x01                 magic + version
+//	uvarint base              id of the first carried entry
+//	uvarint count             number of carried entries
+//	count × (uvarint len, len bytes)   values for ids base..base+count-1
+//
+// ApplyDelta is idempotent: entries the receiver already holds must match
+// byte-for-byte (a mismatch means the peer forged or corrupted an id
+// assignment and the delta is rejected whole); entries past the current
+// length append. A base beyond the current length is a gap — rejected, the
+// receiver must first fetch the missing range.
+
+const (
+	deltaMagic0 = 0xCD
+	deltaMagic1 = 0x01
+
+	// maxDeltaValueLen bounds one dictionary value accepted from the wire so
+	// a forged length cannot drive allocations.
+	maxDeltaValueLen = 1 << 16
+)
+
+// Version returns the dictionary's monotonic version: the number of
+// assigned ids. Two replicas with equal versions hold identical contents
+// (ids are append-only and never reassigned).
+func (d *Dictionary) Version() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return uint64(len(d.strs))
+}
+
+// ExportDelta encodes the entries assigned at or after version since. An
+// up-to-date receiver gets an empty (but valid) delta. since beyond the
+// current version is an error — the caller's view is ahead of this replica.
+func (d *Dictionary) ExportDelta(since uint64) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if since > uint64(len(d.strs)) {
+		return nil, fmt.Errorf("dict: delta since version %d, only %d assigned", since, len(d.strs))
+	}
+	tail := d.strs[since:]
+	out := []byte{deltaMagic0, deltaMagic1}
+	out = binary.AppendUvarint(out, since)
+	out = binary.AppendUvarint(out, uint64(len(tail)))
+	for _, v := range tail {
+		out = binary.AppendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+// ApplyDelta folds a delta blob into the dictionary and returns the
+// resulting version. Overlapping entries are verified against the existing
+// assignments, new entries append; any inconsistency (bad magic, truncated
+// payload, oversized value, id gap, value mismatch, duplicate value,
+// capacity overflow) rejects the delta without mutating the dictionary.
+func (d *Dictionary) ApplyDelta(blob []byte) (uint64, error) {
+	if len(blob) < 2 || blob[0] != deltaMagic0 || blob[1] != deltaMagic1 {
+		return 0, fmt.Errorf("dict: bad delta magic")
+	}
+	pos := 2
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(blob[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("dict: corrupt varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	base, err := readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	count, err := readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	// Each entry costs at least one length byte, so count is bounded by the
+	// remaining payload — a forged count cannot drive the loop.
+	if count > uint64(len(blob)-pos) {
+		return 0, fmt.Errorf("dict: delta claims %d entries in %d bytes", count, len(blob)-pos)
+	}
+	values := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		vlen, err := readUvarint()
+		if err != nil {
+			return 0, err
+		}
+		if vlen > maxDeltaValueLen {
+			return 0, fmt.Errorf("dict: delta value of %d bytes exceeds limit", vlen)
+		}
+		if uint64(len(blob)-pos) < vlen {
+			return 0, fmt.Errorf("dict: truncated delta value at offset %d", pos)
+		}
+		values = append(values, string(blob[pos:pos+int(vlen)]))
+		pos += int(vlen)
+	}
+	if pos != len(blob) {
+		return 0, fmt.Errorf("dict: %d trailing bytes after delta", len(blob)-pos)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := uint64(len(d.strs))
+	if base > cur {
+		return 0, fmt.Errorf("dict: delta base %d leaves a gap (version %d)", base, cur)
+	}
+	if base+count > uint64(d.capacity) {
+		return 0, fmt.Errorf("%w: delta extends to %d, capacity %d", ErrFull, base+count, d.capacity)
+	}
+	// Validate everything before mutating: overlap must match the existing
+	// assignment exactly, and appended values must be new to the dictionary.
+	for i, v := range values {
+		id := base + uint64(i)
+		if id < cur {
+			if d.strs[id] != v {
+				return 0, fmt.Errorf("dict: delta forges id %d: %q != %q", id, v, d.strs[id])
+			}
+			continue
+		}
+		if have, ok := d.ids[v]; ok && uint64(have) != id {
+			return 0, fmt.Errorf("dict: delta duplicates value %q (id %d vs %d)", v, have, id)
+		}
+	}
+	// Appended values must also be distinct among themselves.
+	if cur-base < uint64(len(values)) {
+		seen := make(map[string]struct{}, uint64(len(values))-(cur-base))
+		for _, v := range values[cur-base:] {
+			if _, dup := seen[v]; dup {
+				return 0, fmt.Errorf("dict: delta repeats value %q", v)
+			}
+			seen[v] = struct{}{}
+		}
+	}
+	for i, v := range values {
+		id := base + uint64(i)
+		if id < cur {
+			continue
+		}
+		d.ids[v] = uint32(id)
+		d.strs = append(d.strs, v)
+	}
+	return uint64(len(d.strs)), nil
+}
+
+// Versions reports every column's dictionary version, for delta
+// negotiation between nodes.
+func (s *Set) Versions() map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64, len(s.dicts))
+	for c, d := range s.dicts {
+		out[c] = d.Version()
+	}
+	return out
+}

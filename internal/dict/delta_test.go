@@ -1,0 +1,221 @@
+package dict
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func seeded(t *testing.T, capacity uint32, vals ...string) *Dictionary {
+	t.Helper()
+	d := New(capacity)
+	for _, v := range vals {
+		if _, err := d.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	src := seeded(t, 100, "ads", "feed", "search")
+	if src.Version() != 3 {
+		t.Fatalf("version = %d, want 3", src.Version())
+	}
+
+	// Full catch-up from zero.
+	blob, err := src.ExportDelta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(100)
+	v, err := dst.ApplyDelta(blob)
+	if err != nil || v != 3 {
+		t.Fatalf("apply full: v=%d err=%v", v, err)
+	}
+	for id, want := range []string{"ads", "feed", "search"} {
+		got, err := dst.Decode(uint32(id))
+		if err != nil || got != want {
+			t.Fatalf("id %d = %q (%v), want %q", id, got, err, want)
+		}
+	}
+
+	// Re-applying the same delta is a no-op at the same version.
+	if v, err = dst.ApplyDelta(blob); err != nil || v != 3 {
+		t.Fatalf("idempotent re-apply: v=%d err=%v", v, err)
+	}
+
+	// Incremental tail after more assignment.
+	if _, err := src.Encode("groups"); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := src.ExportDelta(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err = dst.ApplyDelta(tail); err != nil || v != 4 {
+		t.Fatalf("apply tail: v=%d err=%v", v, err)
+	}
+
+	// An up-to-date receiver gets (and accepts) an empty delta.
+	empty, err := src.ExportDelta(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err = dst.ApplyDelta(empty); err != nil || v != 4 {
+		t.Fatalf("apply empty: v=%d err=%v", v, err)
+	}
+
+	// Exporting past the current version is the caller's bug.
+	if _, err := src.ExportDelta(5); err == nil {
+		t.Fatal("ExportDelta past version succeeded")
+	}
+}
+
+func TestDeltaRejections(t *testing.T) {
+	src := seeded(t, 100, "a", "b", "c")
+	full, err := src.ExportDelta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := src.ExportDelta(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		prep func(t *testing.T) (*Dictionary, []byte)
+		want string
+	}{
+		{"bad magic", func(t *testing.T) (*Dictionary, []byte) {
+			blob := append([]byte(nil), full...)
+			blob[0] = 0xEE
+			return New(100), blob
+		}, "magic"},
+		{"truncated value", func(t *testing.T) (*Dictionary, []byte) {
+			return New(100), full[:len(full)-1]
+		}, "truncated"},
+		{"trailing bytes", func(t *testing.T) (*Dictionary, []byte) {
+			return New(100), append(append([]byte(nil), full...), 0x00)
+		}, "trailing"},
+		{"gap", func(t *testing.T) (*Dictionary, []byte) {
+			// tail starts at id 2; a fresh dictionary holds nothing.
+			return New(100), tail
+		}, "gap"},
+		{"forged id", func(t *testing.T) (*Dictionary, []byte) {
+			// Receiver assigned different values to the overlapped ids.
+			return seeded(t, 100, "x", "y"), full
+		}, "forges"},
+		{"duplicate of existing value", func(t *testing.T) (*Dictionary, []byte) {
+			// "a" already holds id 0 on the receiver; the tail would bind it
+			// to id 2.
+			d := seeded(t, 100, "a", "b")
+			forged := append([]byte{deltaMagic0, deltaMagic1, 2, 1, 1}, 'a')
+			return d, forged
+		}, "duplicates"},
+		{"repeated value inside delta", func(t *testing.T) (*Dictionary, []byte) {
+			blob := []byte{deltaMagic0, deltaMagic1, 0, 2, 1, 'z', 1, 'z'}
+			return New(100), blob
+		}, "repeats"},
+		{"capacity overflow", func(t *testing.T) (*Dictionary, []byte) {
+			return New(2), full
+		}, "full"},
+		{"oversized value", func(t *testing.T) (*Dictionary, []byte) {
+			blob := []byte{deltaMagic0, deltaMagic1, 0, 1}
+			blob = append(blob, 0xFF, 0xFF, 0x7F) // vlen ≈ 2M > 64K cap
+			return New(100), blob
+		}, "exceeds limit"},
+		{"forged count", func(t *testing.T) (*Dictionary, []byte) {
+			blob := []byte{deltaMagic0, deltaMagic1, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+			return New(100), blob
+		}, "entries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, blob := tc.prep(t)
+			before := d.Version()
+			if _, err := d.ApplyDelta(blob); err == nil {
+				t.Fatalf("accepted %s delta", tc.name)
+			} else if !strings.Contains(strings.ToLower(err.Error()), tc.want) && !errors.Is(err, ErrFull) {
+				t.Fatalf("error %v does not mention %q", err, tc.want)
+			}
+			if d.Version() != before {
+				t.Fatalf("rejected delta mutated the dictionary: %d -> %d", before, d.Version())
+			}
+		})
+	}
+}
+
+// FuzzGlobalDict throws arbitrary bytes (seeded with valid, truncated, and
+// forged deltas) at the decoder applied to both a fresh and a pre-seeded
+// dictionary. Whatever happens, the invariants hold: existing assignments
+// never change, version equals the entry count, and every surviving entry
+// round-trips Encode↔Decode.
+func FuzzGlobalDict(f *testing.F) {
+	src := New(1000)
+	for _, v := range []string{"ads", "feed", "search", "groups"} {
+		if _, err := src.Encode(v); err != nil {
+			f.Fatal(err)
+		}
+	}
+	full, _ := src.ExportDelta(0)
+	tail, _ := src.ExportDelta(2)
+	empty, _ := src.ExportDelta(4)
+	f.Add(full)
+	f.Add(tail)
+	f.Add(empty)
+	f.Add(full[:len(full)-2])
+	forged := append([]byte(nil), full...)
+	forged[len(forged)-1] ^= 0xFF
+	f.Add(forged)
+	f.Add([]byte{deltaMagic0, deltaMagic1, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		for _, preseed := range []bool{false, true} {
+			d := New(64)
+			want := []string{}
+			if preseed {
+				want = []string{"ads", "feed"}
+				for _, v := range want {
+					if _, err := d.Encode(v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			v, err := d.ApplyDelta(blob)
+			if err != nil {
+				// A rejected delta must leave the dictionary untouched.
+				if d.Version() != uint64(len(want)) {
+					t.Fatalf("rejection mutated version: %d", d.Version())
+				}
+			} else {
+				if v != d.Version() {
+					t.Fatalf("returned version %d != dictionary version %d", v, d.Version())
+				}
+				if v > 64 {
+					t.Fatalf("version %d exceeds capacity", v)
+				}
+			}
+			// Pre-existing assignments survive any input.
+			for id, w := range want {
+				got, err := d.Decode(uint32(id))
+				if err != nil || got != w {
+					t.Fatalf("existing id %d corrupted: %q (%v)", id, got, err)
+				}
+			}
+			// Every entry round-trips and ids are dense.
+			for id := uint64(0); id < d.Version(); id++ {
+				s, err := d.Decode(uint32(id))
+				if err != nil {
+					t.Fatalf("dense id %d missing: %v", id, err)
+				}
+				back, err := d.Lookup(s)
+				if err != nil || uint64(back) != id {
+					t.Fatalf("value %q maps to %d (%v), want %d", s, back, err, id)
+				}
+			}
+		}
+	})
+}

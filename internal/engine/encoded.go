@@ -1,0 +1,480 @@
+package engine
+
+import (
+	"sort"
+
+	"cubrick/internal/brick"
+)
+
+// Encoded execution: multi-dimension GROUP BY straight off run/dictionary
+// structure, and compiled filter skippers that evaluate a predicate once
+// per RLE run or dictionary code instead of per row.
+//
+// Fully covered bricks dispatch through prepareFull/observeFull: the batch
+// is classified once per visit (so folded passes pay the classification and
+// any scratch materialization a single time regardless of subscriber
+// count), then each subscriber's kernel consumes the same view:
+//
+//   - one grouped dimension as runs/codes: the PR-5 observeRuns/observeCodes
+//     kernels, unchanged
+//   - every grouped dimension as runs: k-wise run intersection into maximal
+//     constant-key segments, one group resolution + run-length fold per
+//     segment
+//   - every grouped dimension as dictionary codes: the code tuple addresses
+//     a dense per-batch slot array, one group resolution per distinct tuple
+//   - anything else: encoded group columns materialize into engine scratch
+//     once and the row kernels run over a patched column view
+//
+// Partially covered bricks build their selection through buildSel: each
+// filter dimension contributes either accepted row spans (one range test
+// per RLE run), a code-interval test (the brick dictionary is sorted, so
+// the accepted codes are contiguous), or a per-row value test. Rows
+// rejected at the run level never reach per-row evaluation.
+//
+// Every path observes rows in ascending row order per group, so results are
+// bit-identical to the materialized row-at-a-time reference — including
+// float summation order and HLL register state.
+
+// disableSkippers turns off the per-encoding filter skippers and the
+// encoded-brick stats pruning: filter columns materialize and predicates
+// evaluate row-at-a-time. Benchmark hook only.
+var disableSkippers bool
+
+// ScanStats reports encoded-execution accounting for one execution: how
+// much work the skippers did at run/code granularity instead of per row,
+// and how many bricks were pruned from their blob headers without any
+// decode. It is engine-local instrumentation — never merged into Partial
+// or shipped on the wire, so results stay bit-identical across paths.
+type ScanStats struct {
+	// RunsTouched / RunsSkipped count RLE runs a filter skipper accepted
+	// (rows entered per-row processing) vs rejected whole.
+	RunsTouched int64
+	RunsSkipped int64
+	// CodesTouched / CodesSkipped count dictionary codes inside vs outside
+	// the accepted code interval of a filtered dictionary column.
+	CodesTouched int64
+	CodesSkipped int64
+	// BricksStatsPruned counts encoded bricks skipped entirely because
+	// their blob column bounds (FOR base/width, dictionary min/max) proved
+	// no row could match the filter, before any decode.
+	BricksStatsPruned int64
+}
+
+func (s *ScanStats) add(o ScanStats) {
+	s.RunsTouched += o.RunsTouched
+	s.RunsSkipped += o.RunsSkipped
+	s.CodesTouched += o.CodesTouched
+	s.CodesSkipped += o.CodesSkipped
+	s.BricksStatsPruned += o.BricksStatsPruned
+}
+
+// maxTupleSlots caps the dense slot array of the code-tuple kernel
+// (≤ 512 KiB of group pointers per batch); larger code domains fall back
+// to scratch materialization.
+const maxTupleSlots = 1 << 16
+
+// groupResolver resolves the group for a full key tuple. Every grouped
+// kernel implements it, so encoded dispatch can feed segments and code
+// tuples generically.
+type groupResolver interface {
+	groupFor(key []uint32) *group
+}
+
+// runSeg is one maximal constant-key segment of a run intersection.
+type runSeg struct {
+	start, n int32
+}
+
+// encScratch is per-worker scratch for encoded dispatch: patched column
+// views, materialization buffers, segment lists and span buffers live
+// across tasks so steady-state scanning does not allocate.
+type encScratch struct {
+	dims    [][]uint32    // patched view over Batch.Dims
+	cols    [][]uint32    // per-grouped-dim materialization buffers
+	keys    []uint32      // key tuple scratch
+	segs    []runSeg      // run-intersection segments
+	segKeys []uint32      // flat segment keys, arity values per segment
+	runsBy  [][]brick.Run // per-grouped-dim run views
+	runIdx  []int
+	runRem  []int32
+	// spanBufs rotate through buildSel's span intersection: one holds the
+	// current accepted spans, one the next dimension's spans, one the
+	// intersection output — never aliased.
+	spanBufs [3][]rowSpan
+	preds    []rowPred
+}
+
+func (es *encScratch) keyBuf(k int) []uint32 {
+	if cap(es.keys) < k {
+		es.keys = make([]uint32, k)
+	}
+	return es.keys[:k]
+}
+
+func (es *encScratch) col(slot, rows int) []uint32 {
+	for len(es.cols) <= slot {
+		es.cols = append(es.cols, nil)
+	}
+	b := es.cols[slot]
+	if cap(b) < rows {
+		b = make([]uint32, rows)
+	}
+	b = b[:rows]
+	es.cols[slot] = b
+	return b
+}
+
+// fullMode selects how observeFull consumes a fully covered batch.
+type fullMode uint8
+
+const (
+	fullPlain  fullMode = iota // row kernels over (possibly patched) columns
+	fullRuns1                  // single grouped dim, run view
+	fullCodes1                 // single grouped dim, dictionary view
+	fullSegs                   // all grouped dims runs: precomputed segments
+	fullTuples                 // all grouped dims codes: dense tuple slots
+)
+
+// fullView is one batch's dispatch decision, shared by every subscriber of
+// the visit. Slices alias the batch or the worker's encScratch and are
+// valid only for the current visit.
+type fullView struct {
+	mode     fullMode
+	dims     [][]uint32 // fullPlain
+	runs     []brick.Run
+	codes    []uint32
+	dict     []uint32
+	tupCodes [][]uint32 // fullTuples, one per grouped dim
+	tupDicts [][]uint32
+	tupSlots int
+}
+
+// prepareFull classifies a fully covered batch once per visit. acc is a
+// representative kernel (all subscribers of a visit use the same concrete
+// type); when it lacks the needed capability the view falls back to
+// materialized columns.
+func (c *compiled) prepareFull(b *brick.Batch, acc accumulator, es *encScratch) fullView {
+	k := len(c.groupIdx)
+	if !c.encGroup || k == 0 || b.Rows == 0 {
+		return fullView{mode: fullPlain, dims: b.Dims}
+	}
+	if k == 1 {
+		if eo, ok := acc.(encodedGroupObserver); ok && eo != nil {
+			gi := c.groupIdx[0]
+			if runs := b.Runs(gi); runs != nil {
+				return fullView{mode: fullRuns1, runs: runs}
+			}
+			if codes, dict := b.Codes(gi); codes != nil {
+				return fullView{mode: fullCodes1, codes: codes, dict: dict}
+			}
+		}
+		return fullView{mode: fullPlain, dims: b.Dims}
+	}
+	if _, ok := acc.(groupResolver); ok {
+		allRuns, allCodes := true, true
+		for _, gi := range c.groupIdx {
+			if b.Runs(gi) == nil {
+				allRuns = false
+			}
+			if codes, _ := b.Codes(gi); codes == nil {
+				allCodes = false
+			}
+		}
+		if allRuns {
+			c.buildSegs(b, es)
+			return fullView{mode: fullSegs}
+		}
+		if allCodes {
+			v := fullView{mode: fullTuples, tupSlots: 1}
+			for _, gi := range c.groupIdx {
+				codes, dict := b.Codes(gi)
+				v.tupCodes = append(v.tupCodes, codes)
+				v.tupDicts = append(v.tupDicts, dict)
+				v.tupSlots *= len(dict)
+				if v.tupSlots > maxTupleSlots {
+					v.tupSlots = 0
+					break
+				}
+			}
+			if v.tupSlots > 0 {
+				return v
+			}
+		}
+	}
+	// Mixed shapes (or an incapable kernel): materialize the encoded group
+	// columns into scratch once and run the row kernels over a patched view.
+	return fullView{mode: fullPlain, dims: c.patchDims(b, es)}
+}
+
+// patchDims returns b.Dims with every encoded grouped column materialized
+// into scratch. The original batch is never mutated — cached batches are
+// shared across concurrent scans.
+func (c *compiled) patchDims(b *brick.Batch, es *encScratch) [][]uint32 {
+	if cap(es.dims) < len(b.Dims) {
+		es.dims = make([][]uint32, len(b.Dims))
+	}
+	dims := es.dims[:len(b.Dims)]
+	copy(dims, b.Dims)
+	slot := 0
+	for _, gi := range c.groupIdx {
+		if dims[gi] != nil {
+			continue
+		}
+		out := es.col(slot, b.Rows)
+		slot++
+		if runs := b.Runs(gi); runs != nil {
+			i := 0
+			for _, run := range runs {
+				for j := int32(0); j < run.Length; j++ {
+					out[i] = run.Value
+					i++
+				}
+			}
+		} else if codes, dict := b.Codes(gi); codes != nil {
+			for r, code := range codes {
+				out[r] = dict[code]
+			}
+		} else {
+			// Skipped entirely — cannot happen for a grouped dim, but a
+			// zero column keeps the kernels memory-safe if it ever does.
+			for r := range out {
+				out[r] = 0
+			}
+		}
+		dims[gi] = out
+	}
+	es.dims = dims
+	return dims
+}
+
+// buildSegs intersects the grouped dimensions' run lists into maximal
+// constant-key segments: segment boundaries fall wherever any dimension's
+// run ends, so within a segment every grouped dimension is constant.
+func (c *compiled) buildSegs(b *brick.Batch, es *encScratch) {
+	k := len(c.groupIdx)
+	if cap(es.runsBy) < k {
+		es.runsBy = make([][]brick.Run, k)
+		es.runIdx = make([]int, k)
+		es.runRem = make([]int32, k)
+	}
+	runsBy, idx, rem := es.runsBy[:k], es.runIdx[:k], es.runRem[:k]
+	for d, gi := range c.groupIdx {
+		runsBy[d] = b.Runs(gi)
+		idx[d] = 0
+		rem[d] = runsBy[d][0].Length
+	}
+	es.segs = es.segs[:0]
+	es.segKeys = es.segKeys[:0]
+	pos := int32(0)
+	rows := int32(b.Rows)
+	for pos < rows {
+		n := rem[0]
+		for d := 1; d < k; d++ {
+			if rem[d] < n {
+				n = rem[d]
+			}
+		}
+		for d := 0; d < k; d++ {
+			es.segKeys = append(es.segKeys, runsBy[d][idx[d]].Value)
+		}
+		es.segs = append(es.segs, runSeg{start: pos, n: n})
+		pos += n
+		for d := 0; d < k; d++ {
+			rem[d] -= n
+			if rem[d] == 0 && idx[d]+1 < len(runsBy[d]) {
+				idx[d]++
+				rem[d] = runsBy[d][idx[d]].Length
+			}
+		}
+	}
+}
+
+// observeFull feeds one fully covered batch to acc through the prepared
+// view. Called once per subscriber; the expensive per-batch work already
+// happened in prepareFull.
+func (c *compiled) observeFull(acc accumulator, b *brick.Batch, v *fullView, es *encScratch) {
+	switch v.mode {
+	case fullRuns1:
+		acc.(encodedGroupObserver).observeRuns(b, v.runs)
+	case fullCodes1:
+		acc.(encodedGroupObserver).observeCodes(b, v.codes, v.dict)
+	case fullSegs:
+		gr := acc.(groupResolver)
+		k := len(c.groupIdx)
+		for si := range es.segs {
+			g := gr.groupFor(es.segKeys[si*k : si*k+k])
+			c.observeRun(g, b, int(es.segs[si].start), int(es.segs[si].n))
+		}
+	case fullTuples:
+		c.observeTuples(acc.(groupResolver), b, v, es)
+	default:
+		acc.observeBatch(v.dims, b.Metrics, b.Rows, nil)
+	}
+}
+
+// observeTuples aggregates a batch whose grouped columns are all
+// dictionary-coded: the code tuple indexes a dense per-batch slot array,
+// so a group is resolved once per distinct tuple and the per-row work is
+// array arithmetic.
+func (c *compiled) observeTuples(gr groupResolver, b *brick.Batch, v *fullView, es *encScratch) {
+	k := len(c.groupIdx)
+	slots := make([]*group, v.tupSlots)
+	keys := es.keyBuf(k)
+	for r := 0; r < b.Rows; r++ {
+		idx := 0
+		for d := 0; d < k; d++ {
+			idx = idx*len(v.tupDicts[d]) + int(v.tupCodes[d][r])
+		}
+		g := slots[idx]
+		if g == nil {
+			for d := 0; d < k; d++ {
+				keys[d] = v.tupDicts[d][v.tupCodes[d][r]]
+			}
+			g = gr.groupFor(keys)
+			slots[idx] = g
+		}
+		c.observeRow(g, b.Dims, b.Metrics, r)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Filter skippers
+
+// rowSpan is a half-open row range surviving run-level filtering.
+type rowSpan struct {
+	start, end int32
+}
+
+// rowPred is one per-row predicate: vals is either a materialized column
+// (value test) or a code column (interval test over the accepted codes).
+type rowPred struct {
+	vals   []uint32
+	lo, hi uint32
+}
+
+// buildSel evaluates the compiled filter over a partially covered batch
+// using the encoded skippers, returning the surviving row selection.
+// all == true means every row passes (sel is unused). Counters land in st
+// when non-nil.
+func (c *compiled) buildSel(b *brick.Batch, sel []int32, es *encScratch, st *ScanStats) (out []int32, all bool) {
+	var spans []rowSpan
+	cur := -1 // index of the spanBuf backing spans, -1 until the first runs dim
+	haveSpans := false
+	es.preds = es.preds[:0]
+	for _, fd := range c.filterDims {
+		if runs := b.Runs(fd.idx); runs != nil {
+			// Run skipper: one range test per run yields accepted spans.
+			ni := (cur + 1) % 3
+			next := es.spanBufs[ni][:0]
+			pos := int32(0)
+			for _, run := range runs {
+				if run.Value >= fd.lo && run.Value <= fd.hi {
+					if st != nil {
+						st.RunsTouched++
+					}
+					if n := len(next); n > 0 && next[n-1].end == pos {
+						next[n-1].end = pos + run.Length
+					} else {
+						next = append(next, rowSpan{start: pos, end: pos + run.Length})
+					}
+				} else if st != nil {
+					st.RunsSkipped++
+				}
+				pos += run.Length
+			}
+			es.spanBufs[ni] = next
+			if haveSpans {
+				oi := (cur + 2) % 3
+				es.spanBufs[oi] = intersectSpans(spans, next, es.spanBufs[oi][:0])
+				cur = oi
+			} else {
+				cur = ni
+				haveSpans = true
+			}
+			spans = es.spanBufs[cur]
+			if len(spans) == 0 {
+				return sel[:0], false
+			}
+			continue
+		}
+		if codes, dict := b.Codes(fd.idx); codes != nil {
+			// Dictionary skipper: the brick dictionary is sorted, so the
+			// accepted codes form one contiguous interval.
+			cLo := sort.Search(len(dict), func(i int) bool { return dict[i] >= fd.lo })
+			cHi := sort.Search(len(dict), func(i int) bool { return dict[i] > fd.hi }) - 1
+			if st != nil {
+				acc := int64(0)
+				if cHi >= cLo {
+					acc = int64(cHi - cLo + 1)
+				}
+				st.CodesTouched += acc
+				st.CodesSkipped += int64(len(dict)) - acc
+			}
+			if cHi < cLo {
+				return sel[:0], false
+			}
+			if cLo == 0 && cHi == len(dict)-1 {
+				continue // every code accepted: the predicate is vacuous
+			}
+			es.preds = append(es.preds, rowPred{vals: codes, lo: uint32(cLo), hi: uint32(cHi)})
+			continue
+		}
+		es.preds = append(es.preds, rowPred{vals: b.Dims[fd.idx], lo: fd.lo, hi: fd.hi})
+	}
+	if !haveSpans && len(es.preds) == 0 {
+		return sel, true
+	}
+	preds := es.preds
+	emit := func(start, end int32) {
+	row:
+		for r := start; r < end; r++ {
+			for pi := range preds {
+				if v := preds[pi].vals[r]; v < preds[pi].lo || v > preds[pi].hi {
+					continue row
+				}
+			}
+			sel = append(sel, r)
+		}
+	}
+	if haveSpans {
+		if len(preds) == 0 {
+			// Pure run filtering: expand spans without touching any column.
+			for _, sp := range spans {
+				for r := sp.start; r < sp.end; r++ {
+					sel = append(sel, r)
+				}
+			}
+			return sel, false
+		}
+		for _, sp := range spans {
+			emit(sp.start, sp.end)
+		}
+		return sel, false
+	}
+	emit(0, int32(b.Rows))
+	return sel, false
+}
+
+// intersectSpans writes the intersection of two sorted span lists into dst.
+func intersectSpans(a, b, dst []rowSpan) []rowSpan {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].start
+		if b[j].start > lo {
+			lo = b[j].start
+		}
+		hi := a[i].end
+		if b[j].end < hi {
+			hi = b[j].end
+		}
+		if lo < hi {
+			dst = append(dst, rowSpan{start: lo, end: hi})
+		}
+		if a[i].end <= b[j].end {
+			i++
+		} else {
+			j++
+		}
+	}
+	return dst
+}

@@ -172,8 +172,8 @@ func TestProjectionBuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.encDim != 0 {
-		t.Fatalf("encDim = %d, want 0", c.encDim)
+	if !c.encGroup || len(c.encGroups) != 1 || !c.encGroups[0] {
+		t.Fatalf("encGroups = %v, want the single group dim encoded-eligible", c.encGroups)
 	}
 	if c.projFull.Dims[0] != brick.ColGroupEncoded {
 		t.Fatal("group dim not requested as encoded view on full bricks")
@@ -181,14 +181,20 @@ func TestProjectionBuild(t *testing.T) {
 	if c.projFull.Dims[1] != brick.ColSkip {
 		t.Fatal("filter-only dim decoded on fully covered bricks")
 	}
-	if c.proj.Dims[1] != brick.ColNeed {
-		t.Fatal("filter dim not materialized on partially covered bricks")
+	if c.proj.Dims[1] != brick.ColGroupEncoded {
+		t.Fatal("filter-only dim not requested as encoded view for the skippers on partial bricks")
+	}
+	if c.projPartSerial.Dims[1] != brick.ColNeed {
+		t.Fatal("serial reference must materialize the filter dim on partial bricks")
 	}
 	if c.projFullSerial.Dims[0] != brick.ColNeed {
 		t.Fatal("serial path must materialize the group dim")
 	}
 	if !c.proj.Metrics[0] {
 		t.Fatal("aggregated metric not projected")
+	}
+	if len(c.filterDims) != 1 || c.filterDims[0].idx != 1 || c.filterDims[0].lo != 5 || c.filterDims[0].hi != 20 {
+		t.Fatalf("filterDims = %+v, want [{1 5 20}]", c.filterDims)
 	}
 
 	// CountDistinct over the group dimension disqualifies the encoded view:
@@ -201,11 +207,12 @@ func TestProjectionBuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cd.encDim != -1 || cd.projFull.Dims[0] != brick.ColNeed {
+	if cd.encGroup || cd.projFull.Dims[0] != brick.ColNeed {
 		t.Fatal("CountDistinct(group dim) must disable the encoded view")
 	}
 
-	// Two GROUP BY dimensions: no encoded view either.
+	// Two GROUP BY dimensions: both grouped columns arrive encoded on fully
+	// covered bricks and feed the composite-key kernels.
 	q2 := &Query{
 		Aggregates: []Aggregate{{Func: Count}},
 		GroupBy:    []string{"key", "other"},
@@ -214,8 +221,28 @@ func TestProjectionBuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c2.encDim != -1 {
-		t.Fatal("multi-dim GROUP BY must disable the encoded view")
+	if !c2.encGroup || len(c2.encGroups) != 2 || !c2.encGroups[0] || !c2.encGroups[1] {
+		t.Fatalf("encGroups = %v, want both group dims encoded-eligible", c2.encGroups)
+	}
+	if c2.projFull.Dims[0] != brick.ColGroupEncoded || c2.projFull.Dims[1] != brick.ColGroupEncoded {
+		t.Fatal("multi-dim GROUP BY must request encoded views on full bricks")
+	}
+
+	// Mixed eligibility: CountDistinct over one grouped dim disqualifies it
+	// alone; the other grouped dim stays encoded.
+	q3 := &Query{
+		Aggregates: []Aggregate{{Func: Count}, {Func: CountDistinct, Metric: "other"}},
+		GroupBy:    []string{"key", "other"},
+	}
+	c3, err := compile(schema, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c3.encGroup || !c3.encGroups[0] || c3.encGroups[1] {
+		t.Fatalf("encGroups = %v, want only the non-distinct group dim encoded", c3.encGroups)
+	}
+	if c3.projFull.Dims[0] != brick.ColGroupEncoded || c3.projFull.Dims[1] != brick.ColNeed {
+		t.Fatal("CountDistinct group dim must materialize while the other stays encoded")
 	}
 }
 

@@ -329,19 +329,34 @@ type compiled struct {
 	filter      *brick.Filter
 
 	// proj is the projection for partially covered bricks: referenced
-	// columns plus the filter dimensions MatchesAt needs.
+	// columns plus the filter dimensions. Filter-only dimensions are
+	// requested as encoded views so the compiled skippers can evaluate the
+	// predicate once per run or dictionary code instead of per row.
 	proj brick.Projection
 	// projFull is the projection for fully covered bricks: referenced
-	// columns only — filter-irrelevant dimensions are never decoded. The
-	// encDim entry asks for the encoded (run/dictionary) view.
+	// columns only — filter-irrelevant dimensions are never decoded.
+	// Encoded-eligible group dimensions ask for the run/dictionary view.
 	projFull brick.Projection
 	// projFullSerial is projFull with every column materialized, for the
 	// row-at-a-time serial reference path.
 	projFullSerial brick.Projection
-	// encDim is the single GROUP BY dimension eligible for encoding-aware
-	// aggregation (runs/dictionary codes consumed without materializing),
-	// or -1.
-	encDim int
+	// projPartSerial is proj with every column materialized, for the serial
+	// reference path's per-row MatchesAt filtering.
+	projPartSerial brick.Projection
+	// encGroups[i] reports whether GROUP BY dimension i (groupIdx order) is
+	// requested as an encoded view on fully covered bricks; encGroup is set
+	// when at least one is.
+	encGroups []bool
+	encGroup  bool
+	// filterDims is the filter as a deterministic list (ascending dimension
+	// index) the per-encoding skippers walk.
+	filterDims []filterDim
+}
+
+// filterDim is one filter predicate resolved to a dimension index.
+type filterDim struct {
+	idx    int
+	lo, hi uint32
 }
 
 // compile validates the query against the schema and resolves columns.
@@ -400,33 +415,55 @@ func (c *compiled) buildProjections(schema brick.Schema) {
 	}
 	full := append([]brick.ColRequest(nil), dims...)
 	serialFull := append([]brick.ColRequest(nil), dims...)
+	partSerial := append([]brick.ColRequest(nil), dims...)
 	part := dims
 	if c.filter != nil {
 		for di := range c.filter.Ranges {
+			if partSerial[di] == brick.ColSkip {
+				partSerial[di] = brick.ColNeed
+			}
 			if part[di] == brick.ColSkip {
-				part[di] = brick.ColNeed
+				// Filter-only columns arrive as encoded views so the
+				// skipper evaluates the range once per run or dictionary
+				// code; the decoder materializes them anyway when the
+				// encoding has no such structure.
+				if disableSkippers {
+					part[di] = brick.ColNeed
+				} else {
+					part[di] = brick.ColGroupEncoded
+				}
 			}
 		}
+		c.filterDims = make([]filterDim, 0, len(c.filter.Ranges))
+		for di, r := range c.filter.Ranges {
+			c.filterDims = append(c.filterDims, filterDim{idx: di, lo: r[0], hi: r[1]})
+		}
+		sort.Slice(c.filterDims, func(i, j int) bool { return c.filterDims[i].idx < c.filterDims[j].idx })
 	}
-	// A single GROUP BY dimension that no CountDistinct reads can be
-	// aggregated straight off its run or dictionary structure.
-	c.encDim = -1
-	if len(c.groupIdx) == 1 && !disableEncodedKernels {
-		gi := c.groupIdx[0]
-		eligible := true
-		for _, di := range c.distinctIdx {
-			if di == gi {
-				eligible = false
+	// Grouped dimensions that no CountDistinct reads can be aggregated
+	// straight off their run or dictionary structure, whatever the GROUP BY
+	// arity: composite keys go through run intersection, code tuples, or a
+	// one-time scratch materialization (see encoded.go).
+	c.encGroups = make([]bool, len(c.groupIdx))
+	if !disableEncodedKernels {
+		for i, gi := range c.groupIdx {
+			eligible := true
+			for _, di := range c.distinctIdx {
+				if di == gi {
+					eligible = false
+				}
 			}
-		}
-		if eligible {
-			c.encDim = gi
-			full[gi] = brick.ColGroupEncoded
+			if eligible {
+				c.encGroups[i] = true
+				c.encGroup = true
+				full[gi] = brick.ColGroupEncoded
+			}
 		}
 	}
 	c.proj = brick.Projection{Dims: part, Metrics: mets}
 	c.projFull = brick.Projection{Dims: full, Metrics: mets}
 	c.projFullSerial = brick.Projection{Dims: serialFull, Metrics: mets}
+	c.projPartSerial = brick.Projection{Dims: partSerial, Metrics: mets}
 }
 
 // observeRow folds row r of a columnar batch into the group's cells.
@@ -465,10 +502,17 @@ func Execute(store *brick.Store, q *Query) (*Partial, error) {
 	for ti := range plan.Tasks {
 		t := &plan.Tasks[ti]
 		p.BricksVisited++
+		if !t.Full && c.filter != nil && !disableSkippers {
+			// Same blob-bounds pruning as the parallel paths, so cost
+			// counters (Decompressions) stay identical across paths.
+			if pruned, _ := t.PruneEncoded(c.filter); pruned {
+				continue
+			}
+		}
 		if t.Compressed() {
 			p.Decompressions++
 		}
-		proj := &c.proj
+		proj := &c.projPartSerial
 		if t.Full {
 			proj = &c.projFullSerial
 		}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/binary"
+	"math/bits"
 
 	"cubrick/internal/brick"
 	"cubrick/internal/hll"
@@ -180,6 +181,33 @@ func newTaskAccumulator(c *compiled, bounds [][2]uint32) accumulator {
 		}
 		if domain <= denseDomainLimit {
 			return &denseAcc{c: c, lo: lo, width: width, groups: make([]*group, domain)}
+		}
+	}
+	if nd >= 3 && bounds != nil {
+		// Pack (value − brick lower bound) per dimension into one uint64 key
+		// when the brick-bounded domain fits; replaces the byte-string path.
+		lo := make([]uint32, nd)
+		shift := make([]uint8, nd)
+		total := 0
+		fits := true
+		for i := nd - 1; i >= 0; i-- {
+			b := bounds[c.groupIdx[i]]
+			lo[i] = b[0]
+			shift[i] = uint8(total)
+			total += bits.Len32(b[1] - b[0])
+			if total > 64 {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			return &packedNAcc{
+				c:      c,
+				lo:     lo,
+				shift:  shift,
+				groups: make(map[uint64]*group),
+				keys:   make([]uint32, nd),
+			}
 		}
 	}
 	return newAccumulator(c)
@@ -426,6 +454,21 @@ func (a *denseAcc) observeCodes(b *brick.Batch, codes, dict []uint32) {
 	}
 }
 
+// groupFor resolves the group for a full key tuple (1 or 2 values) with a
+// direct slot index.
+func (a *denseAcc) groupFor(key []uint32) *group {
+	idx := int(key[0] - a.lo[0])
+	if len(key) == 2 {
+		idx = idx*a.width[1] + int(key[1]-a.lo[1])
+	}
+	g := a.groups[idx]
+	if g == nil {
+		g = newGroup(key, len(a.c.q.Aggregates))
+		a.groups[idx] = g
+	}
+	return g
+}
+
 // each yields the occupied slots in ascending domain order.
 func (a *denseAcc) each(fn func(g *group)) {
 	for _, g := range a.groups {
@@ -529,6 +572,15 @@ func (a *key1Acc) observeCodes(b *brick.Batch, codes, dict []uint32) {
 	}
 }
 
+func (a *key1Acc) groupFor(key []uint32) *group {
+	g, ok := a.groups[key[0]]
+	if !ok {
+		g = newGroup(key, len(a.c.q.Aggregates))
+		a.groups[key[0]] = g
+	}
+	return g
+}
+
 func (a *key1Acc) insertGroup(og *group) {
 	k := og.key[0]
 	g, ok := a.groups[k]
@@ -601,6 +653,16 @@ func (a *key2Acc) observeRow(k uint64, dims [][]uint32, metrics [][]float64, r i
 		a.groups[k] = g
 	}
 	a.c.observeRow(g, dims, metrics, r)
+}
+
+func (a *key2Acc) groupFor(key []uint32) *group {
+	k := uint64(key[0])<<32 | uint64(key[1])
+	g, ok := a.groups[k]
+	if !ok {
+		g = newGroup(key, len(a.c.q.Aggregates))
+		a.groups[k] = g
+	}
+	return g
 }
 
 func (a *key2Acc) insertGroup(og *group) {
@@ -685,15 +747,46 @@ func (a *keyNAcc) observeRow(dims [][]uint32, metrics [][]float64, r int) {
 	a.c.observeRow(g, dims, metrics, r)
 }
 
+func (a *keyNAcc) groupFor(key []uint32) *group {
+	for i, v := range key {
+		binary.LittleEndian.PutUint32(a.keyBuf[4*i:], v)
+	}
+	g, ok := a.groups[string(a.keyBuf)] // alloc-free lookup
+	if !ok {
+		g = newGroup(key, len(a.c.q.Aggregates))
+		a.groups[string(a.keyBuf)] = g
+	}
+	return g
+}
+
+func (a *keyNAcc) insertGroup(og *group) {
+	for i, v := range og.key {
+		binary.LittleEndian.PutUint32(a.keyBuf[4*i:], v)
+	}
+	g, ok := a.groups[string(a.keyBuf)]
+	if !ok {
+		a.groups[string(a.keyBuf)] = og
+		return
+	}
+	for i := range g.cells {
+		g.cells[i].merge(og.cells[i])
+	}
+}
+
 func (a *keyNAcc) mergeFrom(o accumulator) {
-	for k, og := range o.(*keyNAcc).groups {
-		g, ok := a.groups[k]
-		if !ok {
-			a.groups[k] = og
-			continue
-		}
-		for i := range g.cells {
-			g.cells[i].merge(og.cells[i])
+	switch o := o.(type) {
+	case *packedNAcc:
+		o.each(a.insertGroup)
+	case *keyNAcc:
+		for k, og := range o.groups {
+			g, ok := a.groups[k]
+			if !ok {
+				a.groups[k] = og
+				continue
+			}
+			for i := range g.cells {
+				g.cells[i].merge(og.cells[i])
+			}
 		}
 	}
 }
@@ -734,6 +827,99 @@ func (a *keyNAcc) memBytes() int64 {
 	var n int64
 	for k, g := range a.groups {
 		n += int64(len(k)) + groupBytes(g)
+	}
+	return n
+}
+
+// packedNAcc is the per-brick kernel for three or more GROUP BY dimensions
+// whose brick-bounded key domain packs into one uint64: each grouped
+// dimension contributes bits.Len32(hi−lo) bits of (value − lower bound),
+// so the hot path probes an integer-keyed map instead of building a
+// byte-string key per row.
+type packedNAcc struct {
+	c      *compiled
+	lo     []uint32
+	shift  []uint8
+	groups map[uint64]*group
+	keys   []uint32 // per-row key scratch; newGroup copies it
+}
+
+func (a *packedNAcc) observeBatch(dims [][]uint32, metrics [][]float64, rows int, sel []int32) {
+	if sel == nil {
+		for r := 0; r < rows; r++ {
+			a.observeRow(dims, metrics, r)
+		}
+	} else {
+		for _, r := range sel {
+			a.observeRow(dims, metrics, int(r))
+		}
+	}
+}
+
+func (a *packedNAcc) observeRow(dims [][]uint32, metrics [][]float64, r int) {
+	var k uint64
+	for i, gi := range a.c.groupIdx {
+		v := dims[gi][r]
+		a.keys[i] = v
+		k |= uint64(v-a.lo[i]) << a.shift[i]
+	}
+	g, ok := a.groups[k]
+	if !ok {
+		g = newGroup(a.keys, len(a.c.q.Aggregates))
+		a.groups[k] = g
+	}
+	a.c.observeRow(g, dims, metrics, r)
+}
+
+func (a *packedNAcc) groupFor(key []uint32) *group {
+	var k uint64
+	for i, v := range key {
+		k |= uint64(v-a.lo[i]) << a.shift[i]
+	}
+	g, ok := a.groups[k]
+	if !ok {
+		g = newGroup(key, len(a.c.q.Aggregates))
+		a.groups[k] = g
+	}
+	return g
+}
+
+func (a *packedNAcc) each(fn func(g *group)) {
+	for _, g := range a.groups {
+		fn(g)
+	}
+}
+
+// mergeFrom is never used on packedNAcc: packed kernels are per-brick only;
+// the keyNAcc combiner absorbs them via each.
+func (a *packedNAcc) mergeFrom(accumulator) {
+	panic("engine: packedNAcc cannot combine across bricks")
+}
+
+func (a *packedNAcc) addTo(p *Partial) {
+	for _, g := range a.groups {
+		p.mergeGroup(g.key, g.cells)
+	}
+}
+
+func (a *packedNAcc) clone() accumulator {
+	groups := make(map[uint64]*group, len(a.groups))
+	for k, g := range a.groups {
+		groups[k] = cloneGroup(g)
+	}
+	return &packedNAcc{
+		c:      a.c,
+		lo:     a.lo,
+		shift:  a.shift,
+		groups: groups,
+		keys:   make([]uint32, len(a.keys)),
+	}
+}
+
+func (a *packedNAcc) memBytes() int64 {
+	n := int64(4 * 2 * len(a.lo))
+	for _, g := range a.groups {
+		n += groupBytes(g)
 	}
 	return n
 }

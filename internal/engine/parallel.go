@@ -23,6 +23,7 @@ type taskResult struct {
 	rowsScanned  int64
 	decompressed bool
 	cached       bool
+	stats        ScanStats
 	err          error
 }
 
@@ -38,6 +39,9 @@ type execOpts struct {
 	noDecodedCache bool
 	// hits/misses, when non-nil, receive brick-cache lookup counts.
 	hits, misses *atomic.Int64
+	// scan, when non-nil, receives the execution's encoded-scan accounting
+	// (runs/codes touched vs skipped, bricks stats-pruned).
+	scan *ScanStats
 }
 
 // Timings reports where one partition execution spent its wall time,
@@ -87,6 +91,18 @@ func ExecuteParallelCachedTimed(store *brick.Store, q *Query, cache *BrickCache,
 	return p, tm, int(hits.Load()), int(misses.Load()), err
 }
 
+// ExecuteParallelStats is ExecuteParallel with the encoded-scan accounting
+// (runs/codes touched vs skipped by the predicate skippers, bricks pruned
+// from blob bounds) returned alongside the partial.
+func ExecuteParallelStats(store *brick.Store, q *Query) (*Partial, ScanStats, error) {
+	var st ScanStats
+	p, _, err := executeParallelOpts(store, q, execOpts{
+		parallelism: runtime.GOMAXPROCS(0),
+		scan:        &st,
+	})
+	return p, st, err
+}
+
 // ExecuteParallelNoCacheTimed runs the query solo with every cache level
 // bypassed — no brick-partial cache (solo runs only use one when asked)
 // and the decoded-column cache neither consulted nor filled. It is the
@@ -114,6 +130,7 @@ func executeParallelOpts(store *brick.Store, q *Query, opts execOpts) (*Partial,
 		c.proj.NoCache = true
 		c.projFull.NoCache = true
 		c.projFullSerial.NoCache = true
+		c.projPartSerial.NoCache = true
 	}
 	var foldKey string
 	if opts.cache != nil {
@@ -145,6 +162,7 @@ func executeParallelOpts(store *brick.Store, q *Query, opts execOpts) (*Partial,
 			// sel is reused across this worker's tasks; non-nil so an
 			// empty selection is distinguishable from "all rows pass".
 			sel := make([]int32, 0, 1024)
+			es := &encScratch{}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
@@ -166,6 +184,18 @@ func executeParallelOpts(store *brick.Store, q *Query, opts execOpts) (*Partial,
 					}
 				}
 				res.acc = newTaskAccumulator(c, t.Bounds)
+				if !t.Full && c.filter != nil && !disableSkippers {
+					// Bounds pruning: if the encoded blob's column stats
+					// (FOR base/width, dictionary min/max) prove no row can
+					// match, the brick is done without any decode.
+					if pruned, epoch := t.PruneEncoded(c.filter); pruned {
+						res.stats.BricksStatsPruned++
+						if opts.cache != nil {
+							opts.cache.put(brickCacheKey(opts.scope, foldKey, t.BrickID, epoch), res.acc, 0)
+						}
+						continue
+					}
+				}
 				res.decompressed = t.Compressed()
 				proj := &c.proj
 				if t.Full {
@@ -174,28 +204,27 @@ func executeParallelOpts(store *brick.Store, q *Query, opts execOpts) (*Partial,
 				epoch, err := t.VisitBatchEpoch(proj, func(b *brick.Batch) error {
 					if t.Full || c.filter == nil {
 						res.rowsScanned += int64(b.Rows)
-						// Encoded fast path: a fully covered brick whose group
-						// column arrived as runs or dictionary codes feeds the
-						// kernel without the column ever materializing.
-						if c.encDim >= 0 {
-							if eo, ok := res.acc.(encodedGroupObserver); ok {
-								if runs := b.Runs(c.encDim); runs != nil {
-									eo.observeRuns(b, runs)
-									return nil
-								}
-								if codes, dict := b.Codes(c.encDim); codes != nil {
-									eo.observeCodes(b, codes, dict)
-									return nil
-								}
-							}
-						}
-						res.acc.observeBatch(b.Dims, b.Metrics, b.Rows, nil)
+						// Encoded fast path: grouped columns that arrived as
+						// runs or dictionary codes feed the kernel without
+						// ever materializing (see encoded.go).
+						v := c.prepareFull(b, res.acc, es)
+						c.observeFull(res.acc, b, &v, es)
 						return nil
 					}
-					sel = sel[:0]
-					for r := 0; r < b.Rows; r++ {
-						if c.filter.MatchesAt(b.Dims, r) {
-							sel = append(sel, int32(r))
+					if disableSkippers {
+						sel = sel[:0]
+						for r := 0; r < b.Rows; r++ {
+							if c.filter.MatchesAt(b.Dims, r) {
+								sel = append(sel, int32(r))
+							}
+						}
+					} else {
+						var all bool
+						sel, all = c.buildSel(b, sel[:0], es, &res.stats)
+						if all {
+							res.rowsScanned += int64(b.Rows)
+							res.acc.observeBatch(b.Dims, b.Metrics, b.Rows, nil)
+							return nil
 						}
 					}
 					res.rowsScanned += int64(len(sel))
@@ -236,6 +265,9 @@ func executeParallelOpts(store *brick.Store, q *Query, opts execOpts) (*Partial,
 		p.RowsScanned += res.rowsScanned
 		if res.decompressed {
 			p.Decompressions++
+		}
+		if opts.scan != nil {
+			opts.scan.add(res.stats)
 		}
 		if res.cached {
 			if opts.hits != nil {

@@ -359,6 +359,7 @@ func (p *scanPass) run() {
 // the brick once, feed every subscriber.
 func (p *scanPass) work() {
 	sel := make([]int32, 0, 1024)
+	es := &encScratch{}
 	var subsBuf []*foldSub
 	for {
 		p.mu.Lock()
@@ -378,7 +379,7 @@ func (p *scanPass) work() {
 		if hook := p.sched.testClaimHook; hook != nil {
 			hook(i)
 		}
-		if err := p.visitTask(i, subsBuf, &sel); err != nil {
+		if err := p.visitTask(i, subsBuf, &sel, es); err != nil {
 			p.mu.Lock()
 			if p.err == nil {
 				p.err = err
@@ -392,7 +393,7 @@ func (p *scanPass) work() {
 // visitTask scans one brick and feeds each subscriber's private
 // accumulator. The brick is decoded, filtered, and walked exactly once
 // regardless of subscriber count — that shared visit is the entire win.
-func (p *scanPass) visitTask(i int, subs []*foldSub, selBuf *[]int32) error {
+func (p *scanPass) visitTask(i int, subs []*foldSub, selBuf *[]int32, es *encScratch) error {
 	t := &p.tasks[i]
 	c := p.c
 	bc := p.sched.cfg.BrickCache
@@ -419,6 +420,19 @@ func (p *scanPass) visitTask(i int, subs []*foldSub, selBuf *[]int32) error {
 	for j := range subs {
 		accs[j] = newTaskAccumulator(c, t.Bounds)
 	}
+	if !t.Full && c.filter != nil && !disableSkippers {
+		// Bounds pruning: the encoded blob's column stats can prove the
+		// whole brick empty under the filter without any decode.
+		if pruned, epoch := t.PruneEncoded(c.filter); pruned {
+			for j, sub := range subs {
+				sub.accs[i] = accs[j]
+			}
+			if bc != nil && len(accs) > 0 {
+				bc.put(brickCacheKey(p.sched.cfg.CacheScope, p.key, t.BrickID, epoch), accs[0], 0)
+			}
+			return nil
+		}
+	}
 	p.taskDecmp[i] = t.Compressed()
 	proj := &c.proj
 	if t.Full {
@@ -428,29 +442,33 @@ func (p *scanPass) visitTask(i int, subs []*foldSub, selBuf *[]int32) error {
 	epoch, err := t.VisitBatchEpoch(proj, func(b *brick.Batch) error {
 		if t.Full || c.filter == nil {
 			rows += int64(b.Rows)
+			// Encoded fast path (see encoded.go): classify the batch once —
+			// every subscriber of a pass shares one compiled query, so the
+			// per-batch run intersection or scratch materialization is paid
+			// once regardless of subscriber count.
+			v := c.prepareFull(b, accs[0], es)
 			for j := range accs {
-				// Encoded fast path, per subscriber: runs or dictionary
-				// codes feed each kernel without materializing the column.
-				if c.encDim >= 0 {
-					if eo, ok := accs[j].(encodedGroupObserver); ok {
-						if runs := b.Runs(c.encDim); runs != nil {
-							eo.observeRuns(b, runs)
-							continue
-						}
-						if codes, dict := b.Codes(c.encDim); codes != nil {
-							eo.observeCodes(b, codes, dict)
-							continue
-						}
-					}
-				}
-				accs[j].observeBatch(b.Dims, b.Metrics, b.Rows, nil)
+				c.observeFull(accs[j], b, &v, es)
 			}
 			return nil
 		}
 		sel := (*selBuf)[:0]
-		for r := 0; r < b.Rows; r++ {
-			if c.filter.MatchesAt(b.Dims, r) {
-				sel = append(sel, int32(r))
+		if disableSkippers {
+			for r := 0; r < b.Rows; r++ {
+				if c.filter.MatchesAt(b.Dims, r) {
+					sel = append(sel, int32(r))
+				}
+			}
+		} else {
+			var all bool
+			sel, all = c.buildSel(b, sel, es, nil)
+			if all {
+				*selBuf = sel
+				rows += int64(b.Rows)
+				for j := range accs {
+					accs[j].observeBatch(b.Dims, b.Metrics, b.Rows, nil)
+				}
+				return nil
 			}
 		}
 		*selBuf = sel
@@ -507,6 +525,7 @@ func (p *scanPass) catchUp(ctx context.Context, sub *foldSub) error {
 		go func() {
 			defer wg.Done()
 			sel := make([]int32, 0, 1024)
+			es := &encScratch{}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
@@ -516,7 +535,7 @@ func (p *scanPass) catchUp(ctx context.Context, sub *foldSub) error {
 					fail(err)
 					return
 				}
-				if err := p.catchUpTask(i, sub, &sel); err != nil {
+				if err := p.catchUpTask(i, sub, &sel, es); err != nil {
 					fail(err)
 					return
 				}
@@ -533,7 +552,7 @@ func (p *scanPass) catchUp(ctx context.Context, sub *foldSub) error {
 
 // catchUpTask visits one missed brick for the subscriber alone, recording
 // the same per-task stats the shared pass records for shared tasks.
-func (p *scanPass) catchUpTask(i int, sub *foldSub, selBuf *[]int32) error {
+func (p *scanPass) catchUpTask(i int, sub *foldSub, selBuf *[]int32, es *encScratch) error {
 	t := &p.tasks[i]
 	c := p.c
 	bc := p.sched.cfg.BrickCache
@@ -548,6 +567,15 @@ func (p *scanPass) catchUpTask(i int, sub *foldSub, selBuf *[]int32) error {
 		}
 	}
 	acc := newTaskAccumulator(c, t.Bounds)
+	if !t.Full && c.filter != nil && !disableSkippers {
+		if pruned, epoch := t.PruneEncoded(c.filter); pruned {
+			sub.accs[i] = acc
+			if bc != nil {
+				bc.put(brickCacheKey(p.sched.cfg.CacheScope, p.key, t.BrickID, epoch), acc, 0)
+			}
+			return nil
+		}
+	}
 	sub.decmp[i] = t.Compressed()
 	proj := &c.proj
 	if t.Full {
@@ -557,25 +585,25 @@ func (p *scanPass) catchUpTask(i int, sub *foldSub, selBuf *[]int32) error {
 	epoch, err := t.VisitBatchEpoch(proj, func(b *brick.Batch) error {
 		if t.Full || c.filter == nil {
 			rows += int64(b.Rows)
-			if c.encDim >= 0 {
-				if eo, ok := acc.(encodedGroupObserver); ok {
-					if runs := b.Runs(c.encDim); runs != nil {
-						eo.observeRuns(b, runs)
-						return nil
-					}
-					if codes, dict := b.Codes(c.encDim); codes != nil {
-						eo.observeCodes(b, codes, dict)
-						return nil
-					}
-				}
-			}
-			acc.observeBatch(b.Dims, b.Metrics, b.Rows, nil)
+			v := c.prepareFull(b, acc, es)
+			c.observeFull(acc, b, &v, es)
 			return nil
 		}
 		sel := (*selBuf)[:0]
-		for r := 0; r < b.Rows; r++ {
-			if c.filter.MatchesAt(b.Dims, r) {
-				sel = append(sel, int32(r))
+		if disableSkippers {
+			for r := 0; r < b.Rows; r++ {
+				if c.filter.MatchesAt(b.Dims, r) {
+					sel = append(sel, int32(r))
+				}
+			}
+		} else {
+			var all bool
+			sel, all = c.buildSel(b, sel, es, nil)
+			if all {
+				*selBuf = sel
+				rows += int64(b.Rows)
+				acc.observeBatch(b.Dims, b.Metrics, b.Rows, nil)
+				return nil
 			}
 		}
 		*selBuf = sel

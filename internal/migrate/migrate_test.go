@@ -63,6 +63,7 @@ func (r *routerStub) moved(partition string) []string {
 
 // rig is a two-worker migration testbed behind a fault-injecting transport.
 type rig struct {
+	srcW, dstW     *netexec.Worker
 	srcSrv, dstSrv *httptest.Server
 	srcURL, dstURL string
 	zks            *zk.Store
@@ -84,8 +85,9 @@ func newMigRig(t *testing.T, rows int) *rig {
 		part:   "events#0",
 	}
 	r.httpc = &http.Client{Transport: r.rt}
-	r.srcSrv = httptest.NewServer(netexec.NewWorker().Handler())
-	r.dstSrv = httptest.NewServer(netexec.NewWorker().Handler())
+	r.srcW, r.dstW = netexec.NewWorker(), netexec.NewWorker()
+	r.srcSrv = httptest.NewServer(r.srcW.Handler())
+	r.dstSrv = httptest.NewServer(r.dstW.Handler())
 	t.Cleanup(r.srcSrv.Close)
 	t.Cleanup(r.dstSrv.Close)
 	r.srcURL, r.dstURL = r.srcSrv.URL, r.dstSrv.URL
@@ -211,6 +213,58 @@ func TestMigrationCatchupTailsLiveIngest(t *testing.T) {
 	r.assertMigrated(t, d, rec)
 	if rec.Rounds < 1 {
 		t.Fatalf("catchup rounds = %d, want >= 1", rec.Rounds)
+	}
+}
+
+// TestMigrationCarriesDictionaries assigns global-dictionary ids on the
+// source before and during the move; every ship round must carry the delta,
+// so after the flip the target's dictionaries are identical to the source's
+// final state and the record has the shipped versions checkpointed.
+func TestMigrationCarriesDictionaries(t *testing.T) {
+	r := newMigRig(t, 300)
+	sd, err := r.srcW.EnsureDict(r.part, "app", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"ads", "feed", "search"} {
+		if _, err := sd.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var once sync.Once
+	d := r.driver(func(step Step, rec *Record) error {
+		if step == StepCatchup {
+			// Live ingest keeps assigning ids after the snapshot copy; the
+			// catchup and fenced-final ships must pick the tail up.
+			once.Do(func() {
+				r.loadSource(t, 60)
+				if _, err := sd.Encode("groups"); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		return nil
+	})
+	rec, err := d.Start(context.Background(), r.newRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.assertMigrated(t, d, rec)
+	if got := rec.DictVersions["app"]; got != 4 {
+		t.Fatalf("record dict version = %d, want 4", got)
+	}
+	dd := r.dstW.Dicts(r.part).Get("app")
+	if dd == nil {
+		t.Fatal("target has no app dictionary after the move")
+	}
+	if dd.Version() != sd.Version() {
+		t.Fatalf("target dict version %d != source %d", dd.Version(), sd.Version())
+	}
+	for id, want := range []string{"ads", "feed", "search", "groups"} {
+		v, err := dd.Decode(uint32(id))
+		if err != nil || v != want {
+			t.Fatalf("target id %d = %q (%v), want %q", id, v, err, want)
+		}
 	}
 }
 

@@ -1,0 +1,201 @@
+// Worker-side global-dictionary plane: the HTTP surface that keeps the
+// store-wide string↔id dictionaries consistent across nodes. String
+// dimensions travel the wire as uint32 codes everywhere (partials, brick
+// transfers); the dictionaries that give those codes meaning replicate as
+// append-only deltas on the same machinery migration uses — version
+// negotiation, idempotent pushes, and a decoder hardened against forged
+// payloads (see internal/dict).
+package netexec
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"cubrick/internal/dict"
+)
+
+// HeaderDictVersion carries a dictionary's current version (number of
+// assigned ids) on /dict responses, so a syncing peer knows how far the
+// delta it just fetched brings it.
+const HeaderDictVersion = "X-Cubrick-Dict-Version"
+
+// maxDictDeltaBytes bounds one pushed dictionary delta; far above any real
+// delta (values are capped at 64 KiB each by the codec) but a stop against
+// unbounded request bodies.
+const maxDictDeltaBytes = 64 << 20
+
+// Dicts returns the partition's dictionary set, creating an empty one on
+// first use. Dictionaries are per-partition like stores, so a migration
+// ships exactly the dictionaries its partition's columns need.
+func (w *Worker) Dicts(partition string) *dict.Set {
+	w.dictMu.Lock()
+	defer w.dictMu.Unlock()
+	if w.dicts == nil {
+		w.dicts = make(map[string]*dict.Set)
+	}
+	s, ok := w.dicts[partition]
+	if !ok {
+		s = dict.NewSet()
+		w.dicts[partition] = s
+	}
+	return s
+}
+
+// EnsureDict registers (or returns) the dictionary for a partition column.
+// capacity 0 falls back to the column's schema domain when the column names
+// a dimension of the partition's store.
+func (w *Worker) EnsureDict(partition, col string, capacity uint32) (*dict.Dictionary, error) {
+	if capacity == 0 {
+		if st, err := w.Store(partition); err == nil {
+			schema := st.Schema()
+			if i := schema.DimIndex(col); i >= 0 {
+				capacity = schema.Dimensions[i].Max
+			}
+		}
+	}
+	if capacity == 0 {
+		capacity = w.DictCapacity
+	}
+	if capacity == 0 {
+		return nil, fmt.Errorf("netexec: no capacity for dictionary %s.%s", partition, col)
+	}
+	return w.Dicts(partition).Add(col, capacity), nil
+}
+
+// registerDict wires the dictionary-sync endpoints onto the worker mux.
+//
+//	GET  /dict?partition=P                         → {"versions":{col:n,...}}
+//	GET  /dict?partition=P&col=C&since=N           → delta blob [N, version)
+//	POST /dict?partition=P&col=C[&capacity=K]      → apply delta body
+//
+// Every operation is idempotent: re-fetching a delta is a read, re-pushing
+// one re-verifies the overlap and appends nothing.
+func (w *Worker) registerDict(mux *http.ServeMux) {
+	mux.HandleFunc("/dict", func(rw http.ResponseWriter, r *http.Request) {
+		partition := r.URL.Query().Get("partition")
+		col := r.URL.Query().Get("col")
+		switch r.Method {
+		case http.MethodGet:
+			if col == "" {
+				rw.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(rw).Encode(struct {
+					Versions map[string]uint64 `json:"versions"`
+				}{w.Dicts(partition).Versions()})
+				return
+			}
+			d := w.Dicts(partition).Get(col)
+			if d == nil {
+				http.Error(rw, fmt.Sprintf("no dictionary %s.%s", partition, col), http.StatusNotFound)
+				return
+			}
+			var since uint64
+			if s := r.URL.Query().Get("since"); s != "" {
+				v, err := strconv.ParseUint(s, 10, 64)
+				if err != nil {
+					http.Error(rw, "bad since: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				since = v
+			}
+			blob, err := d.ExportDelta(since)
+			if err != nil {
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+			rw.Header().Set("Content-Type", "application/octet-stream")
+			rw.Header().Set(HeaderDictVersion, strconv.FormatUint(d.Version(), 10))
+			w.countAdd("worker.dict.export.requests", 1)
+			w.countAdd("worker.dict.export.bytes", int64(len(blob)))
+			rw.Write(blob)
+		case http.MethodPost:
+			if col == "" {
+				http.Error(rw, "col required", http.StatusBadRequest)
+				return
+			}
+			var capacity uint32
+			if c := r.URL.Query().Get("capacity"); c != "" {
+				v, err := strconv.ParseUint(c, 10, 32)
+				if err != nil {
+					http.Error(rw, "bad capacity: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				capacity = uint32(v)
+			}
+			d, err := w.EnsureDict(partition, col, capacity)
+			if err != nil {
+				http.Error(rw, err.Error(), http.StatusNotFound)
+				return
+			}
+			blob, err := io.ReadAll(io.LimitReader(r.Body, maxDictDeltaBytes+1))
+			if err != nil {
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if len(blob) > maxDictDeltaBytes {
+				http.Error(rw, "dictionary delta too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			version, err := d.ApplyDelta(blob)
+			if err != nil {
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+			rw.Header().Set(HeaderDictVersion, strconv.FormatUint(version, 10))
+			w.countAdd("worker.dict.import.requests", 1)
+			fmt.Fprintf(rw, `{"version":%d}`, version)
+		default:
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// --- client side -----------------------------------------------------------
+
+// DictVersions reads every dictionary version of a partition on the worker.
+func (cl *Client) DictVersions(ctx context.Context, partition string) (map[string]uint64, error) {
+	body, _, err := cl.get(ctx, "/dict?partition="+url.QueryEscape(partition))
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Versions map[string]uint64 `json:"versions"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return out.Versions, nil
+}
+
+// DictDelta fetches a column dictionary's delta since the given version,
+// returning the blob and the version it brings the receiver to.
+func (cl *Client) DictDelta(ctx context.Context, partition, col string, since uint64) ([]byte, uint64, error) {
+	path := "/dict?partition=" + url.QueryEscape(partition) +
+		"&col=" + url.QueryEscape(col) + "&since=" + strconv.FormatUint(since, 10)
+	blob, hdr, err := cl.get(ctx, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	version, _ := strconv.ParseUint(hdr.Get(HeaderDictVersion), 10, 64)
+	return blob, version, nil
+}
+
+// PushDictDelta applies a dictionary delta to a partition column on the
+// worker (creating the dictionary at the given capacity if absent) and
+// returns the worker's resulting version.
+func (cl *Client) PushDictDelta(ctx context.Context, partition, col string, capacity uint32, blob []byte) (uint64, error) {
+	path := "/dict?partition=" + url.QueryEscape(partition) + "&col=" + url.QueryEscape(col)
+	if capacity > 0 {
+		path += "&capacity=" + strconv.FormatUint(uint64(capacity), 10)
+	}
+	hdr, err := cl.do(ctx, path, "application/octet-stream", blob)
+	if err != nil {
+		return 0, err
+	}
+	version, _ := strconv.ParseUint(hdr.Get(HeaderDictVersion), 10, 64)
+	return version, nil
+}

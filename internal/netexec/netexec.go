@@ -32,6 +32,7 @@ import (
 
 	"cubrick/internal/admission"
 	"cubrick/internal/brick"
+	"cubrick/internal/dict"
 	"cubrick/internal/engine"
 	"cubrick/internal/metrics"
 	"cubrick/internal/rescache"
@@ -131,6 +132,10 @@ type Worker struct {
 	// second (the -migrate-rate-bytes flag); 0 streams at full speed. A
 	// paced export bounds the load a live migration puts on the source.
 	ExportRateBytes int64
+	// DictCapacity is the fallback id capacity for dictionaries created by
+	// a pushed delta when the column names no schema dimension (the
+	// -dict-capacity flag); 0 leaves only the schema-derived fallback.
+	DictCapacity uint32
 
 	mu     sync.Mutex
 	stores map[string]*brick.Store
@@ -142,6 +147,11 @@ type Worker struct {
 
 	schedMu sync.Mutex
 	scheds  map[*brick.Store]*engine.Scheduler
+
+	// dictMu guards dicts: per-partition global-dictionary sets, synced
+	// between nodes as append-only deltas over /dict (see dictsync.go).
+	dictMu sync.Mutex
+	dicts  map[string]*dict.Set
 
 	cacheOnce    sync.Once
 	brickCache   *engine.BrickCache
@@ -432,6 +442,7 @@ func (w *Worker) Handler() http.Handler {
 		mux.Handle("/debug/trace/", th)
 	}
 	w.registerMigration(mux)
+	w.registerDict(mux)
 	return mux
 }
 

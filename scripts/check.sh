@@ -26,7 +26,10 @@ go test ./...
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/engine ./internal/brick ./internal/cubrick ./internal/netexec \
     ./internal/trace ./internal/metrics ./internal/admission ./internal/workload \
-    ./internal/rescache ./internal/scancache ./internal/migrate
+    ./internal/rescache ./internal/scancache ./internal/migrate ./internal/dict ./internal/cql
+
+echo "== encoded-execution differential harness (-race)"
+go test -race -count=1 -run 'TestEncodedDifferential|TestSkipperOracle|TestCompositeKeyEncodedViews' ./internal/engine
 
 echo "== chaos test (seeded fault injection, -race)"
 go test -race -count=1 -run 'TestChaos' ./internal/netexec
@@ -46,6 +49,9 @@ go test -run '^$' -fuzz '^FuzzDecodeBrick$' -fuzztime 10s ./internal/brick
 echo "== fuzz smoke (shard transfer decode, 10s)"
 go test -run '^$' -fuzz '^FuzzTransfer$' -fuzztime 10s ./internal/brick
 
+echo "== fuzz smoke (global dictionary delta codec, 10s)"
+go test -run '^$' -fuzz '^FuzzGlobalDict$' -fuzztime 10s ./internal/dict
+
 echo "== fuzz smoke (brick column decoders, 5s each)"
 go test -run '^$' -fuzz '^FuzzDecodeDimColumn$' -fuzztime 5s ./internal/brick
 go test -run '^$' -fuzz '^FuzzDecodeMetricColumn$' -fuzztime 5s ./internal/brick
@@ -57,7 +63,8 @@ go test -run '^$' -fuzz '^FuzzDecodeMetricColumn$' -fuzztime 5s ./internal/brick
 # the floor is fine, lowering it needs a written reason.
 echo "== coverage gate (>= 70%)"
 for pkg in ./internal/netexec ./internal/engine ./internal/trace ./internal/metrics ./internal/brick \
-    ./internal/admission ./internal/rescache ./internal/scancache ./internal/migrate; do
+    ./internal/admission ./internal/rescache ./internal/scancache ./internal/migrate \
+    ./internal/dict ./internal/cql; do
     line="$(go test -cover "$pkg" | tail -1)"
     echo "$line"
     pct="$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"
