@@ -81,6 +81,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 64, "bound on the admission queue; arrivals beyond it are shed with 429")
 	fold := flag.String("fold", "on", "worker-side shared-scan folding for queries from this coordinator (on/off)")
 	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "byte budget for the finished-result cache with ingest-epoch invalidation (0 disables)")
+	topkOverfetch := flag.Int("topk-overfetch", 0, "top-k pushdown overfetch factor: workers ship their local top overfetch*k groups plus a bound instead of full partials (0 disables)")
 	cutoverPauseMS := flag.Int("cutover-pause-ms", 2000, "bound on how long a migrating partition's source stays fenced while the final delta ships")
 	dualReadWindow := flag.Duration("dual-read-window", 2*time.Second, "how long after an ownership flip queries read both placements and keep the fresher answer")
 	flag.Parse()
@@ -125,6 +126,10 @@ func main() {
 	coord.Metrics = reg
 	coord.MaxPartialBytes = *maxPartialBytes
 	coord.NoFold = *fold == "off"
+	coord.TopKOverfetch = *topkOverfetch
+	if *topkOverfetch > 0 {
+		log.Printf("cubrick-coordinator top-k pushdown: topk-overfetch=%d", *topkOverfetch)
+	}
 	if *resultCacheBytes > 0 {
 		coord.ResultCache = rescache.New(*resultCacheBytes)
 		coord.ResultCache.SetMetrics(reg)

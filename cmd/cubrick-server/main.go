@@ -22,6 +22,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	cubrick "cubrick"
@@ -45,6 +46,10 @@ func main() {
 	brickCacheBytes := flag.Int64("brick-cache-bytes", 0, "per-node byte budget for the per-brick partial cache (fold key + ingest epoch keyed; 0 disables)")
 	decodedCacheBytes := flag.Int64("decoded-cache-bytes", 0, "per-node byte budget for the decoded-column cache pinning hot compressed bricks (0 disables)")
 	dualReadWindow := flag.Duration("dual-read-window", 0, "how long a migrated shard's old copy keeps serving after a move (the in-process deployment's discovery propagation wait; 0 keeps the default)")
+	rollupTimeDim := flag.String("rollup-time-dim", "", "time dimension incremental rollups bucket on (empty disables rollups)")
+	rollupBucket := flag.Uint("rollup-bucket", 1, "rollup bucket width in time-dimension values")
+	rollupDims := flag.String("rollup-dims", "", "comma-separated dimensions rollups group by (empty = all non-time dimensions)")
+	rollupDistinct := flag.String("rollup-distinct", "", "comma-separated dimensions maintained as HLL sketches for COUNT(DISTINCT)")
 	flag.Parse()
 	if *fold != "on" && *fold != "off" {
 		log.Fatalf("cubrick-server: -fold must be on or off, got %q", *fold)
@@ -57,6 +62,14 @@ func main() {
 		// answering) until the window elapses, then the delayed drop fires.
 		cfg.Deployment.PropagationWait = *dualReadWindow
 		log.Printf("cubrick-server migration dual-read window: %s", *dualReadWindow)
+	}
+	if *rollupTimeDim != "" {
+		cfg.Deployment.Node.RollupTimeDim = *rollupTimeDim
+		cfg.Deployment.Node.RollupBucket = uint32(*rollupBucket)
+		cfg.Deployment.Node.RollupDims = splitList(*rollupDims)
+		cfg.Deployment.Node.RollupDistinct = splitList(*rollupDistinct)
+		log.Printf("cubrick-server rollups: time-dim=%s bucket=%d dims=%q distinct=%q",
+			*rollupTimeDim, *rollupBucket, cfg.Deployment.Node.RollupDims, cfg.Deployment.Node.RollupDistinct)
 	}
 	db, err := cubrick.Open(cfg)
 	if err != nil {
@@ -243,4 +256,16 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"p50_ms": snap.P50 * 1000, "p99_ms": snap.P99 * 1000, "max_ms": snap.Max * 1000,
 		},
 	})
+}
+
+// splitList parses a comma-separated flag value into its non-empty,
+// space-trimmed elements.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }

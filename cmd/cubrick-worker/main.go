@@ -27,6 +27,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"cubrick/internal/admission"
@@ -56,6 +57,10 @@ func main() {
 	decodedCacheBytes := flag.Int64("decoded-cache-bytes", 0, "byte budget for the decoded-column cache pinning hot compressed bricks (0 disables)")
 	migrateRateBytes := flag.Int64("migrate-rate-bytes", 0, "pace /export shard-migration streams to this many bytes per second (0 = unthrottled)")
 	dictCapacity := flag.Uint("dict-capacity", 0, "fallback id capacity for global dictionaries created over /dict when the column names no schema dimension (0 = schema-derived only)")
+	rollupTimeDim := flag.String("rollup-time-dim", "", "time dimension incremental rollups bucket on (empty disables rollups)")
+	rollupBucket := flag.Uint("rollup-bucket", 1, "rollup bucket width in time-dimension values")
+	rollupDims := flag.String("rollup-dims", "", "comma-separated dimensions rollups group by (empty = all non-time dimensions)")
+	rollupDistinct := flag.String("rollup-distinct", "", "comma-separated dimensions maintained as HLL sketches for COUNT(DISTINCT)")
 	flag.Parse()
 	if *fold != "on" && *fold != "off" {
 		log.Fatalf("cubrick-worker: -fold must be on or off, got %q", *fold)
@@ -74,6 +79,14 @@ func main() {
 	w.DecodedCacheBytes = *decodedCacheBytes
 	w.ExportRateBytes = *migrateRateBytes
 	w.DictCapacity = uint32(*dictCapacity)
+	if *rollupTimeDim != "" {
+		w.RollupTimeDim = *rollupTimeDim
+		w.RollupBucket = uint32(*rollupBucket)
+		w.RollupDims = splitList(*rollupDims)
+		w.RollupDistinct = splitList(*rollupDistinct)
+		log.Printf("cubrick-worker rollups: time-dim=%s bucket=%d dims=%q distinct=%q",
+			w.RollupTimeDim, w.RollupBucket, w.RollupDims, w.RollupDistinct)
+	}
 	if *migrateRateBytes > 0 {
 		log.Printf("cubrick-worker migration export rate: %d bytes/s", *migrateRateBytes)
 	}
@@ -139,4 +152,16 @@ func main() {
 	log.Printf("cubrick-worker listening on %s (metrics=%v pprof=%v slow-query-ms=%d fold=%s)",
 		*addr, *enableMetrics, *enablePprof, *slowQueryMS, *fold)
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// splitList parses a comma-separated flag value into its non-empty,
+// space-trimmed elements.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }

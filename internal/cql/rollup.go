@@ -1,0 +1,21 @@
+package cql
+
+import (
+	"cubrick/internal/brick"
+	"cubrick/internal/engine"
+	"cubrick/internal/rollup"
+)
+
+// RollupEligible reports whether this SELECT could be served from a
+// rollup maintained with cfg over the table's schema — the EXPLAIN-style
+// planner metadata shells and dashboards surface before execution. Star
+// joins and unresolved string predicates disqualify a statement outright:
+// both rewrite the filter set after parse time, so eligibility cannot be
+// decided from the parsed form alone. A true result still requires the
+// time window to cover at least one whole bucket at execution time.
+func (s *SelectStmt) RollupEligible(schema brick.Schema, cfg rollup.Config) bool {
+	if s.Query == nil || s.JoinTable != "" || len(s.StringEq) > 0 {
+		return false
+	}
+	return engine.RollupEligible(schema, cfg, s.Query)
+}

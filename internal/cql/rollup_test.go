@@ -1,0 +1,65 @@
+package cql
+
+import (
+	"testing"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/rollup"
+)
+
+func TestSelectRollupEligible(t *testing.T) {
+	schema := brick.Schema{
+		Dimensions: []brick.Dimension{
+			{Name: "ds", Max: 64, Buckets: 8},
+			{Name: "region", Max: 4, Buckets: 2},
+			{Name: "app", Max: 10, Buckets: 5},
+		},
+		Metrics: []brick.Metric{{Name: "value"}, {Name: "latency"}},
+	}
+	cfg := rollup.Config{
+		TimeDim: "ds", Bucket: 4,
+		Dims:         []string{"region"},
+		DistinctDims: []string{"app"},
+	}
+	cases := []struct {
+		cql  string
+		want bool
+	}{
+		// Canonical dashboard shape: covered group dim, derivable
+		// aggregates, time-window predicate.
+		{"SELECT region, SUM(value), COUNT(*) FROM t WHERE ds >= 8 AND ds <= 23 GROUP BY region", true},
+		// Sketch-maintained count-distinct is derivable; others are not.
+		{"SELECT COUNT(DISTINCT app) FROM t", true},
+		{"SELECT COUNT(DISTINCT region) FROM t", false},
+		// Grouping or filtering on a dimension the rollup doesn't keep.
+		{"SELECT app, SUM(value) FROM t GROUP BY app", false},
+		{"SELECT SUM(value) FROM t WHERE app = 3", false},
+		// Grouping by the time dimension needs bucket width 1.
+		{"SELECT ds, SUM(value) FROM t GROUP BY ds", false},
+		// Star joins rewrite filters after parse time.
+		{"SELECT SUM(value) FROM t JOIN dims WHERE ds >= 8 AND ds <= 23", false},
+	}
+	for _, tc := range cases {
+		sel := parseSelect(t, tc.cql)
+		if got := sel.RollupEligible(schema, cfg); got != tc.want {
+			t.Errorf("RollupEligible(%q) = %v, want %v", tc.cql, got, tc.want)
+		}
+	}
+
+	// Unresolved dim = 'label' predicates fold into Query.Filter only at
+	// execution time, so the parsed form cannot be certified eligible.
+	sel := parseSelect(t, "SELECT SUM(value) FROM t WHERE region = 'emea'")
+	if len(sel.StringEq) == 0 {
+		t.Fatal("expected a StringEq predicate")
+	}
+	if sel.RollupEligible(schema, cfg) {
+		t.Error("statement with unresolved string predicate reported eligible")
+	}
+
+	// Width-1 buckets admit time-dimension grouping.
+	cfg1 := cfg
+	cfg1.Bucket = 1
+	if !parseSelect(t, "SELECT ds, SUM(value) FROM t GROUP BY ds").RollupEligible(schema, cfg1) {
+		t.Error("GROUP BY time dim should be eligible at bucket width 1")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"cubrick/internal/cluster"
 	"cubrick/internal/core"
 	"cubrick/internal/engine"
+	"cubrick/internal/rollup"
 	"cubrick/internal/scancache"
 	"cubrick/internal/shardmgr"
 )
@@ -79,6 +80,20 @@ type NodeConfig struct {
 	// DecodedCacheBytes budgets the decoded-column cache keeping hot
 	// compressed bricks' decoded columns resident. Zero disables.
 	DecodedCacheBytes int64
+	// RollupTimeDim names the time dimension incremental rollup tables
+	// bucket on; empty disables rollups. Partitions whose schema has the
+	// dimension maintain a rollup table that catches up on every ingest
+	// and serves eligible queries without a raw scan.
+	RollupTimeDim string
+	// RollupBucket is the rollup bucket width in time-dimension units;
+	// 0 means 1.
+	RollupBucket uint32
+	// RollupDims lists the dimensions rollup groups carry; empty means
+	// every non-time dimension of the partition's schema.
+	RollupDims []string
+	// RollupDistinct lists dimensions maintained as HLL sketches for
+	// COUNT(DISTINCT) serving.
+	RollupDistinct []string
 }
 
 // DefaultNodeConfig returns the production-like configuration.
@@ -136,6 +151,12 @@ type Node struct {
 	cachesBuilt  bool
 	brickCache   *engine.BrickCache
 	decodedCache *brick.DecodedCache
+
+	// rollupMu guards rollups: per-store incremental rollup tables, built
+	// in newStore when RollupTimeDim is configured and removed when the
+	// owning shard or partition is dropped.
+	rollupMu sync.Mutex
+	rollups  map[*brick.Store]*rollup.Table
 }
 
 // caches returns the node-wide cache levels, building them on first use.
@@ -203,7 +224,89 @@ func (n *Node) newStore(schema brick.Schema) (*brick.Store, error) {
 	if _, dc := n.caches(); dc != nil {
 		st.SetDecodedCache(dc)
 	}
+	n.attachRollup(st)
 	return st, nil
+}
+
+// attachRollup builds the store's incremental rollup table when the node
+// is configured for rollups and the schema has the time dimension, and
+// hooks the ingest observer so the table stays caught up. Staged stores
+// (migration receives) get tables too: the Import they absorb bumps the
+// store generation, so the table rebuilds itself on first serve.
+func (n *Node) attachRollup(st *brick.Store) {
+	if n.cfg.RollupTimeDim == "" {
+		return
+	}
+	schema := st.Schema()
+	if schema.DimIndex(n.cfg.RollupTimeDim) < 0 {
+		return
+	}
+	cfg := rollup.Config{TimeDim: n.cfg.RollupTimeDim, Bucket: n.cfg.RollupBucket}
+	if cfg.Bucket == 0 {
+		cfg.Bucket = 1
+	}
+	if len(n.cfg.RollupDims) > 0 {
+		for _, d := range n.cfg.RollupDims {
+			if d != cfg.TimeDim && schema.DimIndex(d) >= 0 {
+				cfg.Dims = append(cfg.Dims, d)
+			}
+		}
+	} else {
+		for _, d := range schema.Dimensions {
+			if d.Name != cfg.TimeDim {
+				cfg.Dims = append(cfg.Dims, d.Name)
+			}
+		}
+	}
+	for _, d := range n.cfg.RollupDistinct {
+		if schema.DimIndex(d) >= 0 {
+			cfg.DistinctDims = append(cfg.DistinctDims, d)
+		}
+	}
+	tbl, err := rollup.New(schema, cfg)
+	if err != nil {
+		return
+	}
+	n.rollupMu.Lock()
+	if n.rollups == nil {
+		n.rollups = make(map[*brick.Store]*rollup.Table)
+	}
+	n.rollups[st] = tbl
+	n.rollupMu.Unlock()
+	st.SetIngestObserver(func() {
+		_, _ = tbl.CatchUp(st)
+	})
+}
+
+// rollupFor returns the store's rollup table, nil when rollups are off.
+func (n *Node) rollupFor(st *brick.Store) *rollup.Table {
+	n.rollupMu.Lock()
+	defer n.rollupMu.Unlock()
+	return n.rollups[st]
+}
+
+// dropRollups forgets dropped stores' rollup tables.
+func (n *Node) dropRollups(stores map[string]*brick.Store) {
+	n.rollupMu.Lock()
+	for _, st := range stores {
+		delete(n.rollups, st)
+	}
+	n.rollupMu.Unlock()
+}
+
+// RollupStats sums rollup maintenance counters across the node's tables.
+func (n *Node) RollupStats() rollup.Stats {
+	n.rollupMu.Lock()
+	defer n.rollupMu.Unlock()
+	var total rollup.Stats
+	for _, tbl := range n.rollups {
+		s := tbl.Stats()
+		total.Catchups += s.Catchups
+		total.FoldedRows += s.FoldedRows
+		total.Rebuilds += s.Rebuilds
+		total.Groups += s.Groups
+	}
+	return total
 }
 
 // NewNode constructs a Cubrick server for a host in a region.
@@ -325,6 +428,9 @@ func (n *Node) Reset() {
 	n.staged = make(map[int64]map[string]*brick.Store)
 	n.forwards = make(map[int64]string)
 	n.replicated = make(map[string]*brick.Store)
+	n.rollupMu.Lock()
+	n.rollups = nil
+	n.rollupMu.Unlock()
 }
 
 // DropShard implements shardmgr.AppServer: all data and metadata for the
@@ -332,10 +438,13 @@ func (n *Node) Reset() {
 // to reach zero; the forwarding map covers requests that raced the drop.)
 func (n *Node) DropShard(shard int64) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	live, staged := n.shards[shard], n.staged[shard]
 	delete(n.shards, shard)
 	delete(n.staged, shard)
 	delete(n.forwards, shard)
+	n.mu.Unlock()
+	n.dropRollups(live)
+	n.dropRollups(staged)
 	return nil
 }
 
@@ -470,9 +579,14 @@ func (n *Node) EnsurePartition(shard int64, ref PartitionRef) error {
 // DropPartition removes one partition's store (table drop / re-partition).
 func (n *Node) DropPartition(shard int64, partName string) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	var dropped *brick.Store
 	if parts, ok := n.shards[shard]; ok {
+		dropped = parts[partName]
 		delete(parts, partName)
+	}
+	n.mu.Unlock()
+	if dropped != nil {
+		n.dropRollups(map[string]*brick.Store{partName: dropped})
 	}
 }
 
@@ -540,6 +654,14 @@ func (n *Node) ExecutePartialCtx(ctx context.Context, shard int64, partName stri
 			return nil, err
 		}
 		defer tkt.Release()
+	}
+	// Rollup-served path: eligible queries answer from the partition's
+	// incremental rollup (whole buckets pre-aggregated, delta and edge
+	// rows scanned raw) before any full-scan machinery engages.
+	if tbl := n.rollupFor(st); tbl != nil {
+		if p, _, ok, err := engine.ExecuteRollup(st, tbl, q); err == nil && ok {
+			return p, nil
+		}
 	}
 	if !n.foldScans() {
 		if bc, _ := n.caches(); bc != nil {

@@ -719,7 +719,10 @@ func (p *Partial) Finalize() *Result {
 		return false
 	})
 	if q.Limit > 0 && len(res.Rows) > q.Limit {
-		res.Rows = res.Rows[:q.Limit]
+		// Copy into a right-sized slice: a bare reslice would keep the full
+		// backing array (potentially millions of groups) alive behind a
+		// LIMIT 10 result, which result caches then pin for their lifetime.
+		res.Rows = append(make([][]float64, 0, q.Limit), res.Rows[:q.Limit]...)
 	}
 	return res
 }

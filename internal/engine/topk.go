@@ -1,0 +1,408 @@
+package engine
+
+import (
+	"math"
+	"sort"
+)
+
+// Distributed top-k pushdown: for ORDER BY <agg> LIMIT k queries, workers
+// stop shipping their full group set. Each worker finalizes locally, keeps
+// only its top k′ groups (k′ = overfetch × k) and reports a threshold — the
+// k′-th local order value — bounding every group it did not send. The
+// coordinator merges the candidates and certifies the global top k with
+// threshold-algorithm bounds; when bounds don't certify, it issues one
+// targeted second-phase fetch for the uncertain keys. The math works in
+// "score" space (order value negated for ascending queries) so descending
+// logic covers both directions:
+//
+//	sum-type (SUM, COUNT)  — a group's global score is the sum of per-worker
+//	    scores; a worker that didn't report g contributes at most
+//	    max(threshold, 0) (an unsent group scores ≤ threshold, an absent
+//	    group exactly 0).
+//	max-type (MAX desc, MIN asc) — the global score is the max of
+//	    per-worker scores; a missing worker raises it to at most its
+//	    threshold.
+//
+// MIN with descending order (and MAX ascending) admit no bound: a single
+// unsent group on one worker can have arbitrarily extreme global value.
+// Those shapes — plus AVG (not decomposable from pruned partials),
+// COUNT(DISTINCT) (sketches don't order), HAVING (needs all groups) and
+// ORDER BY a dimension — are ineligible and ship full partials.
+
+// TopKSpec describes a pushdown-eligible query's order.
+type TopKSpec struct {
+	// AggIdx indexes q.Aggregates for the ORDER BY column.
+	AggIdx int
+	// K is the query limit.
+	K int
+	// Desc is the query's sort direction.
+	Desc bool
+	// SumType selects the additive bound math; false means max-type.
+	SumType bool
+}
+
+// TopKSpecFor reports whether q is eligible for top-k pushdown and, if so,
+// how to bound it.
+func TopKSpecFor(q *Query) (TopKSpec, bool) {
+	var spec TopKSpec
+	if q.Limit <= 0 || q.OrderBy == "" || len(q.Having) > 0 || len(q.GroupBy) == 0 {
+		return spec, false
+	}
+	spec.K = q.Limit
+	spec.Desc = q.Desc
+	spec.AggIdx = -1
+	for i, a := range q.Aggregates {
+		if a.Name() == q.OrderBy {
+			spec.AggIdx = i
+			break
+		}
+	}
+	if spec.AggIdx < 0 {
+		return spec, false // ORDER BY a group dimension
+	}
+	switch q.Aggregates[spec.AggIdx].Func {
+	case Sum, Count:
+		spec.SumType = true
+	case Max:
+		if !q.Desc {
+			return spec, false
+		}
+	case Min:
+		if q.Desc {
+			return spec, false
+		}
+	default: // Avg, CountDistinct
+		return spec, false
+	}
+	return spec, true
+}
+
+// score converts an order value into score space (bigger = better).
+func (s TopKSpec) score(v float64) float64 {
+	if s.Desc {
+		return v
+	}
+	return -v
+}
+
+// orderValue finalizes a group's ORDER BY aggregate.
+func (s TopKSpec) orderValue(q *Query, g *group) float64 {
+	return g.cells[s.AggIdx].finalize(q.Aggregates[s.AggIdx].Func)
+}
+
+// PruneTopK reduces p in place to its local top-k′ groups under the
+// query's order, returning the threshold (the best dropped group's order
+// value — the tight bound on everything unsent) and complete (p had ≤ k′
+// groups, so nothing was dropped and the threshold is meaningless).
+func PruneTopK(p *Partial, kPrime int) (threshold float64, complete bool) {
+	q := p.query
+	spec, ok := TopKSpecFor(q)
+	if !ok || kPrime <= 0 {
+		return 0, true
+	}
+	if len(p.groups) <= kPrime {
+		return 0, true
+	}
+	type scored struct {
+		key   string
+		score float64
+	}
+	groups := make([]scored, 0, len(p.groups))
+	for k, g := range p.groups {
+		groups = append(groups, scored{key: k, score: spec.score(spec.orderValue(q, g))})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].score != groups[j].score {
+			return groups[i].score > groups[j].score
+		}
+		return keyLess(groups[i].key, groups[j].key)
+	})
+	kept := make(map[string]*group, kPrime)
+	for _, s := range groups[:kPrime] {
+		kept[s.key] = p.groups[s.key]
+	}
+	bound := groups[kPrime] // best dropped group: ≥ every other dropped score
+	p.groups = kept
+	if spec.Desc {
+		return bound.score, false
+	}
+	return -bound.score, false
+}
+
+// GroupCount reports how many groups the partial currently holds.
+func (p *Partial) GroupCount() int { return len(p.groups) }
+
+// Subset reduces p in place to the given group keys (raw groupKey bytes).
+// Keys the partial has no group for are simply absent from the result —
+// the worker genuinely holds no rows for them.
+func (p *Partial) Subset(keys []string) {
+	kept := make(map[string]*group, len(keys))
+	for _, k := range keys {
+		if g, ok := p.groups[k]; ok {
+			kept[k] = g
+		}
+	}
+	p.groups = kept
+}
+
+// TopKMerger accumulates per-worker top-k candidates and certifies the
+// global top k.
+type TopKMerger struct {
+	q      *Query
+	spec   TopKSpec
+	merged *Partial
+	meta   []topkWorker
+}
+
+type topkWorker struct {
+	threshold float64 // score space
+	bounded   bool    // threshold is meaningful (worker pruned)
+	reported  map[string]bool
+	resolved  map[string]bool // phase-2 requested keys: absent = exact zero
+}
+
+// NewTopKMerger returns a merger for a query TopKSpecFor accepts.
+func NewTopKMerger(q *Query) (*TopKMerger, bool) {
+	spec, ok := TopKSpecFor(q)
+	if !ok {
+		return nil, false
+	}
+	return &TopKMerger{q: q, spec: spec, merged: NewPartial(q)}, true
+}
+
+// Add folds one worker's phase-1 contribution. hasThreshold=false means
+// the worker shipped its complete group set (it ignored the negotiation
+// header, or had ≤ k′ groups); its absence from a group then proves a zero
+// contribution. The returned index names the worker for NeedKeys.
+func (m *TopKMerger) Add(p *Partial, threshold float64, hasThreshold bool) (int, error) {
+	if err := m.merged.Merge(p); err != nil {
+		return 0, err
+	}
+	w := topkWorker{
+		threshold: m.spec.score(threshold),
+		bounded:   hasThreshold,
+		reported:  make(map[string]bool, len(p.groups)),
+	}
+	for k := range p.groups {
+		w.reported[k] = true
+	}
+	m.meta = append(m.meta, w)
+	return len(m.meta) - 1, nil
+}
+
+// AddResolved folds one worker's phase-2 contribution for the given
+// requested keys: every requested key becomes exact for that worker,
+// whether or not the response contained it.
+func (m *TopKMerger) AddResolved(worker int, p *Partial, requested []string) error {
+	if err := m.merged.Merge(p); err != nil {
+		return err
+	}
+	w := &m.meta[worker]
+	if w.resolved == nil {
+		w.resolved = make(map[string]bool, len(requested))
+	}
+	for _, k := range requested {
+		w.resolved[k] = true
+	}
+	for k := range p.groups {
+		w.reported[k] = true
+	}
+	return nil
+}
+
+// Resolution is the outcome of a certification pass.
+type Resolution struct {
+	// Certified reports the top k is provably exact; Result holds a partial
+	// containing exactly those groups (plus merged scan counters), ready to
+	// Finalize.
+	Certified bool
+	Result    *Partial
+	// NeedKeys, when not empty, maps worker index → group keys a second
+	// phase must fetch to tighten bounds.
+	NeedKeys map[int][]string
+	// UnseenBlocked reports that groups no worker surfaced could still
+	// displace the top k (their aggregate threshold bound is too high);
+	// a second phase cannot help because unseen keys cannot be fetched —
+	// the caller must fall back to full partials.
+	UnseenBlocked bool
+}
+
+// exactFor reports whether worker w's contribution to key is exact.
+func (w *topkWorker) exactFor(key string) bool {
+	return !w.bounded || w.reported[key] || w.resolved[key]
+}
+
+// Resolve runs a certification pass over everything added so far.
+func (m *TopKMerger) Resolve() Resolution {
+	spec, q := m.spec, m.q
+	// missingUB is the score a worker could still add to a group it hasn't
+	// accounted for; unseen groups (reported nowhere) accumulate it across
+	// every bounded worker.
+	missingUB := func(w *topkWorker) float64 {
+		if spec.SumType {
+			return math.Max(w.threshold, 0)
+		}
+		return w.threshold
+	}
+	var unseenUB float64
+	anyBounded := false
+	if !spec.SumType {
+		unseenUB = math.Inf(-1)
+	}
+	for i := range m.meta {
+		w := &m.meta[i]
+		if !w.bounded {
+			continue
+		}
+		anyBounded = true
+		if spec.SumType {
+			unseenUB += missingUB(w)
+		} else if w.threshold > unseenUB {
+			unseenUB = w.threshold
+		}
+	}
+
+	cands := make([]topkCand, 0, len(m.merged.groups))
+	uncertain := make(map[string][]int) // key → workers missing it
+	for k, g := range m.merged.groups {
+		c := topkCand{key: k, exact: true}
+		c.score = spec.score(spec.orderValue(q, g))
+		c.ub = c.score
+		for i := range m.meta {
+			w := &m.meta[i]
+			if w.exactFor(k) {
+				continue
+			}
+			c.exact = false
+			uncertain[k] = append(uncertain[k], i)
+			if spec.SumType {
+				c.ub += missingUB(w)
+			} else if w.threshold > c.ub {
+				c.ub = w.threshold
+			}
+		}
+		cands = append(cands, c)
+	}
+	// Exact candidates ordered best-first; ties on score break by decoded
+	// group-key columns ascending, matching Finalize's tie comparator
+	// exactly — so when ties straddle the k boundary, the certified set is
+	// the same one a full-path Finalize with LIMIT would keep.
+	exact := cands[:0:0]
+	for _, c := range cands {
+		if c.exact {
+			exact = append(exact, c)
+		}
+	}
+	sort.Slice(exact, func(i, j int) bool {
+		if exact[i].score != exact[j].score {
+			return exact[i].score > exact[j].score
+		}
+		return keyLess(exact[i].key, exact[j].key)
+	})
+
+	res := Resolution{}
+	k := spec.K
+	haveVK := len(exact) >= k
+	var vk float64
+	if haveVK {
+		vk = exact[k-1].score
+		certified := true
+		if anyBounded && !(unseenUB < vk) {
+			// Unseen keys cannot be fetched in a second phase: fall back.
+			res.UnseenBlocked = true
+			return res
+		}
+		for _, c := range cands {
+			if !c.exact && !(c.ub < vk) {
+				certified = false
+			}
+		}
+		if certified {
+			res.Certified = true
+			res.Result = m.topKPartial(exact[:k])
+			return res
+		}
+	}
+	// Second phase: make the dangerous uncertain candidates exact. Without
+	// a v_k yet, every uncertain key is dangerous.
+	res.NeedKeys = make(map[int][]string)
+	for key, workers := range uncertain {
+		if haveVK {
+			if c, ok := findCand(cands, key); ok && c.ub < vk {
+				continue // provably outside the top k
+			}
+		}
+		for _, wi := range workers {
+			res.NeedKeys[wi] = append(res.NeedKeys[wi], key)
+		}
+	}
+	for wi := range res.NeedKeys {
+		sort.Strings(res.NeedKeys[wi])
+	}
+	if len(res.NeedKeys) == 0 {
+		// Every candidate is exact, yet certification failed. With no
+		// bounded worker the merged set is the complete group universe —
+		// fewer than k groups simply exist, and they are the answer. With a
+		// bounded worker, real pruned-away groups exist that nobody
+		// surfaced; only full partials can recover them.
+		if !anyBounded {
+			if len(exact) > k {
+				exact = exact[:k]
+			}
+			res.Certified = true
+			res.Result = m.topKPartial(exact)
+			return res
+		}
+		res.UnseenBlocked = true
+	}
+	return res
+}
+
+// keyLess orders raw group keys by their decoded uint32 column values
+// ascending — Finalize's tie order. Keys are little-endian u32
+// concatenations, so bytewise comparison would order 256 before 1.
+func keyLess(a, b string) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for off := 0; off+4 <= n; off += 4 {
+		av := uint32(a[off]) | uint32(a[off+1])<<8 | uint32(a[off+2])<<16 | uint32(a[off+3])<<24
+		bv := uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+		if av != bv {
+			return av < bv
+		}
+	}
+	return len(a) < len(b)
+}
+
+func findCand(cands []topkCand, key string) (topkCand, bool) {
+	for _, c := range cands {
+		if c.key == key {
+			return c, true
+		}
+	}
+	return topkCand{}, false
+}
+
+// topkCand is one merged group under certification.
+type topkCand struct {
+	key   string
+	score float64 // exact score, or the known part for uncertain groups
+	ub    float64
+	exact bool
+}
+
+// topKPartial builds a fresh partial holding exactly the given candidates'
+// merged groups plus the merged scan counters.
+func (m *TopKMerger) topKPartial(top []topkCand) *Partial {
+	p := NewPartial(m.q)
+	for _, c := range top {
+		p.groups[c.key] = m.merged.groups[c.key]
+	}
+	p.RowsScanned = m.merged.RowsScanned
+	p.BricksVisited = m.merged.BricksVisited
+	p.BricksPruned = m.merged.BricksPruned
+	p.Decompressions = m.merged.Decompressions
+	return p
+}

@@ -23,39 +23,38 @@ import (
 // placements concurrently and returns the fresher answer: the successful
 // response with the higher ingest epoch wins; a lone success wins
 // regardless; two failures surface the current placement's error.
-func (c *Coordinator) fetchDual(ctx context.Context, t Target, q *engine.Query) ([]byte, uint64, bool, error) {
+func (c *Coordinator) fetchDual(ctx context.Context, t Target, q *engine.Query) ([]byte, partialMeta, error) {
 	cur := Target{URL: t.URL, Partition: t.Partition, Replicas: t.Replicas}
 	prev := Target{URL: t.Dual[0], Partition: t.Partition, Replicas: t.Dual[1:]}
 	c.count("netexec.fetch.dualreads")
 	type res struct {
-		blob     []byte
-		epoch    uint64
-		hasEpoch bool
-		err      error
+		blob []byte
+		meta partialMeta
+		err  error
 	}
 	ch := make(chan res, 1)
 	go func() {
-		b, e, h, err := c.fetchResilient(ctx, prev, q)
-		ch <- res{b, e, h, err}
+		b, m, err := c.fetchResilient(ctx, prev, q, partialOpts{})
+		ch <- res{b, m, err}
 	}()
-	cb, ce, ch2, cerr := c.fetchResilient(ctx, cur, q)
+	cb, cm, cerr := c.fetchResilient(ctx, cur, q, partialOpts{})
 	pr := <-ch
 	switch {
 	case cerr != nil && pr.err != nil:
-		return nil, 0, false, cerr
+		return nil, partialMeta{}, cerr
 	case cerr != nil:
 		c.count("netexec.fetch.dual_wins")
-		return pr.blob, pr.epoch, pr.hasEpoch, nil
+		return pr.blob, pr.meta, nil
 	case pr.err != nil:
-		return cb, ce, ch2, nil
-	case pr.hasEpoch && (!ch2 || pr.epoch > ce):
+		return cb, cm, nil
+	case pr.meta.hasEpoch && (!cm.hasEpoch || pr.meta.epoch > cm.epoch):
 		// The old placement is strictly fresher: the flip has not fully
 		// landed on the new owner yet. Its answer is the one without a
 		// hole.
 		c.count("netexec.fetch.dual_wins")
-		return pr.blob, pr.epoch, pr.hasEpoch, nil
+		return pr.blob, pr.meta, nil
 	default:
-		return cb, ce, ch2, nil
+		return cb, cm, nil
 	}
 }
 

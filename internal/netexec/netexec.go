@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"cubrick/internal/engine"
 	"cubrick/internal/metrics"
 	"cubrick/internal/rescache"
+	"cubrick/internal/rollup"
 	"cubrick/internal/trace"
 )
 
@@ -136,9 +138,30 @@ type Worker struct {
 	// a pushed delta when the column names no schema dimension (the
 	// -dict-capacity flag); 0 leaves only the schema-derived fallback.
 	DictCapacity uint32
+	// RollupTimeDim names the time dimension incremental rollup tables
+	// bucket on (the -rollup-time-dim flag); empty disables rollups. Each
+	// partition whose schema has the dimension gets a rollup table that
+	// catches up on every ingest batch and answers eligible /partial
+	// queries without a raw scan (see engine.ExecuteRollup). Set before
+	// the first AddPartition.
+	RollupTimeDim string
+	// RollupBucket is the rollup bucket width in time-dimension units
+	// (the -rollup-bucket flag); 0 means 1.
+	RollupBucket uint32
+	// RollupDims lists the dimensions rollup groups carry (the
+	// -rollup-dims flag); empty means every non-time dimension of the
+	// partition's schema. Dimensions a schema lacks are skipped.
+	RollupDims []string
+	// RollupDistinct lists dimensions maintained as HLL sketches for
+	// COUNT(DISTINCT) serving (the -rollup-distinct flag).
+	RollupDistinct []string
 
 	mu     sync.Mutex
 	stores map[string]*brick.Store
+
+	// rollupMu guards rollups: per-partition incremental rollup tables.
+	rollupMu sync.Mutex
+	rollups  map[string]*rollup.Table
 
 	// fenceMu guards fenced: partitions mid-cutover that reject ingest
 	// with a retryable 503 while their migration flips ownership.
@@ -228,12 +251,76 @@ func (w *Worker) AddPartition(name string, schema brick.Schema) error {
 		st.SetDecodedCache(dc)
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if _, ok := w.stores[name]; ok {
+		w.mu.Unlock()
 		return fmt.Errorf("netexec: partition %q exists", name)
 	}
 	w.stores[name] = st
+	w.mu.Unlock()
+	w.attachRollup(name, st)
 	return nil
+}
+
+// attachRollup creates the partition's rollup table (when the worker is
+// configured for rollups and the schema has the time dimension) and hooks
+// the store's ingest observer so the table catches up incrementally on
+// every committed batch. Queries never depend on the observer — Serve
+// catches up again under its own lock — it just keeps query-time catch-up
+// work near zero.
+func (w *Worker) attachRollup(name string, st *brick.Store) {
+	if w.RollupTimeDim == "" {
+		return
+	}
+	schema := st.Schema()
+	if schema.DimIndex(w.RollupTimeDim) < 0 {
+		return
+	}
+	cfg := rollup.Config{TimeDim: w.RollupTimeDim, Bucket: w.RollupBucket}
+	if cfg.Bucket == 0 {
+		cfg.Bucket = 1
+	}
+	if len(w.RollupDims) > 0 {
+		for _, d := range w.RollupDims {
+			if d != cfg.TimeDim && schema.DimIndex(d) >= 0 {
+				cfg.Dims = append(cfg.Dims, d)
+			}
+		}
+	} else {
+		for _, d := range schema.Dimensions {
+			if d.Name != cfg.TimeDim {
+				cfg.Dims = append(cfg.Dims, d.Name)
+			}
+		}
+	}
+	for _, d := range w.RollupDistinct {
+		if schema.DimIndex(d) >= 0 {
+			cfg.DistinctDims = append(cfg.DistinctDims, d)
+		}
+	}
+	tbl, err := rollup.New(schema, cfg)
+	if err != nil {
+		log.Printf("netexec: partition %q: rollup disabled: %v", name, err)
+		return
+	}
+	w.rollupMu.Lock()
+	if w.rollups == nil {
+		w.rollups = make(map[string]*rollup.Table)
+	}
+	w.rollups[name] = tbl
+	w.rollupMu.Unlock()
+	st.SetIngestObserver(func() {
+		if _, err := tbl.CatchUp(st); err != nil {
+			w.countAdd("worker.rollup.catchup_errors", 1)
+		}
+	})
+}
+
+// RollupTable returns the partition's rollup table, nil when rollups are
+// off or the partition's schema lacks the configured time dimension.
+func (w *Worker) RollupTable(partition string) *rollup.Table {
+	w.rollupMu.Lock()
+	defer w.rollupMu.Unlock()
+	return w.rollups[partition]
 }
 
 // CompactAll runs one compaction pass over every partition store and
@@ -469,6 +556,24 @@ const (
 	// batch committed. The coordinator's result cache validates its
 	// entries against the latest epoch seen per partition.
 	HeaderEpoch = "X-Cubrick-Epoch"
+	// HeaderTopK on a /partial request negotiates top-k pushdown: its
+	// value k′ asks the worker to prune the partial to its local top k′
+	// groups under the query's ORDER BY. Workers that predate the header
+	// ignore it and ship the full partial — the coordinator's certifier
+	// treats a response without the topk response headers as a complete
+	// (unbounded) contribution, so mixed fleets stay correct.
+	HeaderTopK = "X-Cubrick-TopK"
+	// HeaderTopKThreshold on a pruned /partial response carries the
+	// worker's local k′-th order value — the bound on every group it did
+	// not ship — as an exact hex float (strconv 'x' format).
+	HeaderTopKThreshold = "X-Cubrick-TopK-Threshold"
+	// HeaderTopKComplete on a /partial response acknowledges the topk
+	// negotiation when the worker had ≤ k′ groups and pruned nothing: the
+	// partial is its complete group set.
+	HeaderTopKComplete = "X-Cubrick-TopK-Complete"
+	// HeaderTopKDropped reports how many groups pruning dropped, feeding
+	// the coordinator's wire-savings estimate.
+	HeaderTopKDropped = "X-Cubrick-TopK-Dropped"
 )
 
 // attrMS annotates a span with a duration in fractional milliseconds.
@@ -485,6 +590,11 @@ func (w *Worker) servePartial(ctx context.Context, rw http.ResponseWriter, r *ht
 	var req struct {
 		Partition string       `json:"partition"`
 		Query     engine.Query `json:"query"`
+		// TopKKeys marks a top-k second-phase fetch: execute fully, then
+		// subset the partial to exactly these groups (hex-encoded raw
+		// group keys) so the coordinator can make its uncertain
+		// candidates exact without re-shipping the whole group set.
+		TopKKeys []string `json:"topk_keys,omitempty"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return http.StatusBadRequest, err
@@ -522,7 +632,35 @@ func (w *Worker) servePartial(ctx context.Context, rw http.ResponseWriter, r *ht
 	var tm engine.Timings
 	noCache := r.Header.Get(HeaderCache) == "off"
 	bc, _ := w.caches()
+	// Rollup-served path: eligible queries answer from the partition's
+	// incremental rollup table (pre-aggregated whole buckets + a delta
+	// scan above the ingest watermarks + ragged-edge scans) instead of a
+	// full raw scan. Cache-bypassed requests skip it — X-Cubrick-Cache:
+	// off promises a fully recomputed answer.
+	if tbl := w.RollupTable(req.Partition); tbl != nil && !noCache {
+		rstart := time.Now()
+		rp, rinfo, ok, rerr := engine.ExecuteRollup(st, tbl, &req.Query)
+		switch {
+		case rerr != nil:
+			// Rollup failures are availability bugs only if they fail the
+			// query; fall through to the raw path instead.
+			w.countAdd("worker.rollup.errors", 1)
+		case ok:
+			partial = rp
+			tm.Scan = time.Since(rstart)
+			w.countAdd("worker.rollup.hits", 1)
+			w.countAdd("worker.rollup.delta_rows", rinfo.DeltaRows)
+			espan.SetAttr("rollup.hit", "true")
+			espan.SetAttrInt("rollup.groups", int64(rinfo.Groups))
+			espan.SetAttrInt("rollup.delta_rows", rinfo.DeltaRows)
+			espan.SetAttrInt("rollup.edge_scans", int64(rinfo.EdgeScans))
+			espan.SetAttrInt("rollup.epoch", int64(rinfo.Epoch))
+		default:
+			w.countAdd("worker.rollup.misses", 1)
+		}
+	}
 	switch {
+	case partial != nil: // rollup-served above
 	case noCache:
 		// Per-request bypass: no brick-partial cache, and the decoded-column
 		// cache neither consulted nor filled. Bypassed requests also skip
@@ -567,6 +705,46 @@ func (w *Worker) servePartial(ctx context.Context, rw http.ResponseWriter, r *ht
 	w.observe("worker.execute.latency", tm.Total())
 	w.countAdd("worker.rows.scanned", partial.RowsScanned)
 
+	// Top-k pushdown. Phase 2 (TopKKeys) subsets the full partial to the
+	// coordinator's uncertain keys; phase 1 (X-Cubrick-TopK: k′) prunes to
+	// the local top k′ and reports the threshold bounding unsent groups.
+	var topkHdr func(http.Header)
+	if len(req.TopKKeys) > 0 {
+		keys := make([]string, len(req.TopKKeys))
+		for i, h := range req.TopKKeys {
+			kb, err := hex.DecodeString(h)
+			if err != nil {
+				return http.StatusBadRequest, fmt.Errorf("netexec: bad topk key %q: %w", h, err)
+			}
+			keys[i] = string(kb)
+		}
+		partial.Subset(keys)
+		w.countAdd("worker.topk.phase2", 1)
+	} else if h := r.Header.Get(HeaderTopK); h != "" {
+		kPrime, err := strconv.Atoi(h)
+		if err != nil || kPrime <= 0 {
+			return http.StatusBadRequest, fmt.Errorf("netexec: bad %s header %q", HeaderTopK, h)
+		}
+		if _, ok := engine.TopKSpecFor(&req.Query); ok {
+			before := partial.GroupCount()
+			threshold, complete := engine.PruneTopK(partial, kPrime)
+			if complete {
+				// Nothing pruned: the explicit ack distinguishes "complete
+				// group set" from a worker that predates the protocol.
+				topkHdr = func(hdr http.Header) { hdr.Set(HeaderTopKComplete, "1") }
+			} else {
+				dropped := before - partial.GroupCount()
+				w.countAdd("worker.topk.pruned", 1)
+				w.countAdd("worker.topk.groups_dropped", int64(dropped))
+				topkHdr = func(hdr http.Header) {
+					// Hex float formatting round-trips the threshold exactly.
+					hdr.Set(HeaderTopKThreshold, strconv.FormatFloat(threshold, 'x', -1, 64))
+					hdr.Set(HeaderTopKDropped, strconv.Itoa(dropped))
+				}
+			}
+		}
+	}
+
 	_, mspan := w.Tracer.StartSpan(ctx, "worker.marshal")
 	blob, err := partial.MarshalBinary()
 	if err != nil {
@@ -592,6 +770,9 @@ func (w *Worker) servePartial(ctx context.Context, rw http.ResponseWriter, r *ht
 	mspan.SetAttr("gzip", strconv.FormatBool(gzipped))
 	mspan.End()
 	rw.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+	if topkHdr != nil {
+		topkHdr(rw.Header())
+	}
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	rw.Header().Set("Content-Length", strconv.Itoa(len(payload)))
 	if _, err := rw.Write(payload); err != nil {
@@ -701,6 +882,15 @@ type Coordinator struct {
 	// NoFold stamps X-Cubrick-Fold: off on worker requests, bypassing
 	// worker-side shared-scan folding for queries from this coordinator.
 	NoFold bool
+	// TopKOverfetch enables distributed top-k pushdown for eligible
+	// ORDER BY <aggregate> LIMIT k queries (the -topk-overfetch flag):
+	// workers ship only their local top overfetch×k groups plus a
+	// threshold bounding the rest, and the coordinator certifies the
+	// global top k from the bounds, issuing at most one targeted
+	// second-phase fetch for uncertain keys before falling back to full
+	// partials. 0 disables pushdown. Only exact-semantics queries
+	// (MinCoverage 0 or 1) with no dual-read targets push down.
+	TopKOverfetch int
 	// ResultCache, when set, remembers finished full-coverage Results keyed
 	// on the complete query identity (fold key + residue + partition set)
 	// and validated against the per-partition ingest epochs workers report
@@ -773,6 +963,12 @@ func (c *Coordinator) client() *http.Client {
 func (c *Coordinator) count(name string) {
 	if c.Metrics != nil {
 		c.Metrics.Counter(name).Inc()
+	}
+}
+
+func (c *Coordinator) countAdd(name string, delta int64) {
+	if c.Metrics != nil {
+		c.Metrics.Counter(name).Add(delta)
 	}
 }
 
@@ -900,11 +1096,21 @@ func (c *Coordinator) Query(ctx context.Context, targets []Target, q *engine.Que
 		}
 		fanSpan.SetAttr("cache.hit", "false")
 	}
-	res, epochs, err := c.queryFanout(ctx, targets, q)
+	var res *engine.Result
+	var epochs map[string]uint64
+	var err error
+	handled := false
+	if c.topkEligible(targets, q) {
+		res, epochs, handled, err = c.queryTopK(ctx, targets, q)
+	}
+	if !handled {
+		res, epochs, err = c.queryFanout(ctx, targets, q)
+	}
 	if err == nil && c.ResultCache != nil && !bypass && epochs != nil {
 		// Only full-epoch-vector, full-coverage results are cacheable (Put
 		// re-checks Coverage); epochs is nil whenever any partial arrived
-		// without an epoch header or a partition was dropped.
+		// without an epoch header, a partition was dropped, or a top-k
+		// second phase mixed per-partition epochs.
 		c.ResultCache.Put(key, res, epochs)
 	}
 	fanSpan.EndErr(err)
@@ -952,16 +1158,15 @@ func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engi
 			pctx, pspan := c.Tracer.StartSpan(ctx, "partition")
 			pspan.SetAttr("partition", t.Partition)
 			var blob []byte
-			var epoch uint64
-			var hasEpoch bool
+			var meta partialMeta
 			var err error
 			if len(t.Dual) > 0 {
-				blob, epoch, hasEpoch, err = c.fetchDual(pctx, t, q)
+				blob, meta, err = c.fetchDual(pctx, t, q)
 			} else {
-				blob, epoch, hasEpoch, err = c.fetchResilient(pctx, t, q)
+				blob, meta, err = c.fetchResilient(pctx, t, q, partialOpts{})
 			}
 			pspan.EndErr(err)
-			ch <- outcome{i, blob, epoch, hasEpoch, err}
+			ch <- outcome{i, blob, meta.epoch, meta.hasEpoch, err}
 		}(i, t)
 	}
 	exact := c.Policy.exact()
@@ -1024,19 +1229,42 @@ func (c *Coordinator) queryFanout(ctx context.Context, targets []Target, q *engi
 	return res, epochs, nil
 }
 
+// partialOpts parameterizes a partial fetch for top-k pushdown: kPrime > 0
+// stamps the negotiation header (the worker may prune to its local top
+// k′), keys marks a second-phase fetch for exactly those hex-encoded group
+// keys. The zero value is a plain full-partial fetch.
+type partialOpts struct {
+	kPrime int
+	keys   []string
+}
+
+// partialMeta is everything a /partial response carries besides the blob:
+// the ingest epoch and, when top-k was negotiated, the worker's threshold
+// bound (hasThreshold — the partial was pruned), its complete ack (had
+// ≤ k′ groups), and how many groups pruning dropped.
+type partialMeta struct {
+	epoch        uint64
+	hasEpoch     bool
+	threshold    float64
+	hasThreshold bool
+	complete     bool
+	dropped      int
+}
+
 // fetchResilient fetches one partition's wire partial under the policy:
 // attempts rotate over the target's primary and replicas with capped,
 // jittered exponential backoff between retries; each attempt may hedge to
 // a replica after the hedge delay; breaker-open hosts are skipped. Errors
 // classify as retryable or terminal (ClassifyError); terminal errors and
 // query-context expiry end the loop immediately.
-func (c *Coordinator) fetchResilient(ctx context.Context, t Target, q *engine.Query) ([]byte, uint64, bool, error) {
+func (c *Coordinator) fetchResilient(ctx context.Context, t Target, q *engine.Query, opts partialOpts) ([]byte, partialMeta, error) {
 	body, err := json.Marshal(struct {
 		Partition string        `json:"partition"`
 		Query     *engine.Query `json:"query"`
-	}{t.Partition, q})
+		TopKKeys  []string      `json:"topk_keys,omitempty"`
+	}{t.Partition, q, opts.keys})
 	if err != nil {
-		return nil, 0, false, err
+		return nil, partialMeta{}, err
 	}
 	urls := t.urls()
 	attempts := c.Policy.attempts()
@@ -1046,29 +1274,29 @@ func (c *Coordinator) fetchResilient(ctx context.Context, t Target, q *engine.Qu
 			if lastErr == nil {
 				lastErr = err
 			}
-			return nil, 0, false, lastErr
+			return nil, partialMeta{}, lastErr
 		}
 		start := time.Now()
-		blob, epoch, hasEpoch, url, err := c.fetchAttempt(ctx, urls, a, body)
+		blob, meta, url, err := c.fetchAttempt(ctx, urls, a, body, opts.kPrime)
 		if err == nil {
 			if c.Breakers != nil {
 				c.Breakers.ReportSuccess(url)
 			}
 			c.observeLatency(time.Since(start))
-			return blob, epoch, hasEpoch, nil
+			return blob, meta, nil
 		}
 		lastErr = err
 		if ClassifyError(err) == Terminal || ctx.Err() != nil {
-			return nil, 0, false, lastErr
+			return nil, partialMeta{}, lastErr
 		}
 		if a < attempts-1 {
 			c.count("netexec.fetch.retries")
 			if serr := sleepCtx(ctx, jitter(c.Policy.backoffFor(a))); serr != nil {
-				return nil, 0, false, lastErr
+				return nil, partialMeta{}, lastErr
 			}
 		}
 	}
-	return nil, 0, false, lastErr
+	return nil, partialMeta{}, lastErr
 }
 
 // pickURL chooses the attempt's URL: rotate through the candidates
@@ -1112,7 +1340,7 @@ func (c *Coordinator) hedgeCandidate(urls []string, attempt int, primary string)
 // the loser. Returns the blob and the URL that produced it; on failure the
 // error is the last failure observed and url names its host. Per-URL
 // failures are reported to the breaker group as they happen.
-func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt int, body []byte) (blob []byte, epoch uint64, hasEpoch bool, url string, err error) {
+func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt int, body []byte, kPrime int) (blob []byte, meta partialMeta, url string, err error) {
 	primary := c.pickURL(urls, attempt)
 	var actx context.Context
 	var cancel context.CancelFunc
@@ -1124,11 +1352,10 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 	defer cancel()
 
 	type res struct {
-		blob     []byte
-		epoch    uint64
-		hasEpoch bool
-		url      string
-		err      error
+		blob []byte
+		meta partialMeta
+		url  string
+		err  error
 	}
 	// Buffered to the maximum in-flight count so the losing request's
 	// goroutine never blocks after the winner returns.
@@ -1146,9 +1373,9 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 			if breakerSkip {
 				fspan.SetAttr("breaker_skip", "true")
 			}
-			b, ep, hasEp, e := c.doPartial(fctx, u, body)
+			b, m, e := c.doPartial(fctx, u, body, kPrime)
 			fspan.EndErr(e)
-			ch <- res{b, ep, hasEp, u, e}
+			ch <- res{b, m, u, e}
 		}()
 	}
 	launch(primary, "primary", primary != urls[attempt%len(urls)])
@@ -1171,7 +1398,7 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 				if hedged && r.url != primary {
 					c.count("netexec.fetch.hedge_wins")
 				}
-				return r.blob, r.epoch, r.hasEpoch, r.url, nil
+				return r.blob, r.meta, r.url, nil
 			}
 			// Don't poison the breaker when the query itself was abandoned.
 			if c.Breakers != nil && !errors.Is(r.err, context.Canceled) {
@@ -1179,7 +1406,7 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 			}
 			lastErr, lastURL = r.err, r.url
 			if inflight == 0 {
-				return nil, 0, false, lastURL, lastErr
+				return nil, partialMeta{}, lastURL, lastErr
 			}
 		case <-timerC:
 			timerC = nil
@@ -1197,10 +1424,11 @@ func (c *Coordinator) fetchAttempt(ctx context.Context, urls []string, attempt i
 // response read bounded by MaxPartialBytes. The transport advertises gzip
 // and transparently decompresses, so large partials cross the wire
 // compressed without any handling here.
-func (c *Coordinator) doPartial(ctx context.Context, url string, body []byte) ([]byte, uint64, bool, error) {
+func (c *Coordinator) doPartial(ctx context.Context, url string, body []byte, kPrime int) ([]byte, partialMeta, error) {
+	var meta partialMeta
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/partial", bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, false, err
+		return nil, meta, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	// Propagate trace context so the worker's spans join this query's
@@ -1222,31 +1450,41 @@ func (c *Coordinator) doPartial(ctx context.Context, url string, body []byte) ([
 	if CacheBypassed(ctx) {
 		req.Header.Set(HeaderCache, "off")
 	}
+	if kPrime > 0 {
+		req.Header.Set(HeaderTopK, strconv.Itoa(kPrime))
+	}
 	resp, err := c.client().Do(req)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, meta, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, 0, false, &HTTPStatusError{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
+		return nil, meta, &HTTPStatusError{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
 	}
-	var epoch uint64
-	var hasEpoch bool
 	if h := resp.Header.Get(HeaderEpoch); h != "" {
 		if e, perr := strconv.ParseUint(h, 10, 64); perr == nil {
-			epoch, hasEpoch = e, true
+			meta.epoch, meta.hasEpoch = e, true
 		}
+	}
+	if h := resp.Header.Get(HeaderTopKThreshold); h != "" {
+		if t, perr := strconv.ParseFloat(h, 64); perr == nil {
+			meta.threshold, meta.hasThreshold = t, true
+		}
+	}
+	meta.complete = resp.Header.Get(HeaderTopKComplete) != ""
+	if h := resp.Header.Get(HeaderTopKDropped); h != "" {
+		meta.dropped, _ = strconv.Atoi(h)
 	}
 	limit := c.maxPartialBytes()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
-		return nil, 0, false, err
+		return nil, meta, err
 	}
 	if int64(len(data)) > limit {
-		return nil, 0, false, &PartialSizeError{Limit: limit}
+		return nil, meta, &PartialSizeError{Limit: limit}
 	}
-	return data, epoch, hasEpoch, nil
+	return data, meta, nil
 }
 
 // DefaultAdminTimeout bounds admin calls (partition create, ingest) made

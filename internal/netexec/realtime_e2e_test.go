@@ -1,0 +1,265 @@
+package netexec
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/engine"
+	"cubrick/internal/metrics"
+)
+
+// realtimeWorker spins one HTTP worker (optionally rollup-enabled) holding
+// one partition, returning its target, its metrics registry and a client.
+func realtimeWorker(t *testing.T, part string, rollup bool) (Target, *metrics.Registry, *Client, func()) {
+	t.Helper()
+	w := NewWorker()
+	w.Metrics = metrics.NewRegistry()
+	if rollup {
+		w.RollupTimeDim = "ds"
+		w.RollupBucket = 5
+		w.RollupDistinct = []string{"app"}
+	}
+	srv := httptest.NewServer(w.Handler())
+	cl := &Client{BaseURL: srv.URL}
+	if err := cl.CreatePartition(context.Background(), part, testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return Target{URL: srv.URL, Partition: part}, w.Metrics, cl, srv.Close
+}
+
+func loadRows(t *testing.T, cl *Client, part string, whole *brick.Store, rows [][3]float64) {
+	t.Helper()
+	var dims [][]uint32
+	var mets [][]float64
+	for _, r := range rows {
+		d := []uint32{uint32(r[0]), uint32(r[1])}
+		m := []float64{r[2]}
+		dims = append(dims, d)
+		mets = append(mets, m)
+		if whole != nil {
+			if err := whole.Insert(d, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := cl.Load(context.Background(), part, dims, mets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func queryEqual(t *testing.T, got, want *engine.Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows: got %d want %d\ngot %v\nwant %v", len(got.Rows), len(want.Rows), got.Rows, want.Rows)
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				t.Fatalf("row %d col %d: got %v want %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+// TestTopKPushdownSinglePhase: a query whose phase-1 bounds certify
+// directly; the pushdown answer is bit-identical to the full fan-out.
+func TestTopKPushdownSinglePhase(t *testing.T) {
+	targets, whole, cleanup := startCluster(t, 3, 900)
+	defer cleanup()
+	q := &engine.Query{
+		Aggregates: []engine.Aggregate{
+			{Func: engine.Sum, Metric: "value", Alias: "total"},
+			{Func: engine.Count},
+		},
+		GroupBy: []string{"app"},
+		OrderBy: "total",
+		Desc:    true,
+		Limit:   3,
+	}
+	reg := metrics.NewRegistry()
+	coord := &Coordinator{TopKOverfetch: 4, Metrics: reg}
+	got, err := coord.Query(context.Background(), targets, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.Execute(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryEqual(t, got, ref.Finalize())
+	c := reg.CounterValues()
+	if c["netexec.topk.queries"] != 1 || c["netexec.topk.certified"] != 1 {
+		t.Fatalf("counters: %v", c)
+	}
+	if c["netexec.topk.fallback"] != 0 {
+		t.Fatalf("unexpected fallback: %v", c)
+	}
+}
+
+// TestTopKPushdownSecondPhase constructs a skew where a group's global
+// winner is outside one worker's local top-k′: certification requires the
+// targeted second-phase fetch, and the answer stays exact.
+func TestTopKPushdownSecondPhase(t *testing.T) {
+	t1, _, cl1, stop1 := realtimeWorker(t, "t#0", false)
+	defer stop1()
+	t2, _, cl2, stop2 := realtimeWorker(t, "t#1", false)
+	defer stop2()
+	whole, _ := brick.NewStore(testSchema())
+	// Worker 0: app 1 dominates (100); app 2 hides below the shipped top-1
+	// (5) with threshold 10 from app 3. Worker 1: app 2 leads (90) over
+	// app 4 (8). Globally app 1 (100) beats app 2 (95), but phase 1 alone
+	// cannot prove it: app 2's upper bound is 90+10 = 100, not strictly
+	// below. The unseen bound 10+8 = 18 stays far under, so the resolver
+	// fetches app 2 from worker 0 instead of falling back.
+	loadRows(t, cl1, "t#0", whole, [][3]float64{{0, 1, 100}, {1, 2, 5}, {2, 3, 10}})
+	loadRows(t, cl2, "t#1", whole, [][3]float64{{0, 2, 90}, {1, 4, 8}})
+	q := &engine.Query{
+		Aggregates: []engine.Aggregate{{Func: engine.Sum, Metric: "value", Alias: "total"}},
+		GroupBy:    []string{"app"},
+		OrderBy:    "total",
+		Desc:       true,
+		Limit:      1,
+	}
+	reg := metrics.NewRegistry()
+	coord := &Coordinator{TopKOverfetch: 1, Metrics: reg}
+	got, err := coord.Query(context.Background(), []Target{t1, t2}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.Execute(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryEqual(t, got, ref.Finalize())
+	if got.Rows[0][0] != 1 || got.Rows[0][1] != 100 {
+		t.Fatalf("want app 1 total 100, got %v", got.Rows[0])
+	}
+	c := reg.CounterValues()
+	if c["netexec.topk.second_phase"] != 1 || c["netexec.topk.certified"] != 1 {
+		t.Fatalf("counters: %v", c)
+	}
+}
+
+// TestTopKPushdownFallback: thresholds so heavy that a group no worker
+// surfaced could still win; the coordinator must fall back to full
+// partials and still return the exact answer.
+func TestTopKPushdownFallback(t *testing.T) {
+	t1, _, cl1, stop1 := realtimeWorker(t, "t#0", false)
+	defer stop1()
+	t2, _, cl2, stop2 := realtimeWorker(t, "t#1", false)
+	defer stop2()
+	whole, _ := brick.NewStore(testSchema())
+	// Unsent mass 90+45 = 135 exceeds the provisional winner (100): a
+	// group unseen by the coordinator could hold up to 135.
+	loadRows(t, cl1, "t#0", whole, [][3]float64{{0, 1, 100}, {1, 2, 90}})
+	loadRows(t, cl2, "t#1", whole, [][3]float64{{0, 3, 50}, {1, 4, 45}})
+	q := &engine.Query{
+		Aggregates: []engine.Aggregate{{Func: engine.Sum, Metric: "value", Alias: "total"}},
+		GroupBy:    []string{"app"},
+		OrderBy:    "total",
+		Desc:       true,
+		Limit:      1,
+	}
+	reg := metrics.NewRegistry()
+	coord := &Coordinator{TopKOverfetch: 1, Metrics: reg}
+	got, err := coord.Query(context.Background(), []Target{t1, t2}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.Execute(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryEqual(t, got, ref.Finalize())
+	c := reg.CounterValues()
+	if c["netexec.topk.fallback"] != 1 {
+		t.Fatalf("expected fallback, counters: %v", c)
+	}
+}
+
+// TestRollupServedPartialFreshness: a rollup-enabled worker answers an
+// aligned dashboard query from its pre-aggregates, and rows ingested at
+// epoch E are reflected in the very next rollup-served answer — freshness
+// within one epoch, asserted, not sampled.
+func TestRollupServedPartialFreshness(t *testing.T) {
+	target, reg, cl, stop := realtimeWorker(t, "t#0", true)
+	defer stop()
+	whole, _ := brick.NewStore(testSchema())
+	var rows [][3]float64
+	for i := 0; i < 300; i++ {
+		rows = append(rows, [3]float64{float64(i % 30), float64(i % 20), float64(i)})
+	}
+	loadRows(t, cl, "t#0", whole, rows)
+	q := &engine.Query{
+		Aggregates: []engine.Aggregate{
+			{Func: engine.Sum, Metric: "value"},
+			{Func: engine.Count},
+			{Func: engine.CountDistinct, Metric: "app"},
+		},
+		Filter: map[string][2]uint32{"ds": {0, 9}}, // two whole 5-buckets
+	}
+	coord := &Coordinator{}
+	got, err := coord.Query(context.Background(), []Target{target}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.ExecuteParallel(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryEqual(t, got, ref.Finalize())
+	c := reg.CounterValues()
+	if c["worker.rollup.hits"] != 1 {
+		t.Fatalf("expected a rollup hit, counters: %v", c)
+	}
+
+	// Fresh ingest, then query again immediately: the rollup-served
+	// answer must include every row of the new epoch.
+	loadRows(t, cl, "t#0", whole, [][3]float64{{2, 7, 1000}, {7, 7, 1000}})
+	got2, err := coord.Query(context.Background(), []Target{target}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := engine.ExecuteParallel(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryEqual(t, got2, ref2.Finalize())
+	if got2.Rows[0][0] != got.Rows[0][0]+2000 {
+		t.Fatalf("fresh rows missing: %v -> %v", got.Rows[0], got2.Rows[0])
+	}
+	c = reg.CounterValues()
+	if c["worker.rollup.hits"] != 2 {
+		t.Fatalf("second query not rollup-served: %v", c)
+	}
+	if c["worker.rollup.errors"] != 0 {
+		t.Fatalf("rollup errors: %v", c)
+	}
+
+	// An unaligned window still answers exactly (hybrid edge scans), and
+	// X-Cubrick-Cache: off bypasses the rollup entirely.
+	q2 := &engine.Query{
+		Aggregates: []engine.Aggregate{{Func: engine.Sum, Metric: "value"}},
+		Filter:     map[string][2]uint32{"ds": {2, 13}},
+	}
+	got3, err := coord.Query(context.Background(), []Target{target}, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref3, err := engine.ExecuteParallel(whole, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryEqual(t, got3, ref3.Finalize())
+	hitsBefore := reg.CounterValues()["worker.rollup.hits"]
+	got4, err := coord.Query(WithCacheBypass(context.Background()), []Target{target}, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryEqual(t, got4, ref3.Finalize())
+	if reg.CounterValues()["worker.rollup.hits"] != hitsBefore {
+		t.Fatal("cache bypass still hit the rollup")
+	}
+}

@@ -1,0 +1,206 @@
+// Coordinator side of distributed top-k pushdown.
+//
+// For an eligible ORDER BY <aggregate> LIMIT k query, phase 1 fans out
+// with the X-Cubrick-TopK: k′ header (k′ = TopKOverfetch × k): each worker
+// prunes its partial to the local top k′ groups and reports the threshold
+// bounding everything it did not send. The engine.TopKMerger certifies the
+// global top k from those bounds. When bounds don't certify, exactly one
+// second phase fetches the uncertain keys from the workers missing them
+// (threshold-algorithm style); when even that cannot certify — groups no
+// worker surfaced could still displace the top k — the coordinator falls
+// back to a plain full-partial fan-out, which is always correct.
+//
+// Pushdown only runs under exact failure semantics with no dual-read
+// targets: degradation drops partitions (breaking the bound math), and a
+// dual read already doubles the fetch. Workers that ignore the header
+// simply ship full partials; the certifier treats those as complete
+// contributions, so mixed fleets stay correct.
+
+package netexec
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+
+	"cubrick/internal/engine"
+)
+
+// topkEligible reports whether this query, under this coordinator's
+// policy, against these targets, should attempt top-k pushdown.
+func (c *Coordinator) topkEligible(targets []Target, q *engine.Query) bool {
+	if c.TopKOverfetch <= 0 {
+		return false
+	}
+	if _, ok := engine.TopKSpecFor(q); !ok {
+		return false
+	}
+	if !c.Policy.exact() {
+		return false
+	}
+	for _, t := range targets {
+		if len(t.Dual) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// queryTopK runs the two-phase pushdown. handled=false means the
+// coordinator should fall back to the full fan-out (bounds could not
+// certify a top k); the phase-1 work is sunk cost, correctness is not.
+// The epochs map is non-nil only for single-phase certifications with a
+// complete epoch vector — a second phase mixes per-partition epochs, so
+// its result must not enter the result cache.
+func (c *Coordinator) queryTopK(ctx context.Context, targets []Target, q *engine.Query) (*engine.Result, map[string]uint64, bool, error) {
+	m, ok := engine.NewTopKMerger(q)
+	if !ok {
+		return nil, nil, false, nil
+	}
+	ctx, span := c.Tracer.StartSpan(ctx, "coordinator.topk")
+	kPrime := q.Limit * c.TopKOverfetch
+	span.SetAttrInt("k", int64(q.Limit))
+	span.SetAttrInt("k_prime", int64(kPrime))
+	c.count("netexec.topk.queries")
+
+	type outcome struct {
+		idx  int
+		blob []byte
+		meta partialMeta
+		err  error
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, len(targets))
+	for i, t := range targets {
+		go func(i int, t Target) {
+			pctx, pspan := c.Tracer.StartSpan(fctx, "partition")
+			pspan.SetAttr("partition", t.Partition)
+			pspan.SetAttr("topk", "phase1")
+			blob, meta, err := c.fetchResilient(pctx, t, q, partialOpts{kPrime: kPrime})
+			pspan.EndErr(err)
+			ch <- outcome{i, blob, meta, err}
+		}(i, t)
+	}
+	// workerTarget maps the merger's worker index back to the target it
+	// came from, for second-phase routing.
+	workerTarget := make([]int, 0, len(targets))
+	epochs := make(map[string]uint64, len(targets))
+	allEpochs := true
+	for n := 0; n < len(targets); n++ {
+		o := <-ch
+		t := targets[o.idx]
+		if o.err != nil {
+			cancel()
+			c.count("netexec.query.failed")
+			span.EndErr(o.err)
+			return nil, nil, true, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, o.err)
+		}
+		if o.meta.hasEpoch {
+			epochs[t.Partition] = o.meta.epoch
+			c.ObserveEpoch(t.Partition, o.meta.epoch)
+		} else {
+			allEpochs = false
+		}
+		p, err := engine.UnmarshalPartial(q, o.blob)
+		if err != nil {
+			cancel()
+			c.count("netexec.query.failed")
+			span.EndErr(err)
+			return nil, nil, true, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, err)
+		}
+		if o.meta.hasThreshold && p.GroupCount() > 0 {
+			// Wire-savings estimate: dropped groups at the pruned blob's
+			// observed bytes-per-group rate (uncompressed).
+			c.countAdd("netexec.topk.bytes_saved",
+				int64(o.meta.dropped)*int64(len(o.blob))/int64(p.GroupCount()))
+		}
+		wi, err := m.Add(p, o.meta.threshold, o.meta.hasThreshold)
+		if err != nil {
+			span.EndErr(err)
+			return nil, nil, true, err
+		}
+		for len(workerTarget) <= wi {
+			workerTarget = append(workerTarget, 0)
+		}
+		workerTarget[wi] = o.idx
+	}
+
+	res := m.Resolve()
+	phase2 := false
+	if !res.Certified && !res.UnseenBlocked && len(res.NeedKeys) > 0 {
+		phase2 = true
+		c.count("netexec.topk.second_phase")
+		span.SetAttrInt("phase2_workers", int64(len(res.NeedKeys)))
+		type p2outcome struct {
+			worker int
+			keys   []string
+			blob   []byte
+			err    error
+		}
+		p2ch := make(chan p2outcome, len(res.NeedKeys))
+		for wi, keys := range res.NeedKeys {
+			go func(wi int, keys []string) {
+				t := targets[workerTarget[wi]]
+				hexKeys := make([]string, len(keys))
+				for i, k := range keys {
+					hexKeys[i] = hex.EncodeToString([]byte(k))
+				}
+				pctx, pspan := c.Tracer.StartSpan(fctx, "partition")
+				pspan.SetAttr("partition", t.Partition)
+				pspan.SetAttr("topk", "phase2")
+				pspan.SetAttrInt("keys", int64(len(keys)))
+				blob, _, err := c.fetchResilient(pctx, t, q, partialOpts{keys: hexKeys})
+				pspan.EndErr(err)
+				p2ch <- p2outcome{wi, keys, blob, err}
+			}(wi, keys)
+		}
+		for n := 0; n < cap(p2ch); n++ {
+			o := <-p2ch
+			t := targets[workerTarget[o.worker]]
+			if o.err != nil {
+				cancel()
+				c.count("netexec.query.failed")
+				span.EndErr(o.err)
+				return nil, nil, true, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, o.err)
+			}
+			p, err := engine.UnmarshalPartial(q, o.blob)
+			if err != nil {
+				cancel()
+				c.count("netexec.query.failed")
+				span.EndErr(err)
+				return nil, nil, true, fmt.Errorf("%w: %s %s: %w", ErrWorkerFailed, t.URL, t.Partition, err)
+			}
+			if err := m.AddResolved(o.worker, p, o.keys); err != nil {
+				span.EndErr(err)
+				return nil, nil, true, err
+			}
+		}
+		res = m.Resolve()
+	}
+
+	if !res.Certified {
+		// UnseenBlocked (directly, or after the second phase): only full
+		// partials can recover the groups nobody surfaced.
+		c.count("netexec.topk.fallback")
+		span.SetAttr("outcome", "fallback")
+		span.End()
+		return nil, nil, false, nil
+	}
+	c.count("netexec.topk.certified")
+	span.SetAttr("outcome", "certified")
+	span.SetAttr("phase2", boolStr(phase2))
+	final := res.Result.Finalize()
+	span.End()
+	if phase2 || !allEpochs {
+		epochs = nil
+	}
+	return final, epochs, true, nil
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -1,0 +1,443 @@
+package rollup
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"cubrick/internal/brick"
+	"cubrick/internal/hll"
+)
+
+// Wire format (all integers uvarint, floats 8-byte little-endian bits):
+//
+//	magic   "CRLP"
+//	version = 1
+//	mode    0 = snapshot (replace), 1 = delta (extend)
+//	epoch   covered ingest epoch after applying
+//	shape   bucket, timeIdx, nDims + dim idxs, nDist + dist idxs, nMetrics
+//	base    [delta only] nBase + (brickID, rows)* — the marks the delta
+//	        extends; apply refuses when they differ from the table's
+//	marks   nMarks + (brickID, rows)* — the marks after applying
+//	groups  nGroups + per group: start, dims, rows,
+//	        per metric (sum, min, max), per dist (len, registers)
+//
+// Decoding is hardened the way the brick/wire decoders are: every count is
+// bounded by the bytes that could plausibly back it, sketch payloads are
+// validated register by register before any state changes, and applying
+// checks epoch monotonicity — a blob claiming an older covered epoch than
+// the table already has is a regression and is rejected.
+
+var codecMagic = [4]byte{'C', 'R', 'L', 'P'}
+
+const codecVersion = 1
+
+// ErrCorrupt is returned for malformed snapshot/delta blobs.
+var ErrCorrupt = errors.New("rollup: corrupt snapshot")
+
+// ErrEpochRegression is returned when a blob would move the table's
+// covered epoch backwards.
+var ErrEpochRegression = errors.New("rollup: snapshot epoch regression")
+
+// ErrDeltaMismatch is returned when a delta's base marks do not extend the
+// table's current marks.
+var ErrDeltaMismatch = errors.New("rollup: delta does not extend this snapshot")
+
+type wireSnapshot struct {
+	mode      byte
+	epoch     uint64
+	baseMarks map[uint64]int
+	marks     map[uint64]int
+	groups    map[string]*Group
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], v)
+	buf.Write(scratch[:n])
+}
+
+func putFloat(buf *bytes.Buffer, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	buf.Write(b[:])
+}
+
+func putMarks(buf *bytes.Buffer, marks map[uint64]int) {
+	ids := make([]uint64, 0, len(marks))
+	for id := range marks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	putUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		putUvarint(buf, id)
+		putUvarint(buf, uint64(marks[id]))
+	}
+}
+
+// encodeLocked serializes the given state under the table's shape.
+func (t *Table) encodeLocked(mode byte, epoch uint64, baseMarks, marks map[uint64]int, groups map[string]*Group) []byte {
+	var buf bytes.Buffer
+	buf.Write(codecMagic[:])
+	putUvarint(&buf, codecVersion)
+	buf.WriteByte(mode)
+	putUvarint(&buf, epoch)
+	putUvarint(&buf, uint64(t.cfg.Bucket))
+	putUvarint(&buf, uint64(t.timeIdx))
+	putUvarint(&buf, uint64(len(t.dimIdx)))
+	for _, di := range t.dimIdx {
+		putUvarint(&buf, uint64(di))
+	}
+	putUvarint(&buf, uint64(len(t.distIdx)))
+	for _, di := range t.distIdx {
+		putUvarint(&buf, uint64(di))
+	}
+	putUvarint(&buf, uint64(t.nMetrics))
+	if mode == modeDelta {
+		putMarks(&buf, baseMarks)
+	}
+	putMarks(&buf, marks)
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	putUvarint(&buf, uint64(len(keys)))
+	for _, k := range keys {
+		g := groups[k]
+		putUvarint(&buf, uint64(g.Start))
+		for _, v := range g.Dims {
+			putUvarint(&buf, uint64(v))
+		}
+		putUvarint(&buf, uint64(g.Rows))
+		for _, m := range g.Metrics {
+			putFloat(&buf, m.Sum)
+			putFloat(&buf, m.Min)
+			putFloat(&buf, m.Max)
+		}
+		for _, sk := range g.Sketches {
+			if sk == nil || sk.Empty() {
+				putUvarint(&buf, 0)
+				continue
+			}
+			raw, _ := sk.MarshalBinary()
+			putUvarint(&buf, uint64(len(raw)))
+			buf.Write(raw)
+		}
+	}
+	return buf.Bytes()
+}
+
+const (
+	modeSnapshot byte = 0
+	modeDelta    byte = 1
+)
+
+// EncodeSnapshot serializes the table's full state: groups, watermarks and
+// covered epoch.
+func (t *Table) EncodeSnapshot() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.encodeLocked(modeSnapshot, t.epoch, nil, t.marks, t.groups)
+}
+
+// EncodeDeltaSince folds the rows the store holds above base (a marks map
+// previously obtained from ServeInfo.Marks or a decoded snapshot) into a
+// fresh group set and serializes it as a delta extending base. The table's
+// own state is not consulted or changed; only its shape is used.
+func (t *Table) EncodeDeltaSince(st *brick.Store, base map[uint64]int) ([]byte, error) {
+	scratch, err := New(t.schema, t.cfg)
+	if err != nil {
+		return nil, err
+	}
+	marks := make(map[uint64]int, len(base))
+	for id, m := range base {
+		marks[id] = m
+	}
+	epoch, err := st.VisitSince(marks, func(_ uint64, dims [][]uint32, metrics [][]float64, start, rows int) error {
+		scratch.foldLocked(dims, metrics, start, rows)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t.encodeLocked(modeDelta, epoch, base, marks, scratch.groups), nil
+}
+
+func readMarks(r *bytes.Reader) (map[uint64]int, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: marks header: %v", ErrCorrupt, err)
+	}
+	// Each mark costs at least two bytes on the wire.
+	if n > uint64(r.Len())/2+1 {
+		return nil, fmt.Errorf("%w: claims %d marks in %d bytes", ErrCorrupt, n, r.Len())
+	}
+	marks := make(map[uint64]int, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: mark id: %v", ErrCorrupt, err)
+		}
+		rows, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: mark rows: %v", ErrCorrupt, err)
+		}
+		if rows > uint64(math.MaxInt32) {
+			return nil, fmt.Errorf("%w: mark claims %d rows", ErrCorrupt, rows)
+		}
+		if _, dup := marks[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate mark for brick %d", ErrCorrupt, id)
+		}
+		marks[id] = int(rows)
+	}
+	return marks, nil
+}
+
+// decode parses and validates a blob against the table's shape. No table
+// state is touched; a corrupt blob cannot leave the table half-applied.
+func (t *Table) decode(data []byte) (*wireSnapshot, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version, err := binary.ReadUvarint(r)
+	if err != nil || version != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version", ErrCorrupt)
+	}
+	mode, err := r.ReadByte()
+	if err != nil || (mode != modeSnapshot && mode != modeDelta) {
+		return nil, fmt.Errorf("%w: bad mode", ErrCorrupt)
+	}
+	epoch, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: epoch: %v", ErrCorrupt, err)
+	}
+
+	// Shape: every field must match the receiving table exactly — a blob
+	// for a different rollup configuration is not mergeable data.
+	expectShape := []uint64{uint64(t.cfg.Bucket), uint64(t.timeIdx)}
+	for _, want := range expectShape {
+		got, err := binary.ReadUvarint(r)
+		if err != nil || got != want {
+			return nil, fmt.Errorf("%w: shape mismatch", ErrCorrupt)
+		}
+	}
+	readIdxList := func(want []int) error {
+		n, err := binary.ReadUvarint(r)
+		if err != nil || n != uint64(len(want)) {
+			return fmt.Errorf("%w: shape mismatch", ErrCorrupt)
+		}
+		for _, wi := range want {
+			got, err := binary.ReadUvarint(r)
+			if err != nil || got != uint64(wi) {
+				return fmt.Errorf("%w: shape mismatch", ErrCorrupt)
+			}
+		}
+		return nil
+	}
+	if err := readIdxList(t.dimIdx); err != nil {
+		return nil, err
+	}
+	if err := readIdxList(t.distIdx); err != nil {
+		return nil, err
+	}
+	if nm, err := binary.ReadUvarint(r); err != nil || nm != uint64(t.nMetrics) {
+		return nil, fmt.Errorf("%w: shape mismatch", ErrCorrupt)
+	}
+
+	ws := &wireSnapshot{mode: mode, epoch: epoch}
+	if mode == modeDelta {
+		if ws.baseMarks, err = readMarks(r); err != nil {
+			return nil, err
+		}
+	}
+	if ws.marks, err = readMarks(r); err != nil {
+		return nil, err
+	}
+	if mode == modeDelta {
+		for id, base := range ws.baseMarks {
+			if ws.marks[id] < base {
+				return nil, fmt.Errorf("%w: delta mark for brick %d went backwards", ErrCorrupt, id)
+			}
+		}
+	}
+
+	nGroups, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: group header: %v", ErrCorrupt, err)
+	}
+	// A group costs at least one byte per varint field plus the fixed
+	// 24 bytes per metric accumulator, so a forged count cannot force
+	// allocation beyond what the payload could hold.
+	minGroupBytes := uint64(2 + len(t.dimIdx) + len(t.distIdx) + 24*t.nMetrics)
+	if nGroups > uint64(r.Len())/minGroupBytes+1 {
+		return nil, fmt.Errorf("%w: claims %d groups in %d bytes", ErrCorrupt, nGroups, r.Len())
+	}
+	ws.groups = make(map[string]*Group, nGroups)
+	for i := uint64(0); i < nGroups; i++ {
+		start, err := binary.ReadUvarint(r)
+		if err != nil || start > uint64(math.MaxUint32) {
+			return nil, fmt.Errorf("%w: group start", ErrCorrupt)
+		}
+		if uint32(start)%t.cfg.Bucket != 0 {
+			return nil, fmt.Errorf("%w: group start %d not bucket-aligned", ErrCorrupt, start)
+		}
+		g := &Group{
+			Start:    uint32(start),
+			Dims:     make([]uint32, len(t.dimIdx)),
+			Metrics:  make([]MetricAgg, t.nMetrics),
+			Sketches: make([]*hll.Sketch, len(t.distIdx)),
+		}
+		for d := range g.Dims {
+			v, err := binary.ReadUvarint(r)
+			if err != nil || v > uint64(math.MaxUint32) {
+				return nil, fmt.Errorf("%w: group dim", ErrCorrupt)
+			}
+			g.Dims[d] = uint32(v)
+		}
+		rows, err := binary.ReadUvarint(r)
+		if err != nil || rows == 0 || rows > uint64(math.MaxInt64) {
+			return nil, fmt.Errorf("%w: group rows", ErrCorrupt)
+		}
+		g.Rows = int64(rows)
+		var fb [8]byte
+		readFloat := func() (float64, error) {
+			if _, err := io.ReadFull(r, fb[:]); err != nil {
+				return 0, fmt.Errorf("%w: truncated metric", ErrCorrupt)
+			}
+			return math.Float64frombits(binary.LittleEndian.Uint64(fb[:])), nil
+		}
+		for m := range g.Metrics {
+			if g.Metrics[m].Sum, err = readFloat(); err != nil {
+				return nil, err
+			}
+			if g.Metrics[m].Min, err = readFloat(); err != nil {
+				return nil, err
+			}
+			if g.Metrics[m].Max, err = readFloat(); err != nil {
+				return nil, err
+			}
+			if g.Metrics[m].Min > g.Metrics[m].Max {
+				return nil, fmt.Errorf("%w: metric min above max", ErrCorrupt)
+			}
+		}
+		for s := range g.Sketches {
+			slen, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("%w: sketch header: %v", ErrCorrupt, err)
+			}
+			g.Sketches[s] = hll.New()
+			if slen == 0 {
+				continue
+			}
+			if slen != uint64(hll.Bytes) || slen > uint64(r.Len()) {
+				return nil, fmt.Errorf("%w: sketch claims %d bytes", ErrCorrupt, slen)
+			}
+			raw := make([]byte, slen)
+			if _, err := io.ReadFull(r, raw); err != nil {
+				return nil, fmt.Errorf("%w: truncated sketch", ErrCorrupt)
+			}
+			if err := g.Sketches[s].UnmarshalBinary(raw); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		k := key(g.Start, g.Dims)
+		if _, dup := ws.groups[k]; dup {
+			return nil, fmt.Errorf("%w: duplicate group", ErrCorrupt)
+		}
+		ws.groups[k] = g
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	return ws, nil
+}
+
+// InstallSnapshot replaces the table's state with a decoded snapshot blob.
+// When st is non-nil the caller asserts the snapshot's watermarks describe
+// st's current bricks (a migration target right after importing the
+// matching brick set) and the table binds to st's generation; with a nil
+// store the snapshot is standalone and the next catch-up against any store
+// starts with a rebuild. A blob whose covered epoch lies below the table's
+// is rejected: epochs only move forward.
+func (t *Table) InstallSnapshot(data []byte, st *brick.Store) error {
+	ws, err := t.decode(data)
+	if err != nil {
+		return err
+	}
+	if ws.mode != modeSnapshot {
+		return fmt.Errorf("%w: not a snapshot blob", ErrCorrupt)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ws.epoch < t.epoch {
+		return fmt.Errorf("%w: blob covers epoch %d, table already at %d", ErrEpochRegression, ws.epoch, t.epoch)
+	}
+	t.groups = ws.groups
+	t.marks = ws.marks
+	t.epoch = ws.epoch
+	if st != nil {
+		t.gen, t.genSet = st.Generation(), true
+	} else {
+		t.genSet = false
+	}
+	return nil
+}
+
+// ApplyDelta merges a delta blob produced by EncodeDeltaSince. The delta's
+// base marks must equal the table's current marks — a delta built over a
+// different base would double-count or skip rows — and its covered epoch
+// must not regress.
+func (t *Table) ApplyDelta(data []byte) error {
+	ws, err := t.decode(data)
+	if err != nil {
+		return err
+	}
+	if ws.mode != modeDelta {
+		return fmt.Errorf("%w: not a delta blob", ErrCorrupt)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ws.epoch < t.epoch {
+		return fmt.Errorf("%w: delta covers epoch %d, table already at %d", ErrEpochRegression, ws.epoch, t.epoch)
+	}
+	if len(ws.baseMarks) != len(t.marks) {
+		return ErrDeltaMismatch
+	}
+	for id, m := range ws.baseMarks {
+		if t.marks[id] != m {
+			return ErrDeltaMismatch
+		}
+	}
+	for k, dg := range ws.groups {
+		g, ok := t.groups[k]
+		if !ok {
+			t.groups[k] = dg
+			continue
+		}
+		g.Rows += dg.Rows
+		for m := range g.Metrics {
+			g.Metrics[m].Sum += dg.Metrics[m].Sum
+			if dg.Metrics[m].Min < g.Metrics[m].Min {
+				g.Metrics[m].Min = dg.Metrics[m].Min
+			}
+			if dg.Metrics[m].Max > g.Metrics[m].Max {
+				g.Metrics[m].Max = dg.Metrics[m].Max
+			}
+		}
+		for s := range g.Sketches {
+			g.Sketches[s].Merge(dg.Sketches[s])
+		}
+	}
+	t.marks = ws.marks
+	t.epoch = ws.epoch
+	return nil
+}

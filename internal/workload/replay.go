@@ -33,6 +33,21 @@ type ReplayConfig struct {
 	// Selectivity, when in (0, 1], fixes the filtered fraction of the
 	// dimension domain; zero draws a uniformly random range as before.
 	Selectivity float64
+	// TimeWindow, when > 0, gives every shape a trailing "last N" window
+	// predicate on dimension 0 spanning TimeWindow values — the dashboard
+	// refresh pattern, where each widget re-queries a sliding window.
+	TimeWindow int
+	// TimeAlign, when > 1, snaps the window to multiples of TimeAlign so
+	// the predicate lands exactly on rollup bucket boundaries (an aligned
+	// window is fully servable from bucketed pre-aggregates; an unaligned
+	// one forces ragged-edge scans).
+	TimeAlign int
+	// TopKProb is the probability a grouped sum/count shape becomes a
+	// leaderboard: ORDER BY its first aggregate DESC LIMIT TopK. Zero or
+	// negative disables top-k shapes.
+	TopKProb float64
+	// TopK is the LIMIT attached to leaderboard shapes (defaults to 10).
+	TopK int
 }
 
 // QueryReplay generates queries from a fixed population of distinct
@@ -127,6 +142,45 @@ func randomShape(schema brick.Schema, cfg ReplayConfig, rnd *randutil.Source) *e
 			hi = lo + uint32(rnd.Intn(int(d.Max-lo)))
 		}
 		q.Filter = map[string][2]uint32{d.Name: {lo, hi}}
+	}
+	// Dashboard time window: a trailing "last N" range on dimension 0,
+	// optionally snapped to rollup bucket boundaries. Overrides any random
+	// filter that happened to pick the time dimension.
+	if cfg.TimeWindow > 0 {
+		d := schema.Dimensions[0]
+		max := int(d.Max)
+		w := cfg.TimeWindow
+		if w > max {
+			w = max
+		}
+		end := w - 1 + rnd.Intn(max-w+1)
+		lo, hi := end-w+1, end
+		if a := cfg.TimeAlign; a > 1 && max/a > 0 {
+			buckets := max / a
+			wb := (w + a - 1) / a
+			if wb > buckets {
+				wb = buckets
+			}
+			endB := wb + rnd.Intn(buckets-wb+1)
+			lo, hi = (endB-wb)*a, endB*a-1
+		}
+		if q.Filter == nil {
+			q.Filter = make(map[string][2]uint32, 1)
+		}
+		q.Filter[d.Name] = [2]uint32{uint32(lo), uint32(hi)}
+	}
+	// Leaderboard shapes: grouped sum/count aggregates become
+	// ORDER BY <agg> DESC LIMIT k — the shape top-k pushdown serves.
+	if cfg.TopKProb > 0 && len(q.GroupBy) > 0 && rnd.Float64() < cfg.TopKProb {
+		if a := q.Aggregates[0]; a.Func == engine.Sum || a.Func == engine.Count {
+			k := cfg.TopK
+			if k < 1 {
+				k = 10
+			}
+			q.OrderBy = a.Name()
+			q.Desc = true
+			q.Limit = k
+		}
 	}
 	return q
 }

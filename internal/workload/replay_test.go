@@ -114,3 +114,67 @@ func TestReplayConfigDefaultsAndErrors(t *testing.T) {
 		t.Fatal("expected error for impossible shape count")
 	}
 }
+
+func TestReplayDashboardShapes(t *testing.T) {
+	schema := brick.Schema{
+		Dimensions: []brick.Dimension{
+			{Name: "ds", Max: 48, Buckets: 4},
+			{Name: "app", Max: 10, Buckets: 5},
+		},
+		Metrics: []brick.Metric{{Name: "events"}},
+	}
+	cfg := ReplayConfig{
+		Shapes: 10, TimeWindow: 10, TimeAlign: 4, TopKProb: 1, TopK: 5,
+	}
+	r, err := NewQueryReplay(schema, cfg, randutil.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topk := 0
+	for _, q := range r.Shapes() {
+		if err := q.Validate(schema); err != nil {
+			t.Fatalf("invalid shape %+v: %v", q, err)
+		}
+		f, ok := q.Filter["ds"]
+		if !ok {
+			t.Fatalf("shape %+v missing time window on ds", q)
+		}
+		lo, hi := f[0], f[1]
+		if lo%4 != 0 || (hi+1)%4 != 0 {
+			t.Fatalf("window [%d,%d] not aligned to 4", lo, hi)
+		}
+		// ceil(10/4) = 3 buckets of width 4.
+		if hi-lo+1 != 12 {
+			t.Fatalf("window [%d,%d] spans %d values, want 12", lo, hi, hi-lo+1)
+		}
+		if hi >= 48 {
+			t.Fatalf("window [%d,%d] outside domain", lo, hi)
+		}
+		if q.Limit > 0 {
+			topk++
+			if q.Limit != 5 || !q.Desc || q.OrderBy != q.Aggregates[0].Name() {
+				t.Fatalf("bad leaderboard shape %+v", q)
+			}
+			if _, ok := engine.TopKSpecFor(q); !ok {
+				t.Fatalf("leaderboard shape not pushdown-eligible: %+v", q)
+			}
+		}
+	}
+	if topk == 0 {
+		t.Fatal("TopKProb=1 produced no leaderboard shapes")
+	}
+	// Unaligned windows keep the exact requested width.
+	r2, err := NewQueryReplay(schema, ReplayConfig{Shapes: 8, TimeWindow: 10}, randutil.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range r2.Shapes() {
+		f, ok := q.Filter["ds"]
+		if !ok {
+			t.Fatalf("shape %+v missing time window", q)
+		}
+		if f[1]-f[0]+1 != 10 {
+			t.Fatalf("window [%d,%d] spans %d values, want 10", f[0], f[1], f[1]-f[0]+1)
+		}
+	}
+}

@@ -26,7 +26,11 @@ go test ./...
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/engine ./internal/brick ./internal/cubrick ./internal/netexec \
     ./internal/trace ./internal/metrics ./internal/admission ./internal/workload \
-    ./internal/rescache ./internal/scancache ./internal/migrate ./internal/dict ./internal/cql
+    ./internal/rescache ./internal/scancache ./internal/migrate ./internal/dict ./internal/cql \
+    ./internal/rollup
+
+echo "== rollup/top-k equivalence under concurrent ingest (-race)"
+go test -race -count=1 -run 'TestRealtimeEquivalence' ./internal/engine
 
 echo "== encoded-execution differential harness (-race)"
 go test -race -count=1 -run 'TestEncodedDifferential|TestSkipperOracle|TestCompositeKeyEncodedViews' ./internal/engine
@@ -52,6 +56,9 @@ go test -run '^$' -fuzz '^FuzzTransfer$' -fuzztime 10s ./internal/brick
 echo "== fuzz smoke (global dictionary delta codec, 10s)"
 go test -run '^$' -fuzz '^FuzzGlobalDict$' -fuzztime 10s ./internal/dict
 
+echo "== fuzz smoke (rollup snapshot/delta codec, 10s)"
+go test -run '^$' -fuzz '^FuzzSnapshotCodec$' -fuzztime 10s ./internal/rollup
+
 echo "== fuzz smoke (brick column decoders, 5s each)"
 go test -run '^$' -fuzz '^FuzzDecodeDimColumn$' -fuzztime 5s ./internal/brick
 go test -run '^$' -fuzz '^FuzzDecodeMetricColumn$' -fuzztime 5s ./internal/brick
@@ -64,7 +71,7 @@ go test -run '^$' -fuzz '^FuzzDecodeMetricColumn$' -fuzztime 5s ./internal/brick
 echo "== coverage gate (>= 70%)"
 for pkg in ./internal/netexec ./internal/engine ./internal/trace ./internal/metrics ./internal/brick \
     ./internal/admission ./internal/rescache ./internal/scancache ./internal/migrate \
-    ./internal/dict ./internal/cql; do
+    ./internal/dict ./internal/cql ./internal/rollup; do
     line="$(go test -cover "$pkg" | tail -1)"
     echo "$line"
     pct="$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"
